@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures (or a measurable
+claim) and, besides the pytest-benchmark timing table, appends the
+paper-style rows it produced to ``benchmarks/results/<experiment>.txt``
+so the numbers quoted in EXPERIMENTS.md can be reproduced verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_rows(experiment: str, title: str, rows: Iterable[Mapping[str, object]]) -> str:
+    """Append a small formatted table for ``experiment`` and return it."""
+    rows = [dict(row) for row in rows]
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    lines = [f"== {title} =="]
+    if rows:
+        columns = list(rows[0].keys())
+        widths = {
+            column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in rows))
+            for column in columns
+        }
+        lines.append("  ".join(str(column).rjust(widths[column]) for column in columns))
+        for row in rows:
+            lines.append("  ".join(str(row.get(column, "")).rjust(widths[column]) for column in columns))
+    text = "\n".join(lines) + "\n\n"
+    path = RESULTS_DIR / f"{experiment}.txt"
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(text)
+    print("\n" + text)
+    return text
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _clean_results_dir():
+    """Start every benchmark session with a fresh results directory."""
+    if RESULTS_DIR.exists():
+        for path in RESULTS_DIR.glob("*.txt"):
+            path.unlink()
+    yield

@@ -1,0 +1,114 @@
+"""Ablation A3: ADEPT2 migration vs. non-adaptive baseline policies.
+
+Systems without correctness-preserving migration either leave running
+instances on the outdated schema forever or abort and restart them on the
+new one.  This benchmark applies all three policies to identical
+populations and compares (a) how many instances end up on the new
+version and (b) how much already-completed work survives.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_rows
+from repro.baselines.nonadaptive import AbortRestartPolicy, StayOnOldVersionPolicy
+from repro.core.migration import MigrationManager
+from repro.workloads.order_process import order_type_change_v2, paper_fig3_population
+
+POPULATION = 400
+
+
+def fresh_population(seed):
+    return paper_fig3_population(instance_count=POPULATION, biased_fraction=0.1, seed=seed)
+
+
+@pytest.mark.benchmark(group="A3-policies")
+def test_adept_migration_policy(benchmark):
+    rows = []
+
+    def setup():
+        return (fresh_population(1),), {}
+
+    def run(setup_result):
+        process_type, engine, instances = setup_result
+        active = [i for i in instances if i.status.is_active]
+        work_before = sum(len(i.completed_activities()) for i in active)
+        report = MigrationManager(engine).migrate_type(
+            process_type, order_type_change_v2(), instances
+        )
+        work_after = sum(len(i.completed_activities()) for i in active)
+        rows.append(
+            {
+                "policy": "adept2_migration",
+                "active_instances": len(active),
+                "on_new_version": report.migrated_count,
+                "new_version_share": f"{report.migrated_count / len(active):.0%}",
+                "work_preserved": f"{work_after / max(work_before, 1):.0%}",
+                "aborted": 0,
+            }
+        )
+        return report
+
+    report = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    assert rows[-1]["work_preserved"] == "100%"
+    assert report.migrated_count > 0
+    write_rows("A3_baseline_policies", "A3 — ADEPT2 migration", rows)
+
+
+@pytest.mark.benchmark(group="A3-policies")
+def test_stay_on_old_version_policy(benchmark):
+    def setup():
+        process_type, engine, instances = fresh_population(1)
+        schema_v2 = process_type.release_new_version(order_type_change_v2())
+        return (engine, instances, schema_v2), {}
+
+    def run(engine, instances, schema_v2):
+        active = [i for i in instances if i.status.is_active]
+        return StayOnOldVersionPolicy().apply(active, schema_v2, engine)
+
+    result = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    assert result.new_version_fraction == 0.0
+    assert result.work_preserved_fraction == 1.0
+    write_rows(
+        "A3_baseline_policies",
+        "A3 — baseline: stay on the old version",
+        [
+            {
+                "policy": result.policy,
+                "active_instances": result.total_instances,
+                "on_new_version": result.on_new_version,
+                "new_version_share": f"{result.new_version_fraction:.0%}",
+                "work_preserved": f"{result.work_preserved_fraction:.0%}",
+                "aborted": result.aborted_instances,
+            }
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="A3-policies")
+def test_abort_and_restart_policy(benchmark):
+    def setup():
+        process_type, engine, instances = fresh_population(1)
+        schema_v2 = process_type.release_new_version(order_type_change_v2())
+        return (engine, instances, schema_v2), {}
+
+    def run(engine, instances, schema_v2):
+        active = [i for i in instances if i.status.is_active]
+        return AbortRestartPolicy().apply(active, schema_v2, engine)
+
+    result = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    assert result.new_version_fraction == 1.0
+    assert result.work_preserved_fraction < 0.5
+    write_rows(
+        "A3_baseline_policies",
+        "A3 — baseline: abort and restart",
+        [
+            {
+                "policy": result.policy,
+                "active_instances": result.total_instances,
+                "on_new_version": result.on_new_version,
+                "new_version_share": f"{result.new_version_fraction:.0%}",
+                "work_preserved": f"{result.work_preserved_fraction:.0%}",
+                "aborted": result.aborted_instances,
+            }
+        ],
+    )

@@ -1,0 +1,70 @@
+"""Ablation A5: dynamic changes under distributed process control.
+
+ADEPT supports distributed process control; the paper notes that dynamic
+changes remain feasible in that setting.  This benchmark partitions the
+online-order process over a growing number of process servers, executes
+cases, applies the V2 type change with migration and reports the
+communication cost (control hand-overs, change-propagation and migration
+messages) relative to the centralised configuration.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_rows
+from repro.core.evolution import ProcessType
+from repro.distributed.coordinator import DistributedCoordinator
+from repro.distributed.partitioning import SchemaPartitioning
+from repro.schema.templates import online_order_process
+from repro.workloads.order_process import ORDER_EXECUTION_SEQUENCE, order_type_change_v2
+
+SERVER_COUNTS = (1, 2, 4)
+CASES = 40
+
+
+def run_distributed_scenario(server_count: int):
+    """Execute cases, migrate half-way cases to V2, finish everything."""
+    schema = online_order_process()
+    partitioning = SchemaPartitioning.contiguous(schema, [f"srv-{i}" for i in range(server_count)])
+    coordinator = DistributedCoordinator(partitioning)
+    process_type = ProcessType("online_order", schema)
+
+    cases = []
+    for index in range(CASES):
+        case = coordinator.create_instance(f"case-{server_count}-{index}")
+        progress = index % 5  # spread over early stages so most remain migratable
+        for activity in ORDER_EXECUTION_SEQUENCE[:progress]:
+            coordinator.complete_activity(case, activity)
+        cases.append(case)
+
+    report = coordinator.migrate_instances(process_type, order_type_change_v2(), cases)
+    for case in cases:
+        coordinator.run_to_completion(case)
+    return coordinator, report, cases
+
+
+@pytest.mark.benchmark(group="A5-distributed")
+@pytest.mark.parametrize("server_count", SERVER_COUNTS)
+def test_distributed_execution_and_migration(benchmark, server_count):
+    coordinator, report, cases = benchmark.pedantic(
+        lambda: run_distributed_scenario(server_count), rounds=1, iterations=1
+    )
+    assert report.total == CASES
+    assert report.migrated_count > 0
+    assert all(case.status.value == "completed" for case in cases)
+    costs = coordinator.costs
+    if server_count == 1:
+        assert costs.handover_messages == 0
+    else:
+        assert costs.handover_messages > 0
+    benchmark.extra_info.update(costs.as_dict())
+    write_rows(
+        "A5_distributed",
+        f"A5 — distributed control with {server_count} server(s) ({CASES} cases)",
+        [
+            {
+                "servers": server_count,
+                "migrated": report.migrated_count,
+                **costs.as_dict(),
+            }
+        ],
+    )

@@ -1,0 +1,71 @@
+"""Ablation A6 (extension): migration with partial rollback of blocking work.
+
+ADEPTflex-style compensation allows undoing a few already executed
+activities so that an otherwise state-conflicting instance becomes
+compliant and can still be migrated.  This benchmark migrates the same
+population once with the plain policy and once with
+``rollback_on_state_conflict=True`` and reports how many additional
+instances reach the new schema version and how much work had to be
+compensated for that.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_rows
+from repro.core.migration import MigrationManager, MigrationOutcome
+from repro.runtime.events import EventType
+from repro.workloads.order_process import order_type_change_v2, paper_fig3_population
+
+POPULATION = 300
+
+
+@pytest.mark.benchmark(group="A6-rollback")
+@pytest.mark.parametrize("rollback", [False, True], ids=["plain", "with_rollback"])
+def test_migration_with_and_without_rollback(benchmark, rollback):
+    reports = []
+    engines = []
+
+    def setup():
+        process_type, engine, instances = paper_fig3_population(
+            instance_count=POPULATION, biased_fraction=0.1, seed=4242
+        )
+        manager = MigrationManager(engine, rollback_on_state_conflict=rollback)
+        engines.append(engine)
+        return (manager, process_type, instances), {}
+
+    def run(manager, process_type, instances):
+        report = manager.migrate_type(process_type, order_type_change_v2(), instances)
+        reports.append((report, instances))
+        return report
+
+    benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    report, instances = reports[-1]
+    engine = engines[-1]
+    compensated = engine.event_log.count(EventType.ACTIVITY_COMPENSATED)
+
+    if rollback:
+        assert report.count(MigrationOutcome.MIGRATED_WITH_ROLLBACK) > 0
+        assert compensated > 0
+    else:
+        assert report.count(MigrationOutcome.MIGRATED_WITH_ROLLBACK) == 0
+
+    # every instance still completes, whichever policy was used
+    for instance in instances:
+        if instance.status.is_active:
+            engine.run_to_completion(instance)
+    assert all(instance.status.value == "completed" for instance in instances)
+
+    write_rows(
+        "A6_rollback_migration",
+        f"A6 — migration policy '{'with rollback' if rollback else 'plain'}' ({POPULATION} instances)",
+        [
+            {
+                "policy": "with_rollback" if rollback else "plain",
+                "migrated_total": report.migrated_count,
+                "migrated_plain": report.count(MigrationOutcome.MIGRATED),
+                "migrated_after_rollback": report.count(MigrationOutcome.MIGRATED_WITH_ROLLBACK),
+                "state_conflicts_remaining": report.count(MigrationOutcome.STATE_CONFLICT),
+                "activities_compensated": compensated,
+            }
+        ],
+    )

@@ -1,0 +1,133 @@
+"""Experiment E1 (paper Fig. 1): compliance checking and the migration example.
+
+Reproduces the classification of the paper's three instances (I1 migrates,
+I2 has a structural conflict, I3 a state conflict) and measures the
+efficient per-operation compliance conditions against the general
+trace-replay criterion over a population of order instances: both must
+agree on every instance, and the per-operation check is expected to be
+considerably faster.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_rows
+from repro.core.compliance import ComplianceChecker
+from repro.core.migration import MigrationManager, MigrationOutcome
+from repro.workloads.order_process import (
+    order_type_change_v2,
+    paper_fig1_scenario,
+    paper_fig3_population,
+)
+
+POPULATION = 300
+
+
+@pytest.fixture(scope="module")
+def population():
+    process_type, engine, instances = paper_fig3_population(instance_count=POPULATION, seed=42)
+    schema_v1 = process_type.schema_for(1)
+    delta_t = order_type_change_v2()
+    schema_v2 = delta_t.operations.apply_to(schema_v1)
+    return instances, delta_t, schema_v2
+
+
+def test_fig1_classification_matches_paper(benchmark):
+    """The exact Fig. 1 outcome, timed end to end (release + 3 instances)."""
+
+    def run():
+        scenario = paper_fig1_scenario()
+        manager = MigrationManager(scenario.engine)
+        return manager.migrate_type(scenario.process_type, scenario.type_change, scenario.instances)
+
+    report = benchmark(run)
+    outcomes = {result.instance_id: result.outcome for result in report.results}
+    assert outcomes["I1"] is MigrationOutcome.MIGRATED
+    assert outcomes["I2"] is MigrationOutcome.STRUCTURAL_CONFLICT
+    assert outcomes["I3"] is MigrationOutcome.STATE_CONFLICT
+    write_rows(
+        "E1_fig1",
+        "E1 / Fig.1 — migration of the paper's example instances",
+        [
+            {"instance": "I1", "bias": "unbiased", "outcome": outcomes["I1"].value},
+            {"instance": "I2", "bias": "ad-hoc modified", "outcome": outcomes["I2"].value},
+            {"instance": "I3", "bias": "unbiased", "outcome": outcomes["I3"].value},
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="E1-compliance-check")
+def test_compliance_conditions_speed(benchmark, population):
+    """Per-operation compliance conditions over the whole population."""
+    instances, delta_t, _ = population
+    checker = ComplianceChecker()
+
+    def run():
+        return [checker.check_with_conditions(i, delta_t.operations).compliant for i in instances]
+
+    decisions = benchmark(run)
+    assert len(decisions) == POPULATION
+
+
+@pytest.mark.benchmark(group="E1-compliance-check")
+def test_compliance_replay_speed(benchmark, population):
+    """Trace-replay compliance (the general criterion) over the same population."""
+    instances, _, schema_v2 = population
+    checker = ComplianceChecker()
+
+    def run():
+        return [checker.check_by_replay(i, schema_v2).compliant for i in instances]
+
+    decisions = benchmark(run)
+    assert len(decisions) == POPULATION
+
+
+def test_methods_agree_and_report_speedup(benchmark, population):
+    """Both criteria classify every instance identically (and we record the speedup)."""
+    import time
+
+    instances, delta_t, schema_v2 = population
+    checker = ComplianceChecker()
+
+    def compare():
+        started = time.perf_counter()
+        conditions = [
+            checker.check_with_conditions(i, delta_t.operations).compliant for i in instances
+        ]
+        conditions_elapsed = time.perf_counter() - started
+        started = time.perf_counter()
+        replay = [checker.check_by_replay(i, schema_v2).compliant for i in instances]
+        replay_elapsed = time.perf_counter() - started
+        return conditions, conditions_elapsed, replay, replay_elapsed
+
+    by_conditions, conditions_seconds, by_replay, replay_seconds = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+
+    agreement = sum(1 for a, b in zip(by_conditions, by_replay) if a == b) / len(instances)
+    assert agreement == 1.0
+    speedup = replay_seconds / conditions_seconds if conditions_seconds else float("inf")
+    assert speedup > 2.0, f"expected the per-operation conditions to be faster (speedup={speedup:.1f})"
+    write_rows(
+        "E1_fig1",
+        f"E1 — efficient compliance conditions vs. trace replay ({POPULATION} instances)",
+        [
+            {
+                "method": "per-operation conditions",
+                "seconds": f"{conditions_seconds:.4f}",
+                "compliant": sum(by_conditions),
+                "agreement": "100%",
+            },
+            {
+                "method": "trace replay (baseline)",
+                "seconds": f"{replay_seconds:.4f}",
+                "compliant": sum(by_replay),
+                "agreement": "100%",
+            },
+            {
+                "method": "speedup",
+                "seconds": f"{speedup:.1f}x",
+                "compliant": "",
+                "agreement": "",
+            },
+        ],
+    )

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""E-health scenario: ad-hoc deviations in a patient treatment process.
+
+The paper cites e-health as one of the domains its research partners used
+ADEPT2 for.  Clinical pathways are the classic motivation for ad-hoc
+changes: an individual patient needs an extra examination, a planned step
+must be skipped, or an additional safety check has to happen before an
+intervention.  This example shows all three on a running treatment case,
+with worklists resolved through the organisational model — and shows the
+system rejecting an unsafe deviation (deleting an activity whose data a
+later step still needs).
+
+Run with ``python examples/ehealth_adhoc.py``.
+"""
+
+from repro import (
+    AdHocChangeError,
+    AdHocChanger,
+    DeleteActivity,
+    InsertSyncEdge,
+    Node,
+    ProcessEngine,
+    SerialInsertActivity,
+    WorklistManager,
+)
+from repro.monitoring import InstanceMonitor
+from repro.org.model import example_org_model
+from repro.schema import templates
+
+
+def main() -> None:
+    schema = templates.patient_treatment_process()
+    org_model = example_org_model()
+    engine = ProcessEngine()
+    worklists = WorklistManager(engine, org_model=org_model)
+    changer = AdHocChanger(engine)
+
+    case = engine.create_instance(schema, "patient-4711")
+    worklists.register_instance(case)
+
+    print("=== admission through the worklist ===")
+    nurse_items = worklists.worklist_for("erik")  # erik is a nurse
+    print("erik's worklist:", [str(item) for item in nurse_items])
+    item = worklists.claim(nurse_items[0].item_id, "erik")
+    worklists.complete(item.item_id, outputs={"patient": {"name": "Jane Doe", "age": 54}})
+
+    print()
+    print("=== ad-hoc change 1: an extra lab test before treatment ===")
+    lab_test = Node(node_id="order_lab_test", name="order lab test", staff_assignment="physician")
+    changer.apply(
+        case,
+        [SerialInsertActivity(activity=lab_test, pred="examine_patient", succ="perform_treatment")],
+        comment="suspicious blood values",
+    )
+    print(InstanceMonitor(case).bias_view())
+
+    print()
+    print("=== execute the treatment cycle (one iteration) ===")
+    engine.complete_activity(case, "examine_patient", outputs={"diagnosis": "appendicitis"})
+    engine.complete_activity(case, "order_lab_test")
+    engine.complete_activity(case, "perform_treatment", outputs={"cured": True})
+
+    print()
+    print("=== ad-hoc change 2: a safety check that must precede surgery scheduling ===")
+    safety = Node(node_id="anesthesia_check", name="anesthesia consultation", staff_assignment="physician")
+    xor_join = case.execution_schema.successors("schedule_surgery")[0]
+    changer.apply(
+        case,
+        [
+            SerialInsertActivity(activity=safety, pred="schedule_surgery", succ=xor_join),
+        ],
+        comment="patient has a known anesthesia risk",
+    )
+    print(InstanceMonitor(case).bias_view())
+
+    print()
+    print("=== unsafe deviation is rejected ===")
+    try:
+        changer.apply(case, [DeleteActivity(activity_id="discharge_patient")])
+    except AdHocChangeError as error:
+        print("rejected as expected:", error)
+
+    try:
+        # examine_patient already completed -> deleting it would rewrite history
+        changer.apply(case, [DeleteActivity(activity_id="examine_patient")])
+    except AdHocChangeError as error:
+        print("rejected as expected:", "; ".join(str(c) for c in error.conflicts))
+
+    print()
+    print("=== drive the case to completion ===")
+    engine.run_to_completion(case)
+    print(InstanceMonitor(case).progress_line())
+    print()
+    print(InstanceMonitor(case).history_view(reduced=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in
+environments whose setuptools/pip combination cannot build PEP 660
+editable wheels (``pip install -e .`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,178 @@
+"""repro — a reproduction of "Adaptive Process Management with ADEPT2" (ICDE 2005).
+
+An adaptive process-management system in pure Python: block-structured
+process schemas (WSM nets) with buildtime verification, an execution
+engine with markings / histories / worklists, correctness-preserving
+ad-hoc instance changes, schema evolution with compliance-checked
+on-the-fly instance migration, hybrid instance storage (substitution
+blocks), an organisational model, a simulated distributed runtime and a
+monitoring component.
+
+Quickstart::
+
+    from repro import (
+        SchemaBuilder, ProcessEngine, ProcessType, TypeChange,
+        SerialInsertActivity, MigrationManager,
+    )
+
+    builder = SchemaBuilder("orders", name="orders")
+    builder.activity("receive").activity("ship")
+    schema = builder.build()
+
+    engine = ProcessEngine()
+    instance = engine.create_instance(schema, "case-1")
+    engine.complete_activity(instance, "receive")
+
+See ``examples/`` for complete scenarios, including the paper's Fig. 1
+and Fig. 3 migration demonstrations.
+"""
+
+from repro.schema import (
+    DataAccess,
+    DataEdge,
+    DataElement,
+    DataType,
+    Edge,
+    EdgeType,
+    Node,
+    NodeType,
+    ProcessSchema,
+    SchemaBuilder,
+    SchemaError,
+    templates,
+)
+from repro.verification import SchemaVerifier, VerificationReport, verify_schema
+from repro.runtime import (
+    EdgeState,
+    EngineError,
+    EventLog,
+    EventType,
+    ExecutionHistory,
+    InstanceStatus,
+    Marking,
+    NodeState,
+    ProcessEngine,
+    ProcessInstance,
+    WorklistManager,
+)
+from repro.core import (
+    AdHocChangeError,
+    AdHocChanger,
+    AddDataEdge,
+    AddDataElement,
+    ChangeActivityAttributes,
+    ChangeLog,
+    ChangeOperation,
+    ComplianceChecker,
+    ComplianceResult,
+    ConditionalInsertActivity,
+    Conflict,
+    ConflictKind,
+    DeleteActivity,
+    DeleteDataEdge,
+    DeleteDataElement,
+    DeleteSyncEdge,
+    InsertSyncEdge,
+    InstanceMigrationResult,
+    MigrationManager,
+    MigrationOutcome,
+    MigrationReport,
+    MoveActivity,
+    OperationError,
+    ParallelInsertActivity,
+    ProcessType,
+    SerialInsertActivity,
+    StateAdapter,
+    SubstitutionBlock,
+    TypeChange,
+)
+from repro.storage import (
+    FullCopyRepresentation,
+    HybridSubstitutionRepresentation,
+    InstanceStore,
+    MaterializeOnAccessRepresentation,
+    SchemaRepository,
+)
+from repro.org import OrgModel, OrgUnit, Role, StaffAssignmentResolver, User
+from repro.monitoring import InstanceMonitor, render_migration_report, render_schema_ascii
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # schema
+    "Node",
+    "NodeType",
+    "Edge",
+    "EdgeType",
+    "DataElement",
+    "DataEdge",
+    "DataAccess",
+    "DataType",
+    "ProcessSchema",
+    "SchemaBuilder",
+    "SchemaError",
+    "templates",
+    # verification
+    "SchemaVerifier",
+    "VerificationReport",
+    "verify_schema",
+    # runtime
+    "ProcessEngine",
+    "ProcessInstance",
+    "Marking",
+    "ExecutionHistory",
+    "NodeState",
+    "EdgeState",
+    "InstanceStatus",
+    "EngineError",
+    "EventLog",
+    "EventType",
+    "WorklistManager",
+    # core change framework
+    "ChangeOperation",
+    "OperationError",
+    "SerialInsertActivity",
+    "ParallelInsertActivity",
+    "ConditionalInsertActivity",
+    "DeleteActivity",
+    "MoveActivity",
+    "InsertSyncEdge",
+    "DeleteSyncEdge",
+    "AddDataElement",
+    "DeleteDataElement",
+    "AddDataEdge",
+    "DeleteDataEdge",
+    "ChangeActivityAttributes",
+    "ChangeLog",
+    "SubstitutionBlock",
+    "ComplianceChecker",
+    "ComplianceResult",
+    "Conflict",
+    "ConflictKind",
+    "StateAdapter",
+    "ProcessType",
+    "TypeChange",
+    "MigrationManager",
+    "MigrationOutcome",
+    "MigrationReport",
+    "InstanceMigrationResult",
+    "AdHocChanger",
+    "AdHocChangeError",
+    # storage
+    "SchemaRepository",
+    "InstanceStore",
+    "FullCopyRepresentation",
+    "MaterializeOnAccessRepresentation",
+    "HybridSubstitutionRepresentation",
+    # org
+    "OrgModel",
+    "OrgUnit",
+    "Role",
+    "User",
+    "StaffAssignmentResolver",
+    # monitoring
+    "InstanceMonitor",
+    "render_schema_ascii",
+    "render_migration_report",
+    "__version__",
+]

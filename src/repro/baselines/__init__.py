@@ -1,0 +1,27 @@
+"""Baselines the paper's approach is compared against.
+
+* Non-adaptive process management policies (keep instances on the old
+  schema forever, or abort and restart them) — what systems without
+  correctness-preserving migration have to do.
+* Full trace-replay compliance checking — the general criterion used as
+  the slow comparator for the per-operation conditions.
+* Per-instance full-copy / materialise-on-the-fly storage — the two
+  representations the hybrid substitution block is compared with
+  (defined in :mod:`repro.storage.representations`, re-exported here).
+"""
+
+from repro.baselines.nonadaptive import (
+    AbortRestartPolicy,
+    NonAdaptivePolicyResult,
+    StayOnOldVersionPolicy,
+)
+from repro.baselines.replay_compliance import ReplayComplianceBaseline
+from repro.baselines.storage_baselines import compare_representations
+
+__all__ = [
+    "StayOnOldVersionPolicy",
+    "AbortRestartPolicy",
+    "NonAdaptivePolicyResult",
+    "ReplayComplianceBaseline",
+    "compare_representations",
+]

@@ -1,0 +1,114 @@
+"""Non-adaptive baseline policies for handling process type changes.
+
+Workflow systems without correctness-preserving instance migration have
+two options when the business process changes:
+
+* **stay on the old version** — running instances finish on the outdated
+  schema; only newly created instances follow the new process (the change
+  takes weeks or months to become effective for long-running processes);
+* **abort and restart** — running instances are cancelled and restarted
+  on the new schema; the new process applies immediately but all work
+  performed so far is lost (and has to be redone).
+
+Benchmark A3 contrasts both with ADEPT2's migration: migration moves the
+compliant majority to the new version *and* preserves every completed
+activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.runtime.engine import ProcessEngine
+from repro.runtime.instance import ProcessInstance
+from repro.schema.graph import ProcessSchema
+
+
+@dataclass
+class NonAdaptivePolicyResult:
+    """What a policy did to a population of running instances."""
+
+    policy: str
+    total_instances: int = 0
+    on_new_version: int = 0
+    on_old_version: int = 0
+    completed_work_before: int = 0
+    completed_work_preserved: int = 0
+    aborted_instances: int = 0
+
+    @property
+    def work_preserved_fraction(self) -> float:
+        """Fraction of already-completed activities that survived the policy."""
+        if self.completed_work_before == 0:
+            return 1.0
+        return self.completed_work_preserved / self.completed_work_before
+
+    @property
+    def new_version_fraction(self) -> float:
+        """Fraction of instances that end up on the new schema version."""
+        if self.total_instances == 0:
+            return 0.0
+        return self.on_new_version / self.total_instances
+
+    def summary(self) -> str:
+        return (
+            f"{self.policy}: {self.on_new_version}/{self.total_instances} on the new version, "
+            f"{self.work_preserved_fraction:.0%} of completed work preserved, "
+            f"{self.aborted_instances} instance(s) aborted"
+        )
+
+
+class StayOnOldVersionPolicy:
+    """Leave every running instance on its current (old) schema version."""
+
+    name = "stay_on_old_version"
+
+    def apply(
+        self,
+        instances: Iterable[ProcessInstance],
+        new_schema: ProcessSchema,
+        engine: Optional[ProcessEngine] = None,
+    ) -> NonAdaptivePolicyResult:
+        result = NonAdaptivePolicyResult(policy=self.name)
+        for instance in instances:
+            completed = len(instance.completed_activities())
+            result.total_instances += 1
+            result.completed_work_before += completed
+            result.completed_work_preserved += completed
+            result.on_old_version += 1
+        return result
+
+
+class AbortRestartPolicy:
+    """Abort every running instance and restart it on the new schema version."""
+
+    name = "abort_and_restart"
+
+    def apply(
+        self,
+        instances: Iterable[ProcessInstance],
+        new_schema: ProcessSchema,
+        engine: Optional[ProcessEngine] = None,
+    ) -> NonAdaptivePolicyResult:
+        engine = engine or ProcessEngine()
+        result = NonAdaptivePolicyResult(policy=self.name)
+        restarted: List[ProcessInstance] = []
+        for instance in instances:
+            completed = len(instance.completed_activities())
+            result.total_instances += 1
+            result.completed_work_before += completed
+            if instance.status.is_active:
+                engine.abort_instance(instance)
+                result.aborted_instances += 1
+                replacement = engine.create_instance(
+                    new_schema, f"{instance.instance_id}__restart"
+                )
+                restarted.append(replacement)
+                result.on_new_version += 1
+                # the restarted instance begins from scratch: no work preserved
+            else:
+                result.completed_work_preserved += completed
+                result.on_old_version += 1
+        self.restarted_instances = restarted
+        return result

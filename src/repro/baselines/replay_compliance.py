@@ -1,0 +1,33 @@
+"""Trace-replay compliance checking as an explicit baseline.
+
+The efficient per-operation compliance conditions are the paper's
+contribution; the general criterion they approximate is "can the
+instance's (reduced) trace be produced on the changed schema?".  This
+thin wrapper gives the replay criterion a first-class name so benchmarks
+E1 and A1 can compare both under the same interface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.compliance import ComplianceChecker, ComplianceResult
+from repro.runtime.engine import ProcessEngine
+from repro.runtime.instance import ProcessInstance
+from repro.schema.graph import ProcessSchema
+
+
+class ReplayComplianceBaseline:
+    """Compliance decided purely by replaying the reduced history."""
+
+    name = "trace_replay"
+
+    def __init__(self, engine: Optional[ProcessEngine] = None) -> None:
+        self._checker = ComplianceChecker(engine=engine or ProcessEngine())
+
+    def check(self, instance: ProcessInstance, target_schema: ProcessSchema) -> ComplianceResult:
+        """Replay the instance's reduced history on ``target_schema``."""
+        return self._checker.check_by_replay(instance, target_schema)
+
+    def is_compliant(self, instance: ProcessInstance, target_schema: ProcessSchema) -> bool:
+        return self.check(instance, target_schema).compliant

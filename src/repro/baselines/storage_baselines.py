@@ -1,0 +1,84 @@
+"""Comparison harness for the instance storage representations.
+
+The three representations (full copy, materialise on access, hybrid
+substitution block) are implemented in
+:mod:`repro.storage.representations`; this module measures them side by
+side over the same instance population — persisted bytes, per-instance
+schema payload and access (load) latency — which is what benchmark E2
+reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.runtime.instance import ProcessInstance
+from repro.storage.instance_store import InstanceStore
+from repro.storage.repository import SchemaRepository
+from repro.storage.representations import (
+    FullCopyRepresentation,
+    HybridSubstitutionRepresentation,
+    MaterializeOnAccessRepresentation,
+    RepresentationStrategy,
+)
+
+
+@dataclass
+class RepresentationComparison:
+    """Measured numbers for one representation over one population."""
+
+    strategy: str
+    instance_count: int
+    total_bytes: int
+    schema_payload_bytes: int
+    mean_bytes_per_instance: float
+    load_seconds: float
+
+    def row(self) -> Dict[str, str]:
+        """A printable table row (used by benchmark E2)."""
+        return {
+            "strategy": self.strategy,
+            "instances": str(self.instance_count),
+            "total_kb": f"{self.total_bytes / 1024:.1f}",
+            "schema_payload_kb": f"{self.schema_payload_bytes / 1024:.1f}",
+            "bytes_per_instance": f"{self.mean_bytes_per_instance:.0f}",
+            "load_seconds": f"{self.load_seconds:.4f}",
+        }
+
+
+def compare_representations(
+    repository: SchemaRepository,
+    instances: Sequence[ProcessInstance],
+    strategies: Optional[Iterable[RepresentationStrategy]] = None,
+    load_rounds: int = 1,
+) -> List[RepresentationComparison]:
+    """Store the same population under every strategy and measure it."""
+    if strategies is None:
+        strategies = (
+            FullCopyRepresentation(),
+            MaterializeOnAccessRepresentation(),
+            HybridSubstitutionRepresentation(),
+        )
+    comparisons: List[RepresentationComparison] = []
+    for strategy in strategies:
+        store = InstanceStore(repository, strategy=strategy)
+        stored = store.save_all(instances)
+        started = time.perf_counter()
+        for _ in range(load_rounds):
+            store.load_all()
+        load_seconds = time.perf_counter() - started
+        total_bytes = store.total_bytes()
+        schema_payload = sum(record.schema_payload_bytes for record in stored)
+        comparisons.append(
+            RepresentationComparison(
+                strategy=strategy.name,
+                instance_count=len(stored),
+                total_bytes=total_bytes,
+                schema_payload_bytes=schema_payload,
+                mean_bytes_per_instance=total_bytes / len(stored) if stored else 0.0,
+                load_seconds=load_seconds,
+            )
+        )
+    return comparisons

@@ -1,0 +1,186 @@
+"""Command line interface of the ADEPT2 reproduction.
+
+Installed as ``adept2-repro`` (see ``pyproject.toml``); also runnable via
+``python -m repro.cli``.  The CLI exposes the library's most useful
+entry points without writing any code:
+
+* ``templates`` — list the bundled process templates;
+* ``verify`` — run buildtime verification over a schema JSON file or a
+  bundled template;
+* ``render`` — print a schema as ASCII or Graphviz DOT;
+* ``simulate`` — create and execute instances of a template;
+* ``demo-fig1`` — rerun the paper's Fig. 1 migration example;
+* ``demo-fig3`` — evolve the online-order type against a population of
+  running instances and print the migration report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.migration import MigrationManager
+from repro.monitoring.render import render_schema_ascii, render_schema_dot
+from repro.monitoring.report import render_migration_report
+from repro.monitoring.statistics import PopulationStatistics
+from repro.runtime.engine import ProcessEngine
+from repro.schema import templates
+from repro.schema.graph import ProcessSchema
+from repro.schema.serialization import load_schema
+from repro.verification.verifier import SchemaVerifier
+from repro.workloads.order_process import (
+    order_type_change_v2,
+    paper_fig1_scenario,
+    paper_fig3_population,
+)
+
+_TEMPLATE_FACTORIES = {
+    "online_order": templates.online_order_process,
+    "patient_treatment": templates.patient_treatment_process,
+    "container_transport": templates.container_transport_process,
+    "credit_application": templates.credit_application_process,
+    "sequence": templates.sequential_process,
+    "loop_process": templates.loop_process,
+}
+
+
+def _resolve_schema(source: str) -> ProcessSchema:
+    """Interpret ``source`` as a bundled template name or a schema JSON file."""
+    if source in _TEMPLATE_FACTORIES:
+        return _TEMPLATE_FACTORIES[source]()
+    return load_schema(source)
+
+
+# --------------------------------------------------------------------------- #
+# sub-commands
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_templates(args: argparse.Namespace) -> int:
+    print("bundled process templates:")
+    for name, factory in _TEMPLATE_FACTORIES.items():
+        schema = factory()
+        nodes, edges, elements, data_edges = schema.size()
+        print(
+            f"  {name:<22} {len(schema.activity_ids()):>3} activities, "
+            f"{nodes:>3} nodes, {edges:>3} edges, {elements:>2} data elements"
+        )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    schema = _resolve_schema(args.schema)
+    verifier = SchemaVerifier(check_soundness=args.soundness)
+    report = verifier.verify(schema)
+    print(report.summary())
+    return 0 if report.is_correct else 1
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    schema = _resolve_schema(args.schema)
+    if args.format == "dot":
+        print(render_schema_dot(schema))
+    else:
+        print(render_schema_ascii(schema))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    schema = _resolve_schema(args.schema)
+    engine = ProcessEngine()
+    instances = []
+    for index in range(args.instances):
+        instance = engine.create_instance(schema, f"sim-{index:04d}")
+        engine.run_to_completion(instance)
+        instances.append(instance)
+    stats = PopulationStatistics.collect(instances)
+    print(f"simulated {args.instances} instance(s) of {schema.name!r}")
+    print(stats.summary())
+    if instances and args.show_history:
+        from repro.monitoring.monitor import InstanceMonitor
+
+        print()
+        print(InstanceMonitor(instances[0]).history_view(reduced=True))
+    return 0
+
+
+def _cmd_demo_fig1(args: argparse.Namespace) -> int:
+    scenario = paper_fig1_scenario()
+    print(scenario.type_change.describe())
+    print()
+    report = MigrationManager(scenario.engine).migrate_type(
+        scenario.process_type, scenario.type_change, scenario.instances
+    )
+    print(render_migration_report(report))
+    return 0
+
+
+def _cmd_demo_fig3(args: argparse.Namespace) -> int:
+    process_type, engine, instances = paper_fig3_population(
+        instance_count=args.instances, biased_fraction=args.biased_fraction, seed=args.seed
+    )
+    print("population before the type change:")
+    print(PopulationStatistics.collect(instances).summary())
+    print()
+    manager = MigrationManager(engine, rollback_on_state_conflict=args.rollback)
+    report = manager.migrate_type(process_type, order_type_change_v2(), instances)
+    print(report.summary())
+    if report.duration_seconds:
+        print(f"throughput: {report.total / report.duration_seconds:.0f} instances/second")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="adept2-repro",
+        description="Adaptive process management with ADEPT2 (reproduction) — command line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("templates", help="list the bundled process templates")
+    sub.set_defaults(handler=_cmd_templates)
+
+    sub = subparsers.add_parser("verify", help="verify a schema (template name or JSON file)")
+    sub.add_argument("schema", help="template name or path to a schema JSON file")
+    sub.add_argument("--soundness", action="store_true", help="also run the soundness exploration")
+    sub.set_defaults(handler=_cmd_verify)
+
+    sub = subparsers.add_parser("render", help="render a schema as ASCII or Graphviz DOT")
+    sub.add_argument("schema", help="template name or path to a schema JSON file")
+    sub.add_argument("--format", choices=("ascii", "dot"), default="ascii")
+    sub.set_defaults(handler=_cmd_render)
+
+    sub = subparsers.add_parser("simulate", help="execute instances of a schema to completion")
+    sub.add_argument("schema", help="template name or path to a schema JSON file")
+    sub.add_argument("--instances", type=int, default=5)
+    sub.add_argument("--show-history", action="store_true", help="print the history of the first instance")
+    sub.set_defaults(handler=_cmd_simulate)
+
+    sub = subparsers.add_parser("demo-fig1", help="rerun the paper's Fig. 1 migration example")
+    sub.set_defaults(handler=_cmd_demo_fig1)
+
+    sub = subparsers.add_parser("demo-fig3", help="evolve the order process against a running population")
+    sub.add_argument("--instances", type=int, default=500)
+    sub.add_argument("--biased-fraction", type=float, default=0.1)
+    sub.add_argument("--seed", type=int, default=7)
+    sub.add_argument("--rollback", action="store_true", help="compensate blocking activities (A6 policy)")
+    sub.set_defaults(handler=_cmd_demo_fig3)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by the ``adept2-repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""The ADEPT2 change framework — the paper's primary contribution.
+
+This package implements
+
+* the complete set of high-level **change operations** with pre/post
+  conditions and per-operation compliance conditions
+  (:mod:`repro.core.operations`),
+* **change logs** (instance bias) and minimal **substitution blocks**
+  (:mod:`repro.core.changelog`, :mod:`repro.core.substitution`),
+* the **compliance criterion** based on relaxed trace equivalence plus
+  the efficient per-operation checks (:mod:`repro.core.compliance`),
+* state-related / structural / semantic **conflict detection** for the
+  interplay of concurrent type and instance changes
+  (:mod:`repro.core.conflicts`),
+* **state adaptation** of markings when instances migrate
+  (:mod:`repro.core.state_adaptation`),
+* **schema evolution** (process types and versions,
+  :mod:`repro.core.evolution`) and the **migration manager** producing
+  the paper's migration report (:mod:`repro.core.migration`),
+* **ad-hoc changes** of single running instances (:mod:`repro.core.adhoc`).
+"""
+
+from repro.core.conflicts import Conflict, ConflictKind
+from repro.core.operations import (
+    AddDataEdge,
+    AddDataElement,
+    ChangeActivityAttributes,
+    ChangeOperation,
+    ConditionalInsertActivity,
+    DeleteActivity,
+    DeleteDataEdge,
+    DeleteDataElement,
+    DeleteSyncEdge,
+    InsertSyncEdge,
+    MoveActivity,
+    OperationError,
+    ParallelInsertActivity,
+    SerialInsertActivity,
+    operation_from_dict,
+)
+from repro.core.changelog import ChangeLog
+from repro.core.substitution import SubstitutionBlock
+from repro.core.compliance import ComplianceChecker, ComplianceResult
+from repro.core.state_adaptation import StateAdapter
+from repro.core.evolution import ProcessType, TypeChange
+from repro.core.migration import (
+    InstanceMigrationResult,
+    MigrationManager,
+    MigrationOutcome,
+    MigrationReport,
+)
+from repro.core.adhoc import AdHocChangeError, AdHocChanger
+from repro.core.rollback import RollbackError, RollbackManager, RollbackPlan, RollbackPlanner
+
+__all__ = [
+    "Conflict",
+    "ConflictKind",
+    "ChangeOperation",
+    "OperationError",
+    "SerialInsertActivity",
+    "ParallelInsertActivity",
+    "ConditionalInsertActivity",
+    "DeleteActivity",
+    "MoveActivity",
+    "InsertSyncEdge",
+    "DeleteSyncEdge",
+    "AddDataElement",
+    "DeleteDataElement",
+    "AddDataEdge",
+    "DeleteDataEdge",
+    "ChangeActivityAttributes",
+    "operation_from_dict",
+    "ChangeLog",
+    "SubstitutionBlock",
+    "ComplianceChecker",
+    "ComplianceResult",
+    "StateAdapter",
+    "ProcessType",
+    "TypeChange",
+    "MigrationManager",
+    "MigrationOutcome",
+    "MigrationReport",
+    "InstanceMigrationResult",
+    "AdHocChanger",
+    "AdHocChangeError",
+    "RollbackManager",
+    "RollbackPlanner",
+    "RollbackPlan",
+    "RollbackError",
+]

@@ -1,0 +1,190 @@
+"""Ad-hoc changes of single running process instances.
+
+ADEPT2 "supports different kinds of ad-hoc deviations from the pre-modeled
+process template (e.g., to insert, delete, or shift activities)" that
+"do not lead to an unstable system behaviour".  The :class:`AdHocChanger`
+enforces exactly that:
+
+1. the operations' schema preconditions must hold on the instance's
+   current execution schema,
+2. the resulting instance-specific schema must pass buildtime
+   verification (no deadlock-causing cycles, no broken data flow),
+3. the instance's state must be compliant with the change (per-operation
+   conditions), and
+4. the marking is adapted so the instance keeps running seamlessly.
+
+Applied operations are appended to the instance's bias (change log); the
+substitution block for storage purposes is derived from it by the storage
+layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.core.changelog import ChangeLog
+from repro.core.compliance import ComplianceChecker
+from repro.core.conflicts import Conflict, structural_conflict
+from repro.core.operations import ChangeOperation, OperationError
+from repro.core.state_adaptation import StateAdapter
+from repro.runtime.engine import ProcessEngine
+from repro.runtime.events import EngineEvent, EventLog, EventType
+from repro.runtime.instance import ProcessInstance
+from repro.schema.graph import ProcessSchema, SchemaError
+from repro.verification.verifier import SchemaVerifier
+
+
+class AdHocChangeError(Exception):
+    """Raised when an ad-hoc change cannot be applied safely."""
+
+    def __init__(self, message: str, conflicts: Optional[Sequence[Conflict]] = None) -> None:
+        super().__init__(message)
+        self.conflicts: List[Conflict] = list(conflicts or [])
+
+
+@dataclass
+class AdHocChangeResult:
+    """Outcome of a successfully applied ad-hoc change."""
+
+    instance_id: str
+    applied: ChangeLog
+    new_execution_schema: ProcessSchema
+    conflicts: List[Conflict] = field(default_factory=list)
+
+    @property
+    def operation_count(self) -> int:
+        return len(self.applied)
+
+
+class AdHocChanger:
+    """Applies ad-hoc changes to single running instances."""
+
+    def __init__(
+        self,
+        engine: Optional[ProcessEngine] = None,
+        compliance_method: str = "conditions",
+        event_log: Optional[EventLog] = None,
+        authorization: Optional[object] = None,
+    ) -> None:
+        self.engine = engine or ProcessEngine()
+        self.event_log = event_log or self.engine.event_log
+        self.compliance_method = compliance_method
+        self.checker = ComplianceChecker(engine=ProcessEngine())
+        self.adapter = StateAdapter(engine=ProcessEngine())
+        self.verifier = SchemaVerifier()
+        #: optional :class:`repro.org.authorization.ChangeAuthorization` policy
+        self.authorization = authorization
+
+    # ------------------------------------------------------------------ #
+
+    def apply(
+        self,
+        instance: ProcessInstance,
+        change: Union[ChangeLog, Sequence[ChangeOperation]],
+        comment: str = "",
+        user: Optional[str] = None,
+    ) -> AdHocChangeResult:
+        """Apply an ad-hoc change to ``instance`` or raise :class:`AdHocChangeError`.
+
+        When the changer was constructed with an authorization policy, the
+        acting ``user`` must be permitted to change instances ad hoc.
+        """
+        if self.authorization is not None:
+            from repro.org.authorization import AuthorizationError
+
+            try:
+                self.authorization.require_instance_change(user)
+            except AuthorizationError as exc:
+                self._emit_rejected(instance, "not authorised")
+                raise AdHocChangeError(str(exc)) from exc
+        if not instance.status.is_active:
+            raise AdHocChangeError(
+                f"instance {instance.instance_id!r} is {instance.status.value}; "
+                "only running instances can be changed ad hoc"
+            )
+        change_log = change if isinstance(change, ChangeLog) else ChangeLog(change, comment=comment)
+        if not change_log:
+            raise AdHocChangeError("the ad-hoc change contains no operations")
+
+        # 1 + 2: schema preconditions and buildtime verification of the result
+        try:
+            new_execution_schema = change_log.apply_to(instance.execution_schema, check=True)
+        except (OperationError, SchemaError) as exc:
+            conflict = structural_conflict(f"the change cannot be applied to the instance schema: {exc}")
+            self._emit_rejected(instance, str(exc))
+            raise AdHocChangeError(str(exc), conflicts=[conflict]) from exc
+        new_execution_schema.schema_id = f"{instance.original_schema.schema_id}+{instance.instance_id}"
+        report = self.verifier.verify(new_execution_schema)
+        if not report.is_correct:
+            conflicts = [
+                structural_conflict(str(issue), nodes=tuple(issue.nodes)) for issue in report.errors
+            ]
+            self._emit_rejected(instance, "verification failed")
+            raise AdHocChangeError(
+                "the changed instance schema fails verification:\n" + report.summary(),
+                conflicts=conflicts,
+            )
+
+        # 3: state compliance of the running instance with the change
+        compliance = self.checker.check(
+            instance,
+            change_log,
+            target_schema=new_execution_schema,
+            method=self.compliance_method,
+        )
+        if not compliance.compliant:
+            self._emit_rejected(instance, "state conflicts")
+            raise AdHocChangeError(
+                "the instance state does not allow this ad-hoc change: " + compliance.summary(),
+                conflicts=compliance.conflicts,
+            )
+
+        # 4: adapt the marking and commit the bias
+        adapted_marking = self.adapter.adapt(instance, new_execution_schema)
+        combined_bias = (
+            instance.bias.compose(change_log) if isinstance(instance.bias, ChangeLog) else change_log
+        )
+        for operation in change_log:
+            supplied = getattr(operation, "supply_values", None)
+            if supplied:
+                for element, value in supplied.items():
+                    instance.data.supply(element, value)
+        instance.marking = adapted_marking
+        instance.set_bias(combined_bias, new_execution_schema)
+        self.event_log.append(
+            EngineEvent(
+                event_type=EventType.ADHOC_CHANGE_APPLIED,
+                instance_id=instance.instance_id,
+                details=f"{len(change_log)} operation(s)" + (f": {comment}" if comment else ""),
+            )
+        )
+        return AdHocChangeResult(
+            instance_id=instance.instance_id,
+            applied=change_log,
+            new_execution_schema=new_execution_schema,
+        )
+
+    def try_apply(
+        self,
+        instance: ProcessInstance,
+        change: Union[ChangeLog, Sequence[ChangeOperation]],
+        comment: str = "",
+        user: Optional[str] = None,
+    ) -> Optional[AdHocChangeResult]:
+        """Like :meth:`apply` but returns ``None`` instead of raising."""
+        try:
+            return self.apply(instance, change, comment=comment, user=user)
+        except AdHocChangeError:
+            return None
+
+    # ------------------------------------------------------------------ #
+
+    def _emit_rejected(self, instance: ProcessInstance, reason: str) -> None:
+        self.event_log.append(
+            EngineEvent(
+                event_type=EventType.ADHOC_CHANGE_REJECTED,
+                instance_id=instance.instance_id,
+                details=reason,
+            )
+        )

@@ -1,0 +1,482 @@
+"""Instance migration: propagating type changes to running instances.
+
+This module implements the paper's migration process (Figs. 1 and 3):
+after a type change ΔT has been released as a new schema version, every
+running instance of the type is checked and — if possible — migrated
+on-the-fly:
+
+* **unbiased** instances are checked against the per-operation compliance
+  conditions (or the replay criterion); compliant ones get their marking
+  adapted and are re-linked to the new version, non-compliant ones remain
+  on the old version and simply keep running (state-related conflict,
+  instance I3 in Fig. 1);
+* **biased** instances (with ad-hoc modifications) additionally undergo
+  semantic-overlap and structural checks: if applying ΔT to their
+  instance-specific schema would produce an incorrect schema (e.g. a
+  deadlock-causing cycle, instance I2 in Fig. 1) they stay on the old
+  version with a structural conflict; otherwise bias and type change are
+  combined and the instance migrates while keeping its bias.
+
+The outcome of a migration run is a :class:`MigrationReport` that mirrors
+the report of the paper's monitoring component.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.changelog import ChangeLog
+from repro.core.compliance import ComplianceChecker
+from repro.core.conflicts import Conflict, ConflictKind, semantic_conflict, structural_conflict
+from repro.core.evolution import ProcessType, TypeChange
+from repro.core.operations import OperationError
+from repro.core.state_adaptation import StateAdapter
+from repro.runtime.engine import ProcessEngine
+from repro.runtime.events import EngineEvent, EventLog, EventType
+from repro.runtime.instance import ProcessInstance
+from repro.schema.graph import ProcessSchema, SchemaError
+from repro.verification.verifier import SchemaVerifier
+
+
+class MigrationOutcome(str, Enum):
+    """Per-instance result of a migration attempt."""
+
+    MIGRATED = "migrated"
+    MIGRATED_WITH_BIAS = "migrated_with_bias"
+    MIGRATED_WITH_ROLLBACK = "migrated_with_rollback"
+    STATE_CONFLICT = "state_conflict"
+    STRUCTURAL_CONFLICT = "structural_conflict"
+    SEMANTIC_CONFLICT = "semantic_conflict"
+    DATA_CONFLICT = "data_conflict"
+    FINISHED = "finished"
+
+    @property
+    def migrated(self) -> bool:
+        return self in (
+            MigrationOutcome.MIGRATED,
+            MigrationOutcome.MIGRATED_WITH_BIAS,
+            MigrationOutcome.MIGRATED_WITH_ROLLBACK,
+        )
+
+
+@dataclass
+class InstanceMigrationResult:
+    """Result of migrating (or refusing to migrate) one instance."""
+
+    instance_id: str
+    outcome: MigrationOutcome
+    conflicts: List[Conflict] = field(default_factory=list)
+    was_biased: bool = False
+    duration_seconds: float = 0.0
+
+    @property
+    def migrated(self) -> bool:
+        return self.outcome.migrated
+
+    def describe(self) -> str:
+        line = f"{self.instance_id}: {self.outcome.value}"
+        if self.was_biased:
+            line += " (ad-hoc modified)"
+        if self.conflicts:
+            line += " — " + "; ".join(str(conflict) for conflict in self.conflicts)
+        return line
+
+
+@dataclass
+class MigrationReport:
+    """Summary of one migration run over all instances of a process type."""
+
+    process_type: str
+    from_version: int
+    to_version: int
+    results: List[InstanceMigrationResult] = field(default_factory=list)
+    duration_seconds: float = 0.0
+
+    def add(self, result: InstanceMigrationResult) -> None:
+        self.results.append(result)
+
+    # -- aggregate views -------------------------------------------------- #
+
+    def count(self, outcome: MigrationOutcome) -> int:
+        return sum(1 for result in self.results if result.outcome is outcome)
+
+    @property
+    def migrated_count(self) -> int:
+        return sum(1 for result in self.results if result.migrated)
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def migrated_instances(self) -> List[str]:
+        return [result.instance_id for result in self.results if result.migrated]
+
+    @property
+    def non_compliant_instances(self) -> List[str]:
+        return [
+            result.instance_id
+            for result in self.results
+            if not result.migrated and result.outcome is not MigrationOutcome.FINISHED
+        ]
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Mapping of outcome name to count (the report's headline numbers)."""
+        counts: Dict[str, int] = {}
+        for outcome in MigrationOutcome:
+            counts[outcome.value] = self.count(outcome)
+        return counts
+
+    def results_by_outcome(self, outcome: MigrationOutcome) -> List[InstanceMigrationResult]:
+        return [result for result in self.results if result.outcome is outcome]
+
+    def summary(self) -> str:
+        """Human readable report akin to the paper's monitoring component."""
+        lines = [
+            f"Migration report: {self.process_type} v{self.from_version} -> v{self.to_version}",
+            f"  instances checked:        {self.total}",
+            f"  migrated:                 {self.migrated_count}"
+            f" ({self.count(MigrationOutcome.MIGRATED)} unbiased,"
+            f" {self.count(MigrationOutcome.MIGRATED_WITH_BIAS)} with bias,"
+            f" {self.count(MigrationOutcome.MIGRATED_WITH_ROLLBACK)} after rollback)",
+            f"  state conflicts:          {self.count(MigrationOutcome.STATE_CONFLICT)}",
+            f"  structural conflicts:     {self.count(MigrationOutcome.STRUCTURAL_CONFLICT)}",
+            f"  semantic conflicts:       {self.count(MigrationOutcome.SEMANTIC_CONFLICT)}",
+            f"  data conflicts:           {self.count(MigrationOutcome.DATA_CONFLICT)}",
+            f"  already finished:         {self.count(MigrationOutcome.FINISHED)}",
+            f"  duration:                 {self.duration_seconds:.3f}s",
+        ]
+        conflicting = [result for result in self.results if result.conflicts]
+        if conflicting:
+            lines.append("  conflict details:")
+            for result in conflicting:
+                lines.append(f"    - {result.describe()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "process_type": self.process_type,
+            "from_version": self.from_version,
+            "to_version": self.to_version,
+            "duration_seconds": self.duration_seconds,
+            "outcomes": self.outcome_counts(),
+            "results": [
+                {
+                    "instance_id": result.instance_id,
+                    "outcome": result.outcome.value,
+                    "was_biased": result.was_biased,
+                    "conflicts": [str(conflict) for conflict in result.conflicts],
+                }
+                for result in self.results
+            ],
+        }
+
+
+class MigrationManager:
+    """Checks compliance and migrates running instances to a new schema version."""
+
+    def __init__(
+        self,
+        engine: Optional[ProcessEngine] = None,
+        compliance_method: str = "conditions",
+        event_log: Optional[EventLog] = None,
+        rollback_on_state_conflict: bool = False,
+    ) -> None:
+        self.engine = engine or ProcessEngine()
+        self.compliance_method = compliance_method
+        self.event_log = event_log or self.engine.event_log
+        self.checker = ComplianceChecker(engine=ProcessEngine())
+        self.adapter = StateAdapter(engine=ProcessEngine())
+        self.verifier = SchemaVerifier()
+        #: optional policy: compensate the blocking activities of state-conflicting
+        #: unbiased instances and migrate them anyway (see repro.core.rollback)
+        self.rollback_on_state_conflict = rollback_on_state_conflict
+
+    # ------------------------------------------------------------------ #
+    # whole-type migration
+    # ------------------------------------------------------------------ #
+
+    def migrate_type(
+        self,
+        process_type: ProcessType,
+        type_change: TypeChange,
+        instances: Iterable[ProcessInstance],
+        release: bool = True,
+    ) -> MigrationReport:
+        """Release ΔT as a new version and migrate all given instances.
+
+        With ``release=False`` the new version must already have been
+        released (e.g. by a previous call) and is looked up instead.
+        """
+        if release:
+            new_schema = process_type.release_new_version(type_change)
+            self.event_log.append(
+                EngineEvent(
+                    event_type=EventType.SCHEMA_VERSION_RELEASED,
+                    details=f"{process_type.name} v{new_schema.version}",
+                )
+            )
+        else:
+            new_schema = process_type.schema_for(type_change.to_version)
+        old_schema = process_type.schema_for(type_change.from_version)
+        report = MigrationReport(
+            process_type=process_type.name,
+            from_version=type_change.from_version,
+            to_version=new_schema.version,
+        )
+        started = time.perf_counter()
+        for instance in instances:
+            report.add(self.migrate_instance(instance, old_schema, new_schema, type_change))
+        report.duration_seconds = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------ #
+    # single-instance migration
+    # ------------------------------------------------------------------ #
+
+    def migrate_instance(
+        self,
+        instance: ProcessInstance,
+        old_schema: ProcessSchema,
+        new_schema: ProcessSchema,
+        type_change: TypeChange,
+    ) -> InstanceMigrationResult:
+        """Check one instance and migrate it if possible."""
+        started = time.perf_counter()
+        was_biased = instance.is_biased
+        if not instance.status.is_active:
+            return InstanceMigrationResult(
+                instance_id=instance.instance_id,
+                outcome=MigrationOutcome.FINISHED,
+                was_biased=was_biased,
+                duration_seconds=time.perf_counter() - started,
+            )
+        if was_biased:
+            result = self._migrate_biased(instance, new_schema, type_change)
+        else:
+            result = self._migrate_unbiased(instance, new_schema, type_change)
+        result.duration_seconds = time.perf_counter() - started
+        self._emit(result)
+        return result
+
+    def _migrate_unbiased(
+        self,
+        instance: ProcessInstance,
+        new_schema: ProcessSchema,
+        type_change: TypeChange,
+    ) -> InstanceMigrationResult:
+        compliance = self.checker.check(
+            instance,
+            type_change.operations,
+            target_schema=new_schema,
+            method=self.compliance_method,
+        )
+        if not compliance.compliant:
+            outcome = self._outcome_for_conflicts(compliance.conflicts)
+            if outcome is MigrationOutcome.STATE_CONFLICT and self.rollback_on_state_conflict:
+                rolled_back = self._try_rollback_migration(instance, new_schema, type_change)
+                if rolled_back is not None:
+                    return rolled_back
+            return InstanceMigrationResult(
+                instance_id=instance.instance_id,
+                outcome=outcome,
+                conflicts=compliance.conflicts,
+                was_biased=False,
+            )
+        adapted = self.adapter.adapt(instance, new_schema)
+        instance.marking = adapted
+        instance.rebind_schema(new_schema)
+        return InstanceMigrationResult(
+            instance_id=instance.instance_id,
+            outcome=MigrationOutcome.MIGRATED,
+            was_biased=False,
+        )
+
+    def _try_rollback_migration(
+        self,
+        instance: ProcessInstance,
+        new_schema: ProcessSchema,
+        type_change: TypeChange,
+    ) -> Optional[InstanceMigrationResult]:
+        """Compensate blocking activities and migrate, if a feasible plan exists."""
+        from repro.core.rollback import RollbackManager, RollbackPlanner
+
+        plan = RollbackPlanner(engine=self.engine).plan(instance, type_change.operations)
+        if not plan.feasible or not plan.activities:
+            return None
+        RollbackManager(engine=self.engine, event_log=self.event_log).rollback_activities(
+            instance, plan.activities
+        )
+        compliance = self.checker.check(
+            instance,
+            type_change.operations,
+            target_schema=new_schema,
+            method=self.compliance_method,
+        )
+        if not compliance.compliant:
+            return None
+        adapted = self.adapter.adapt(instance, new_schema)
+        instance.marking = adapted
+        instance.rebind_schema(new_schema)
+        return InstanceMigrationResult(
+            instance_id=instance.instance_id,
+            outcome=MigrationOutcome.MIGRATED_WITH_ROLLBACK,
+            was_biased=False,
+        )
+
+    def _migrate_biased(
+        self,
+        instance: ProcessInstance,
+        new_schema: ProcessSchema,
+        type_change: TypeChange,
+    ) -> InstanceMigrationResult:
+        bias: ChangeLog = instance.bias
+        # 1. semantic conflicts: ΔT and ΔI overlap on the same schema elements.
+        #    One benign special case is handled first: the instance anticipated
+        #    the type change (its bias already contains exactly the operations
+        #    of ΔT) — then the bias is absorbed into the new version instead of
+        #    rejecting the instance.
+        overlap = bias.overlaps_with(type_change.operations)
+        if overlap:
+            absorbed = self._try_absorb_anticipated_change(instance, bias, new_schema, type_change)
+            if absorbed is not None:
+                return absorbed
+            conflict = semantic_conflict(
+                "the type change and the instance's ad-hoc changes modify the same schema "
+                "elements; their combined intent is ambiguous",
+                nodes=tuple(sorted(overlap)),
+            )
+            return InstanceMigrationResult(
+                instance_id=instance.instance_id,
+                outcome=MigrationOutcome.SEMANTIC_CONFLICT,
+                conflicts=[conflict],
+                was_biased=True,
+            )
+        # 2. structural conflicts: ΔT applied to (S + ΔI) must yield a correct schema
+        try:
+            combined_schema = type_change.operations.apply_to(instance.execution_schema, check=True)
+        except (OperationError, SchemaError) as exc:
+            conflict = structural_conflict(
+                f"the type change cannot be applied to the instance-specific schema: {exc}",
+            )
+            return InstanceMigrationResult(
+                instance_id=instance.instance_id,
+                outcome=MigrationOutcome.STRUCTURAL_CONFLICT,
+                conflicts=[conflict],
+                was_biased=True,
+            )
+        combined_schema.schema_id = f"{new_schema.schema_id}+{instance.instance_id}"
+        combined_schema.version = new_schema.version
+        report = self.verifier.verify(combined_schema)
+        if not report.is_correct:
+            conflicts = [
+                structural_conflict(str(issue), nodes=tuple(issue.nodes)) for issue in report.errors
+            ]
+            return InstanceMigrationResult(
+                instance_id=instance.instance_id,
+                outcome=MigrationOutcome.STRUCTURAL_CONFLICT,
+                conflicts=conflicts,
+                was_biased=True,
+            )
+        # 3. state-related conflicts on the combined schema
+        compliance = self.checker.check(
+            instance,
+            type_change.operations,
+            target_schema=combined_schema,
+            method=self.compliance_method,
+        )
+        if not compliance.compliant:
+            return InstanceMigrationResult(
+                instance_id=instance.instance_id,
+                outcome=self._outcome_for_conflicts(compliance.conflicts),
+                conflicts=compliance.conflicts,
+                was_biased=True,
+            )
+        adapted = self.adapter.adapt(instance, combined_schema)
+        instance.marking = adapted
+        instance.rebind_schema(new_schema, execution_schema=combined_schema)
+        instance.bias = bias
+        return InstanceMigrationResult(
+            instance_id=instance.instance_id,
+            outcome=MigrationOutcome.MIGRATED_WITH_BIAS,
+            was_biased=True,
+        )
+
+    def _try_absorb_anticipated_change(
+        self,
+        instance: ProcessInstance,
+        bias: ChangeLog,
+        new_schema: ProcessSchema,
+        type_change: TypeChange,
+    ) -> Optional[InstanceMigrationResult]:
+        """Migrate an instance whose bias already contains the whole ΔT.
+
+        If every operation of the type change appears verbatim in the
+        instance's bias, the instance anticipated the type change: it is
+        re-linked to the new version, the anticipated operations are removed
+        from its bias ("bias purging") and its execution schema stays exactly
+        as it is.  Returns ``None`` when the overlap is not of this benign
+        form (the caller then reports a semantic conflict).
+        """
+        delta_payloads = [operation.to_dict() for operation in type_change.operations]
+        remaining_operations = list(bias.operations)
+        for payload in delta_payloads:
+            index = next(
+                (i for i, operation in enumerate(remaining_operations) if operation.to_dict() == payload),
+                None,
+            )
+            if index is None:
+                return None
+            del remaining_operations[index]
+        remaining = ChangeLog(remaining_operations, comment=bias.comment)
+        # the instance-specific schema must be reproducible as S' + remaining bias
+        try:
+            rebuilt = remaining.apply_to(new_schema, check=True)
+        except (OperationError, SchemaError):
+            return None
+        if not rebuilt.structurally_equals(instance.execution_schema):
+            return None
+        execution_schema = instance.execution_schema if len(remaining) else None
+        instance.rebind_schema(new_schema, execution_schema=execution_schema)
+        if len(remaining):
+            instance.set_bias(remaining, instance.execution_schema)
+        else:
+            instance.clear_bias()
+        outcome = (
+            MigrationOutcome.MIGRATED_WITH_BIAS if len(remaining) else MigrationOutcome.MIGRATED
+        )
+        return InstanceMigrationResult(
+            instance_id=instance.instance_id,
+            outcome=outcome,
+            was_biased=True,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _outcome_for_conflicts(conflicts: Sequence[Conflict]) -> MigrationOutcome:
+        kinds = {conflict.kind for conflict in conflicts}
+        if ConflictKind.STRUCTURAL in kinds:
+            return MigrationOutcome.STRUCTURAL_CONFLICT
+        if ConflictKind.SEMANTIC in kinds:
+            return MigrationOutcome.SEMANTIC_CONFLICT
+        if ConflictKind.DATA in kinds:
+            return MigrationOutcome.DATA_CONFLICT
+        return MigrationOutcome.STATE_CONFLICT
+
+    def _emit(self, result: InstanceMigrationResult) -> None:
+        event_type = (
+            EventType.INSTANCE_MIGRATED if result.migrated else EventType.MIGRATION_REJECTED
+        )
+        if result.outcome is MigrationOutcome.FINISHED:
+            return
+        self.event_log.append(
+            EngineEvent(
+                event_type=event_type,
+                instance_id=result.instance_id,
+                details=result.outcome.value,
+            )
+        )

@@ -1,0 +1,210 @@
+"""Minimal substitution blocks for biased instances (paper Fig. 2).
+
+Storing a full schema copy for every ad-hoc modified instance wastes
+space; materialising the instance-specific schema from the change log on
+every access wastes time.  ADEPT2's hybrid: keep, per biased instance, a
+**minimal substitution block** — just the schema elements its bias adds,
+removes or rewires — and overlay it onto the referenced original schema
+when the instance is accessed.
+
+The substitution block is computed as a structural diff between the
+original schema and the biased schema (obtained by applying the change
+log once).  Overlaying is a cheap, purely mechanical merge; the result is
+graph-equal to applying the bias directly, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.schema.data import DataEdge, DataElement
+from repro.schema.edges import Edge
+from repro.schema.graph import ProcessSchema
+
+
+@dataclass
+class SubstitutionBlock:
+    """The minimal delta turning an original schema into a biased one.
+
+    Attributes:
+        added_nodes: Nodes present only in the biased schema.
+        removed_nodes: Node ids present only in the original schema.
+        modified_nodes: Nodes whose attributes changed (new definition).
+        added_edges: Edges present only in the biased schema.
+        removed_edges: Edge keys present only in the original schema.
+        modified_edges: Edges whose guard/condition changed (new definition).
+        added_elements: Data elements present only in the biased schema.
+        removed_elements: Data element names removed by the bias.
+        added_data_edges: Data edges present only in the biased schema.
+        removed_data_edges: Data edge keys removed by the bias.
+    """
+
+    added_nodes: List = field(default_factory=list)
+    removed_nodes: List[str] = field(default_factory=list)
+    modified_nodes: List = field(default_factory=list)
+    added_edges: List[Edge] = field(default_factory=list)
+    removed_edges: List[Tuple[str, str, str]] = field(default_factory=list)
+    modified_edges: List[Edge] = field(default_factory=list)
+    added_elements: List[DataElement] = field(default_factory=list)
+    removed_elements: List[str] = field(default_factory=list)
+    added_data_edges: List[DataEdge] = field(default_factory=list)
+    removed_data_edges: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_schemas(cls, original: ProcessSchema, biased: ProcessSchema) -> "SubstitutionBlock":
+        """Compute the minimal delta between ``original`` and ``biased``."""
+        block = cls()
+        original_nodes = original.nodes
+        biased_nodes = biased.nodes
+        for node_id, node in biased_nodes.items():
+            if node_id not in original_nodes:
+                block.added_nodes.append(node)
+            elif node != original_nodes[node_id]:
+                block.modified_nodes.append(node)
+        block.removed_nodes = [node_id for node_id in original_nodes if node_id not in biased_nodes]
+
+        original_edges = {edge.key: edge for edge in original.edges}
+        biased_edges = {edge.key: edge for edge in biased.edges}
+        for key, edge in biased_edges.items():
+            if key not in original_edges:
+                block.added_edges.append(edge)
+            elif edge != original_edges[key]:
+                block.modified_edges.append(edge)
+        block.removed_edges = [key for key in original_edges if key not in biased_edges]
+
+        original_elements = original.data_elements
+        biased_elements = biased.data_elements
+        for name, element in biased_elements.items():
+            if name not in original_elements:
+                block.added_elements.append(element)
+        block.removed_elements = [name for name in original_elements if name not in biased_elements]
+
+        original_data_edges = {d.key: d for d in original.data_edges}
+        biased_data_edges = {d.key: d for d in biased.data_edges}
+        for key, data_edge in biased_data_edges.items():
+            if key not in original_data_edges:
+                block.added_data_edges.append(data_edge)
+        block.removed_data_edges = [key for key in original_data_edges if key not in biased_data_edges]
+        return block
+
+    # ------------------------------------------------------------------ #
+    # overlay
+    # ------------------------------------------------------------------ #
+
+    def overlay(self, original: ProcessSchema, schema_id: Optional[str] = None) -> ProcessSchema:
+        """Materialise the biased schema by overlaying this block on ``original``."""
+        from repro.schema.edges import EdgeType
+        from repro.schema.graph import SchemaError
+
+        result = original.copy(schema_id=schema_id or original.schema_id)
+        for key in self.removed_data_edges:
+            activity, element, access = key
+            try:
+                result.remove_data_edge(activity, element, access)
+            except SchemaError:
+                pass
+        for name in self.removed_elements:
+            if result.has_data_element(name):
+                result.remove_data_element(name)
+        for key in self.removed_edges:
+            source, target, edge_type = key
+            if result.has_edge(source, target, EdgeType(edge_type)):
+                result.remove_edge(source, target, EdgeType(edge_type))
+        for node_id in self.removed_nodes:
+            if result.has_node(node_id):
+                result.remove_node(node_id)
+        for node in self.added_nodes:
+            result.add_node(node)
+        for node in self.modified_nodes:
+            result.replace_node(node)
+        for edge in self.added_edges:
+            result.add_edge(edge)
+        for edge in self.modified_edges:
+            result.replace_edge(edge)
+        for element in self.added_elements:
+            if not result.has_data_element(element.name):
+                result.add_data_element(element)
+        for data_edge in self.added_data_edges:
+            if data_edge.key not in {d.key for d in result.data_edges}:
+                result.add_data_edge(data_edge)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # accounting / serialisation
+    # ------------------------------------------------------------------ #
+
+    def is_empty(self) -> bool:
+        """True when the block describes no change at all."""
+        return not any(
+            [
+                self.added_nodes,
+                self.removed_nodes,
+                self.modified_nodes,
+                self.added_edges,
+                self.removed_edges,
+                self.modified_edges,
+                self.added_elements,
+                self.removed_elements,
+                self.added_data_edges,
+                self.removed_data_edges,
+            ]
+        )
+
+    def element_count(self) -> int:
+        """Number of schema elements recorded in the block."""
+        return (
+            len(self.added_nodes)
+            + len(self.removed_nodes)
+            + len(self.modified_nodes)
+            + len(self.added_edges)
+            + len(self.removed_edges)
+            + len(self.modified_edges)
+            + len(self.added_elements)
+            + len(self.removed_elements)
+            + len(self.added_data_edges)
+            + len(self.removed_data_edges)
+        )
+
+    def storage_size(self) -> int:
+        """Approximate persisted size in bytes (JSON rendering length)."""
+        return len(json.dumps(self.to_dict(), sort_keys=True))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "added_nodes": [node.to_dict() for node in self.added_nodes],
+            "removed_nodes": list(self.removed_nodes),
+            "modified_nodes": [node.to_dict() for node in self.modified_nodes],
+            "added_edges": [edge.to_dict() for edge in self.added_edges],
+            "removed_edges": [list(key) for key in self.removed_edges],
+            "modified_edges": [edge.to_dict() for edge in self.modified_edges],
+            "added_elements": [element.to_dict() for element in self.added_elements],
+            "removed_elements": list(self.removed_elements),
+            "added_data_edges": [data_edge.to_dict() for data_edge in self.added_data_edges],
+            "removed_data_edges": [list(key) for key in self.removed_data_edges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SubstitutionBlock":
+        from repro.schema.nodes import Node
+
+        return cls(
+            added_nodes=[Node.from_dict(item) for item in payload.get("added_nodes", [])],
+            removed_nodes=list(payload.get("removed_nodes", [])),
+            modified_nodes=[Node.from_dict(item) for item in payload.get("modified_nodes", [])],
+            added_edges=[Edge.from_dict(item) for item in payload.get("added_edges", [])],
+            removed_edges=[tuple(key) for key in payload.get("removed_edges", [])],
+            modified_edges=[Edge.from_dict(item) for item in payload.get("modified_edges", [])],
+            added_elements=[DataElement.from_dict(item) for item in payload.get("added_elements", [])],
+            removed_elements=list(payload.get("removed_elements", [])),
+            added_data_edges=[DataEdge.from_dict(item) for item in payload.get("added_data_edges", [])],
+            removed_data_edges=[tuple(key) for key in payload.get("removed_data_edges", [])],
+        )
+
+    def __repr__(self) -> str:
+        return f"SubstitutionBlock(elements={self.element_count()})"

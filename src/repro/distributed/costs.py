@@ -1,0 +1,60 @@
+"""Communication-cost accounting for the distributed simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CommunicationCosts:
+    """Counters for the messages the distributed runtime exchanges.
+
+    Attributes:
+        handover_messages: Control hand-overs between servers during
+            instance execution.
+        change_propagation_messages: Messages informing servers about a new
+            schema version or an ad-hoc change of an instance they control.
+        migration_messages: Per-instance migration notifications.
+        data_transfer_messages: Data-context transfers accompanying
+            hand-overs (one per hand-over in this simulation).
+    """
+
+    handover_messages: int = 0
+    change_propagation_messages: int = 0
+    migration_messages: int = 0
+    data_transfer_messages: int = 0
+
+    def total(self) -> int:
+        return (
+            self.handover_messages
+            + self.change_propagation_messages
+            + self.migration_messages
+            + self.data_transfer_messages
+        )
+
+    def add_handover(self) -> None:
+        self.handover_messages += 1
+        self.data_transfer_messages += 1
+
+    def add_change_propagation(self, count: int = 1) -> None:
+        self.change_propagation_messages += count
+
+    def add_migration(self, count: int = 1) -> None:
+        self.migration_messages += count
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "handover": self.handover_messages,
+            "change_propagation": self.change_propagation_messages,
+            "migration": self.migration_messages,
+            "data_transfer": self.data_transfer_messages,
+            "total": self.total(),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"messages: {self.total()} total "
+            f"(hand-over={self.handover_messages}, data={self.data_transfer_messages}, "
+            f"change={self.change_propagation_messages}, migration={self.migration_messages})"
+        )

@@ -1,0 +1,126 @@
+"""Partitioning of process schemas over process servers.
+
+A partitioning maps every activity of a schema to the server that
+controls it.  The default strategy cuts the topological order into
+contiguous chunks, which keeps most control transitions server-local;
+custom assignments can be supplied for domain-specific partitionings
+(e.g. "warehouse activities run on the warehouse server").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.schema.edges import EdgeType
+from repro.schema.graph import ProcessSchema
+
+
+class PartitioningError(Exception):
+    """Raised when a partitioning does not cover the schema correctly."""
+
+
+@dataclass
+class SchemaPartitioning:
+    """Assignment of schema activities to process servers."""
+
+    schema: ProcessSchema
+    assignment: Dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def contiguous(cls, schema: ProcessSchema, server_ids: List[str]) -> "SchemaPartitioning":
+        """Partition the topological order into contiguous per-server chunks."""
+        if not server_ids:
+            raise PartitioningError("at least one server id is required")
+        activities = [
+            node_id
+            for node_id in schema.topological_order(include_sync=False)
+            if schema.node(node_id).is_activity
+        ]
+        assignment: Dict[str, str] = {}
+        if not activities:
+            return cls(schema=schema, assignment=assignment)
+        chunk = max(1, (len(activities) + len(server_ids) - 1) // len(server_ids))
+        for index, activity_id in enumerate(activities):
+            server = server_ids[min(index // chunk, len(server_ids) - 1)]
+            assignment[activity_id] = server
+        return cls(schema=schema, assignment=assignment)
+
+    @classmethod
+    def by_role(cls, schema: ProcessSchema, role_to_server: Mapping[str, str], default_server: str) -> "SchemaPartitioning":
+        """Assign activities to servers according to their staff assignment."""
+        assignment: Dict[str, str] = {}
+        for activity_id in schema.activity_ids():
+            role = schema.node(activity_id).staff_assignment
+            assignment[activity_id] = role_to_server.get(role or "", default_server)
+        return cls(schema=schema, assignment=assignment)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def server_of(self, activity_id: str) -> str:
+        """The server controlling ``activity_id``."""
+        try:
+            return self.assignment[activity_id]
+        except KeyError:
+            raise PartitioningError(f"activity {activity_id!r} is not assigned to any server") from None
+
+    def servers(self) -> List[str]:
+        """All servers that control at least one activity."""
+        return sorted(set(self.assignment.values()))
+
+    def activities_of(self, server_id: str) -> List[str]:
+        """Activities controlled by ``server_id``."""
+        return sorted(a for a, s in self.assignment.items() if s == server_id)
+
+    def servers_for(self, activity_ids) -> List[str]:
+        """The distinct servers controlling any of ``activity_ids``."""
+        found = set()
+        for activity_id in activity_ids:
+            server = self.assignment.get(activity_id)
+            if server is not None:
+                found.add(server)
+        return sorted(found)
+
+    def validate(self) -> None:
+        """Ensure every activity of the schema is assigned to a server."""
+        missing = [a for a in self.schema.activity_ids() if a not in self.assignment]
+        if missing:
+            raise PartitioningError(f"activities without a server: {sorted(missing)!r}")
+
+    def handover_edges(self) -> List[tuple]:
+        """Control edges whose endpoints live on different servers.
+
+        Each such edge causes a control hand-over message whenever an
+        instance traverses it.
+        """
+        handovers = []
+        for edge in self.schema.control_edges():
+            source_server = self._server_or_none(edge.source)
+            target_server = self._server_or_none(edge.target)
+            if source_server and target_server and source_server != target_server:
+                handovers.append((edge.source, edge.target))
+        return handovers
+
+    def _server_or_none(self, node_id: str) -> Optional[str]:
+        if node_id in self.assignment:
+            return self.assignment[node_id]
+        # Structural nodes are controlled by the server of their nearest
+        # assigned control predecessor (splits/joins piggyback on it).
+        schema = self.schema
+        frontier = list(schema.predecessors(node_id, EdgeType.CONTROL))
+        seen = set(frontier)
+        while frontier:
+            current = frontier.pop(0)
+            if current in self.assignment:
+                return self.assignment[current]
+            for pred in schema.predecessors(current, EdgeType.CONTROL):
+                if pred not in seen:
+                    seen.add(pred)
+                    frontier.append(pred)
+        return None

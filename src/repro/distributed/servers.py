@@ -1,0 +1,49 @@
+"""Process servers of the simulated distributed runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+
+@dataclass
+class ProcessServer:
+    """One process server: controls a subset of a schema's activities.
+
+    The simulation keeps per-server counters so benchmarks can show how
+    execution work, hand-overs and change-propagation messages distribute
+    over the servers.
+    """
+
+    server_id: str
+    controlled_activities: Set[str] = field(default_factory=set)
+    executed_activities: int = 0
+    received_handovers: int = 0
+    sent_handovers: int = 0
+    change_messages: int = 0
+    known_schema_versions: Set[int] = field(default_factory=set)
+
+    def controls(self, activity_id: str) -> bool:
+        return activity_id in self.controlled_activities
+
+    def record_execution(self, activity_id: str) -> None:
+        self.executed_activities += 1
+
+    def record_handover(self, incoming: bool) -> None:
+        if incoming:
+            self.received_handovers += 1
+        else:
+            self.sent_handovers += 1
+
+    def receive_change_message(self, schema_version: int) -> None:
+        """A type-change or ad-hoc-change notification reached this server."""
+        self.change_messages += 1
+        self.known_schema_versions.add(schema_version)
+
+    def summary(self) -> str:
+        return (
+            f"server {self.server_id}: {len(self.controlled_activities)} activities, "
+            f"{self.executed_activities} executions, "
+            f"{self.sent_handovers}->/{self.received_handovers}<- hand-overs, "
+            f"{self.change_messages} change message(s)"
+        )

@@ -1,0 +1,32 @@
+"""Monitoring and visualisation — the demo component of the paper.
+
+"In our prototype the effects of ad-hoc instance modifications can be
+visualized by a special monitoring component.  The same applies for
+process type changes."  This package renders process schemas (ASCII and
+Graphviz DOT), instance markings, worklists and migration reports as
+text — the library equivalent of the GUI shown in the paper's Fig. 3.
+"""
+
+from repro.monitoring.render import render_schema_ascii, render_schema_dot
+from repro.monitoring.monitor import InstanceMonitor
+from repro.monitoring.report import render_migration_report, migration_report_table
+from repro.monitoring.statistics import PopulationStatistics
+from repro.monitoring.export import (
+    export_history_csv,
+    export_population_csv,
+    engine_event_rows,
+    change_log_rows,
+)
+
+__all__ = [
+    "render_schema_ascii",
+    "render_schema_dot",
+    "InstanceMonitor",
+    "render_migration_report",
+    "migration_report_table",
+    "PopulationStatistics",
+    "export_history_csv",
+    "export_population_csv",
+    "engine_event_rows",
+    "change_log_rows",
+]

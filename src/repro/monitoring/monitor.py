@@ -1,0 +1,84 @@
+"""The instance monitor: inspecting running instances and their changes.
+
+Mirrors the demo's monitoring component: show the current marking of an
+instance on its (possibly individually modified) execution schema, list
+its bias operations, its history and the differences between original and
+instance-specific schema.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.changelog import ChangeLog
+from repro.core.substitution import SubstitutionBlock
+from repro.monitoring.render import render_schema_ascii
+from repro.runtime.history import HistoryEventType
+from repro.runtime.instance import ProcessInstance
+
+
+class InstanceMonitor:
+    """Produces textual views of one process instance."""
+
+    def __init__(self, instance: ProcessInstance) -> None:
+        self.instance = instance
+
+    # ------------------------------------------------------------------ #
+
+    def state_view(self) -> str:
+        """The execution schema annotated with the current marking."""
+        header = self.instance.summary()
+        body = render_schema_ascii(self.instance.execution_schema, self.instance.marking)
+        return f"{header}\n{body}"
+
+    def bias_view(self) -> str:
+        """The ad-hoc operations applied to this instance (if any)."""
+        if not isinstance(self.instance.bias, ChangeLog) or not self.instance.bias:
+            return f"{self.instance.instance_id}: unbiased (runs on the original schema)"
+        block = SubstitutionBlock.from_schemas(
+            self.instance.original_schema, self.instance.execution_schema
+        )
+        return (
+            f"{self.instance.instance_id}: ad-hoc modified\n"
+            f"{self.instance.bias.describe()}\n"
+            f"substitution block: {block.element_count()} element(s), "
+            f"{block.storage_size()} bytes"
+        )
+
+    def history_view(self, reduced: bool = False) -> str:
+        """The execution history as a table-like text block."""
+        entries = self.instance.history.reduced() if reduced else self.instance.history.entries
+        lines = [f"history of {self.instance.instance_id} ({'reduced' if reduced else 'full'}):"]
+        if not entries:
+            lines.append("  (empty)")
+            return "\n".join(lines)
+        for entry in entries:
+            superseded = " (superseded)" if entry.superseded else ""
+            values = f" {dict(entry.values)}" if entry.values else ""
+            user = f" by {entry.user}" if entry.user else ""
+            lines.append(
+                f"  #{entry.sequence:<4} {entry.event.value:<20} {entry.activity:<24} "
+                f"iter={entry.iteration}{user}{values}{superseded}"
+            )
+        return "\n".join(lines)
+
+    def worklist_view(self) -> str:
+        """Currently activated activities and their staff assignments."""
+        schema = self.instance.execution_schema
+        activated = self.instance.activated_activities()
+        if not activated:
+            return f"{self.instance.instance_id}: no activity is currently activated"
+        lines = [f"activated activities of {self.instance.instance_id}:"]
+        for activity_id in activated:
+            node = schema.node(activity_id)
+            lines.append(f"  - {activity_id} (role: {node.staff_assignment or 'anyone'})")
+        return "\n".join(lines)
+
+    def progress_line(self) -> str:
+        """A one-line progress indicator."""
+        completed = len(self.instance.completed_activities())
+        total = len(self.instance.execution_schema.activity_ids())
+        return (
+            f"{self.instance.instance_id}: {completed}/{total} activities completed "
+            f"({self.instance.progress():.0%}), status={self.instance.status.value}"
+        )

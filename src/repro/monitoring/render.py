@@ -1,0 +1,103 @@
+"""Rendering of process schemas as ASCII text and Graphviz DOT.
+
+The ASCII rendering lists the nodes in topological order with their type,
+branch guards and data accesses; the DOT rendering can be fed to Graphviz
+to obtain diagrams resembling the paper's figures.  Both accept an
+optional marking so instance states can be visualised (the monitoring
+component of the demo).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.runtime.markings import Marking
+from repro.runtime.states import NodeState
+from repro.schema.edges import EdgeType
+from repro.schema.graph import ProcessSchema
+from repro.schema.nodes import NodeType
+
+_STATE_SYMBOLS: Dict[NodeState, str] = {
+    NodeState.NOT_ACTIVATED: " ",
+    NodeState.ACTIVATED: "▶",
+    NodeState.RUNNING: "●",
+    NodeState.SUSPENDED: "◐",
+    NodeState.COMPLETED: "✔",
+    NodeState.SKIPPED: "✖",
+    NodeState.FAILED: "!",
+}
+
+_NODE_SHAPES: Dict[NodeType, str] = {
+    NodeType.START: "circle",
+    NodeType.END: "doublecircle",
+    NodeType.ACTIVITY: "box",
+    NodeType.AND_SPLIT: "diamond",
+    NodeType.AND_JOIN: "diamond",
+    NodeType.XOR_SPLIT: "diamond",
+    NodeType.XOR_JOIN: "diamond",
+    NodeType.LOOP_START: "house",
+    NodeType.LOOP_END: "invhouse",
+}
+
+
+def render_schema_ascii(schema: ProcessSchema, marking: Optional[Marking] = None) -> str:
+    """Multi-line textual rendering of a schema (optionally with a marking)."""
+    lines: List[str] = [f"schema {schema.schema_id} ({schema.name} v{schema.version})"]
+    for node_id in schema.topological_order(include_sync=False):
+        node = schema.node(node_id)
+        state_symbol = ""
+        if marking is not None:
+            state_symbol = f"[{_STATE_SYMBOLS.get(marking.node_state(node_id), '?')}] "
+        successors = schema.successors(node_id, EdgeType.CONTROL)
+        arrow = f" -> {', '.join(successors)}" if successors else ""
+        label = node.node_type.value if not node.is_activity else "activity"
+        role = f" ({node.staff_assignment})" if node.staff_assignment else ""
+        lines.append(f"  {state_symbol}{node_id} <{label}>{role}{arrow}")
+    sync_edges = schema.sync_edges()
+    if sync_edges:
+        lines.append("  sync edges:")
+        for edge in sync_edges:
+            lines.append(f"    {edge.source} ~~> {edge.target}")
+    loop_edges = schema.loop_edges()
+    if loop_edges:
+        lines.append("  loop edges:")
+        for edge in loop_edges:
+            lines.append(f"    {edge.source} ..> {edge.target} while {edge.loop_condition}")
+    if schema.data_elements:
+        lines.append("  data elements: " + ", ".join(sorted(schema.data_elements)))
+    return "\n".join(lines)
+
+
+def render_schema_dot(schema: ProcessSchema, marking: Optional[Marking] = None) -> str:
+    """Graphviz DOT rendering of a schema (optionally coloured by state)."""
+    lines: List[str] = [f'digraph "{schema.schema_id}" {{', "  rankdir=LR;"]
+    for node in schema.nodes.values():
+        shape = _NODE_SHAPES.get(node.node_type, "box")
+        attributes = [f'shape={shape}', f'label="{node.name}"']
+        if marking is not None:
+            state = marking.node_state(node.node_id)
+            colour = {
+                NodeState.COMPLETED: "palegreen",
+                NodeState.RUNNING: "gold",
+                NodeState.ACTIVATED: "lightblue",
+                NodeState.SKIPPED: "gray80",
+                NodeState.FAILED: "salmon",
+            }.get(state)
+            if colour:
+                attributes.append("style=filled")
+                attributes.append(f"fillcolor={colour}")
+        lines.append(f'  "{node.node_id}" [{", ".join(attributes)}];')
+    for edge in schema.edges:
+        attributes = []
+        if edge.is_sync:
+            attributes.append("style=dashed")
+            attributes.append('label="sync"')
+        elif edge.is_loop:
+            attributes.append("style=dotted")
+            attributes.append(f'label="{edge.loop_condition or "loop"}"')
+        elif edge.guard:
+            attributes.append(f'label="{edge.guard}"')
+        rendered = f' [{", ".join(attributes)}]' if attributes else ""
+        lines.append(f'  "{edge.source}" -> "{edge.target}"{rendered};')
+    lines.append("}")
+    return "\n".join(lines)

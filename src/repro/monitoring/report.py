@@ -1,0 +1,55 @@
+"""Rendering of migration reports (the paper's Fig. 3 report panel).
+
+After a schema evolution the demo "automatically checks compliance
+conditions and reports migration results to the user ... which instances
+are compliant with the new schema version.  For non-compliant instances
+the report indicates state-related or structural conflicts."  These
+functions format a :class:`~repro.core.migration.MigrationReport`
+accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.migration import InstanceMigrationResult, MigrationOutcome, MigrationReport
+
+
+def render_migration_report(report: MigrationReport, show_instances: bool = True) -> str:
+    """Full textual rendering (headline counts plus per-instance lines)."""
+    lines = [report.summary()]
+    if show_instances:
+        lines.append("")
+        lines.append("per-instance results:")
+        for result in report.results:
+            marker = "+" if result.migrated else ("." if result.outcome is MigrationOutcome.FINISHED else "-")
+            lines.append(f"  [{marker}] {result.describe()}")
+    return "\n".join(lines)
+
+
+def migration_report_table(report: MigrationReport) -> List[Dict[str, str]]:
+    """The report as a list of row dictionaries (benchmarks print these)."""
+    rows: List[Dict[str, str]] = []
+    for outcome in MigrationOutcome:
+        count = report.count(outcome)
+        rows.append(
+            {
+                "outcome": outcome.value,
+                "count": str(count),
+                "share": f"{(count / report.total * 100):.1f}%" if report.total else "0.0%",
+            }
+        )
+    rows.append({"outcome": "total", "count": str(report.total), "share": "100.0%"})
+    return rows
+
+
+def conflicting_instances(report: MigrationReport) -> List[InstanceMigrationResult]:
+    """All per-instance results that carry at least one conflict."""
+    return [result for result in report.results if result.conflicts]
+
+
+def migration_throughput(report: MigrationReport) -> float:
+    """Migrated-or-checked instances per second (0 when duration unknown)."""
+    if report.duration_seconds <= 0:
+        return 0.0
+    return report.total / report.duration_seconds

@@ -1,0 +1,77 @@
+"""Aggregate statistics over populations of process instances.
+
+Used by the examples and the benchmark harness to characterise workloads
+(how far instances have progressed, how many are biased, which schema
+versions they run on) and to verify that migration preserved all
+completed work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from repro.runtime.instance import ProcessInstance
+from repro.runtime.states import InstanceStatus
+
+
+@dataclass
+class PopulationStatistics:
+    """Summary numbers over a set of instances."""
+
+    total: int = 0
+    by_status: Dict[str, int] = field(default_factory=dict)
+    by_version: Dict[int, int] = field(default_factory=dict)
+    biased: int = 0
+    mean_progress: float = 0.0
+    completed_activities: int = 0
+
+    @classmethod
+    def collect(cls, instances: Iterable[ProcessInstance]) -> "PopulationStatistics":
+        """Compute the statistics for ``instances``."""
+        stats = cls()
+        progress_sum = 0.0
+        for instance in instances:
+            stats.total += 1
+            stats.by_status[instance.status.value] = stats.by_status.get(instance.status.value, 0) + 1
+            stats.by_version[instance.schema_version] = (
+                stats.by_version.get(instance.schema_version, 0) + 1
+            )
+            if instance.is_biased:
+                stats.biased += 1
+            progress_sum += instance.progress()
+            stats.completed_activities += len(instance.completed_activities())
+        if stats.total:
+            stats.mean_progress = progress_sum / stats.total
+        return stats
+
+    def running(self) -> int:
+        """Number of instances that are still active."""
+        return sum(
+            count
+            for status, count in self.by_status.items()
+            if InstanceStatus(status).is_active
+        )
+
+    def summary(self) -> str:
+        """Multi-line human readable summary."""
+        lines = [
+            f"instances:            {self.total}",
+            f"running:              {self.running()}",
+            f"ad-hoc modified:      {self.biased}",
+            f"mean progress:        {self.mean_progress:.0%}",
+            f"completed activities: {self.completed_activities}",
+        ]
+        for version in sorted(self.by_version):
+            lines.append(f"on schema version {version}: {self.by_version[version]}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "total": self.total,
+            "by_status": dict(self.by_status),
+            "by_version": dict(self.by_version),
+            "biased": self.biased,
+            "mean_progress": self.mean_progress,
+            "completed_activities": self.completed_activities,
+        }

@@ -1,0 +1,15 @@
+"""Organisational model: org units, roles, users, staff assignment and change authorization."""
+
+from repro.org.model import OrgModel, OrgUnit, Role, User
+from repro.org.assignment import StaffAssignmentResolver
+from repro.org.authorization import AuthorizationError, ChangeAuthorization
+
+__all__ = [
+    "OrgModel",
+    "OrgUnit",
+    "Role",
+    "User",
+    "StaffAssignmentResolver",
+    "ChangeAuthorization",
+    "AuthorizationError",
+]

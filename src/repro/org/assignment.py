@@ -1,0 +1,50 @@
+"""Resolution of staff assignment expressions.
+
+Activities reference roles; richer assignments combine a role with an
+org unit (``"physician@clinic"``) or list alternatives
+(``"sales|manager"``).  The resolver turns such an expression plus the
+org model into the set of users the worklist may offer the activity to.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.org.model import OrgModel, User
+
+
+class StaffAssignmentResolver:
+    """Resolves staff assignment expressions against an org model."""
+
+    def __init__(self, org_model: OrgModel) -> None:
+        self.org_model = org_model
+
+    def resolve(self, expression: Optional[str]) -> List[User]:
+        """Users authorised by ``expression`` (everyone when it is empty)."""
+        if not expression:
+            return self.org_model.users()
+        candidates: Set[str] = set()
+        for alternative in expression.split("|"):
+            alternative = alternative.strip()
+            if not alternative:
+                continue
+            candidates |= {user.user_id for user in self._resolve_single(alternative)}
+        return sorted(
+            (self.org_model.user(user_id) for user_id in candidates),
+            key=lambda user: user.user_id,
+        )
+
+    def can_perform(self, user_id: str, expression: Optional[str]) -> bool:
+        """True when the user is among the resolved performers."""
+        return any(user.user_id == user_id for user in self.resolve(expression))
+
+    def _resolve_single(self, expression: str) -> List[User]:
+        if "@" in expression:
+            role, unit = (part.strip() for part in expression.split("@", 1))
+            unit_users = {user.user_id for user in self.org_model.users_in_unit(unit)}
+            return [
+                user
+                for user in self.org_model.users_with_role(role)
+                if user.user_id in unit_users
+            ]
+        return self.org_model.users_with_role(expression)

@@ -1,0 +1,75 @@
+"""Authorization of dynamic changes.
+
+ADEPT2 distinguishes who may *perform* activities (staff assignments)
+from who may *change* processes: ad-hoc deviations of single instances
+are typically allowed for the process participants or supervisors, while
+releasing new schema versions (type changes) is reserved to process
+engineers.  This module provides a small policy object the ad-hoc changer
+and the schema evolution workflow can consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.org.model import OrgModel
+
+
+class AuthorizationError(Exception):
+    """Raised when a user attempts a change they are not authorised for."""
+
+
+@dataclass
+class ChangeAuthorization:
+    """Role-based permissions for ad-hoc changes and schema evolution.
+
+    Attributes:
+        org_model: The organisational model used to resolve user roles.
+        adhoc_roles: Roles allowed to apply ad-hoc changes to instances.
+            An empty set means every known user may do so.
+        evolution_roles: Roles allowed to release new schema versions.
+            An empty set means every known user may do so.
+    """
+
+    org_model: OrgModel
+    adhoc_roles: Set[str] = field(default_factory=set)
+    evolution_roles: Set[str] = field(default_factory=set)
+
+    # ------------------------------------------------------------------ #
+
+    def may_change_instance(self, user_id: Optional[str]) -> bool:
+        """True when ``user_id`` may apply ad-hoc changes."""
+        return self._permitted(user_id, self.adhoc_roles)
+
+    def may_evolve_type(self, user_id: Optional[str]) -> bool:
+        """True when ``user_id`` may release new schema versions."""
+        return self._permitted(user_id, self.evolution_roles)
+
+    def require_instance_change(self, user_id: Optional[str]) -> None:
+        """Raise :class:`AuthorizationError` unless ad-hoc changes are allowed."""
+        if not self.may_change_instance(user_id):
+            raise AuthorizationError(
+                f"user {user_id!r} is not authorised to apply ad-hoc instance changes"
+            )
+
+    def require_type_evolution(self, user_id: Optional[str]) -> None:
+        """Raise :class:`AuthorizationError` unless schema evolution is allowed."""
+        if not self.may_evolve_type(user_id):
+            raise AuthorizationError(
+                f"user {user_id!r} is not authorised to release new schema versions"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def _permitted(self, user_id: Optional[str], roles: Set[str]) -> bool:
+        if user_id is None:
+            # anonymous/system callers are only allowed when no restriction is set
+            return not roles
+        try:
+            user = self.org_model.user(user_id)
+        except ValueError:
+            return False
+        if not roles:
+            return True
+        return bool(user.roles & roles)

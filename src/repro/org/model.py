@@ -1,0 +1,165 @@
+"""The organisational meta model.
+
+Activities of a process template carry a staff assignment (a role name);
+at runtime the worklist manager resolves it against this model to decide
+which users may see and perform a work item.  The model is deliberately
+small — org units containing users, users holding roles — which matches
+what the ADEPT prototypes shipped with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class Role:
+    """A capability users can hold (e.g. ``physician``, ``clerk``)."""
+
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("role name must be non-empty")
+
+
+@dataclass(frozen=True)
+class OrgUnit:
+    """An organisational unit (department, team, ward, ...)."""
+
+    name: str
+    parent: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("org unit name must be non-empty")
+
+
+@dataclass
+class User:
+    """A user (or software agent) who can perform activities."""
+
+    user_id: str
+    name: str = ""
+    roles: Set[str] = field(default_factory=set)
+    org_unit: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise ValueError("user_id must be non-empty")
+        if not self.name:
+            self.name = self.user_id
+
+    def has_role(self, role: str) -> bool:
+        return role in self.roles
+
+
+class OrgModel:
+    """Registry of org units, roles and users with membership queries."""
+
+    def __init__(self) -> None:
+        self._units: Dict[str, OrgUnit] = {}
+        self._roles: Dict[str, Role] = {}
+        self._users: Dict[str, User] = {}
+
+    # ------------------------------------------------------------------ #
+    # population
+    # ------------------------------------------------------------------ #
+
+    def add_org_unit(self, unit: OrgUnit) -> None:
+        if unit.name in self._units:
+            raise ValueError(f"org unit {unit.name!r} already exists")
+        if unit.parent is not None and unit.parent not in self._units:
+            raise ValueError(f"parent org unit {unit.parent!r} does not exist")
+        self._units[unit.name] = unit
+
+    def add_role(self, role: Role) -> None:
+        if role.name in self._roles:
+            raise ValueError(f"role {role.name!r} already exists")
+        self._roles[role.name] = role
+
+    def add_user(self, user: User) -> None:
+        if user.user_id in self._users:
+            raise ValueError(f"user {user.user_id!r} already exists")
+        if user.org_unit is not None and user.org_unit not in self._units:
+            raise ValueError(f"org unit {user.org_unit!r} does not exist")
+        for role in user.roles:
+            if role not in self._roles:
+                raise ValueError(f"role {role!r} does not exist")
+        self._users[user.user_id] = user
+
+    def grant_role(self, user_id: str, role: str) -> None:
+        """Add a role to an existing user."""
+        if role not in self._roles:
+            raise ValueError(f"role {role!r} does not exist")
+        self.user(user_id).roles.add(role)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def user(self, user_id: str) -> User:
+        try:
+            return self._users[user_id]
+        except KeyError:
+            raise ValueError(f"unknown user {user_id!r}") from None
+
+    def users(self) -> List[User]:
+        return list(self._users.values())
+
+    def roles(self) -> List[Role]:
+        return list(self._roles.values())
+
+    def org_units(self) -> List[OrgUnit]:
+        return list(self._units.values())
+
+    def has_role(self, name: str) -> bool:
+        return name in self._roles
+
+    def user_has_role(self, user_id: str, role: str) -> bool:
+        """True when the user exists and holds the role."""
+        user = self._users.get(user_id)
+        return user is not None and user.has_role(role)
+
+    def users_with_role(self, role: str) -> List[User]:
+        """All users holding ``role``."""
+        return [user for user in self._users.values() if user.has_role(role)]
+
+    def users_in_unit(self, unit: str, include_children: bool = True) -> List[User]:
+        """All users of an org unit (optionally including child units)."""
+        units = {unit}
+        if include_children:
+            changed = True
+            while changed:
+                changed = False
+                for candidate in self._units.values():
+                    if candidate.parent in units and candidate.name not in units:
+                        units.add(candidate.name)
+                        changed = True
+        return [user for user in self._users.values() if user.org_unit in units]
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+
+def example_org_model() -> OrgModel:
+    """A small org model covering the roles of the bundled templates."""
+    model = OrgModel()
+    for unit in (OrgUnit("company"), OrgUnit("sales_dept", parent="company"),
+                 OrgUnit("warehouse_dept", parent="company"), OrgUnit("clinic")):
+        model.add_org_unit(unit)
+    for role_name in (
+        "clerk", "sales", "warehouse", "logistics", "manager", "analyst",
+        "physician", "nurse", "surgeon", "dispatcher", "customs", "carrier", "worker",
+    ):
+        model.add_role(Role(role_name))
+    model.add_user(User("alice", roles={"clerk", "sales"}, org_unit="sales_dept"))
+    model.add_user(User("bob", roles={"warehouse", "logistics"}, org_unit="warehouse_dept"))
+    model.add_user(User("carol", roles={"manager", "analyst"}, org_unit="company"))
+    model.add_user(User("dora", roles={"physician", "surgeon"}, org_unit="clinic"))
+    model.add_user(User("erik", roles={"nurse"}, org_unit="clinic"))
+    model.add_user(User("frank", roles={"dispatcher", "customs", "carrier"}, org_unit="company"))
+    model.add_user(User("grace", roles={"worker", "clerk"}, org_unit="company"))
+    return model

@@ -1,0 +1,486 @@
+"""The ADEPT2 execution engine.
+
+The engine drives process instances over their execution schema: it
+activates activities whose predecessors are properly signalled, executes
+structural nodes automatically (splits, joins, loops), performs dead-path
+elimination for non-chosen XOR branches, resets loop bodies on loop-back
+and maintains the execution history, data context and loop iteration
+counters of each instance.
+
+Only activity nodes require explicit :meth:`ProcessEngine.start_activity`
+and :meth:`ProcessEngine.complete_activity` calls — everything structural
+advances automatically, which is what lets migrated instances simply
+"keep running" after their marking was adapted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.runtime.data_context import DataContext
+from repro.runtime.events import EngineEvent, EventLog, EventType
+from repro.runtime.expressions import ExpressionError, evaluate_condition
+from repro.runtime.history import HistoryEventType
+from repro.runtime.instance import ProcessInstance
+from repro.runtime.markings import Marking
+from repro.runtime.states import EdgeState, InstanceStatus, NodeState
+from repro.schema.data import DataType
+from repro.schema.edges import Edge, EdgeType
+from repro.schema.graph import ProcessSchema
+from repro.schema.nodes import Node, NodeType
+
+
+class EngineError(Exception):
+    """Raised when an instance is driven in an illegal way."""
+
+
+# A worker turns an activated activity into its output data values.
+Worker = Callable[[Node, Mapping[str, Any]], Mapping[str, Any]]
+
+
+def default_worker(node: Node, data: Mapping[str, Any]) -> Dict[str, Any]:
+    """Produce plausible outputs for every data element an activity writes.
+
+    Booleans become ``True`` so that loop exit conditions and approval
+    guards eventually hold; other types receive simple non-empty values.
+    The worker is used by :meth:`ProcessEngine.run_to_completion` and the
+    workload generators when no domain-specific behaviour is supplied.
+    """
+    outputs: Dict[str, Any] = {}
+    for data_edge in node.properties.get("_writes", []):  # pragma: no cover - legacy hook
+        outputs[data_edge] = True
+    return outputs
+
+
+class ProcessEngine:
+    """Executes process instances on (verified) process schemas."""
+
+    def __init__(self, event_log: Optional[EventLog] = None, max_propagation_rounds: int = 10000) -> None:
+        self.event_log = event_log or EventLog()
+        self.max_propagation_rounds = max_propagation_rounds
+        self._loop_body_cache: Dict[Tuple[int, str], Set[str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # instance lifecycle
+    # ------------------------------------------------------------------ #
+
+    def create_instance(
+        self,
+        schema: ProcessSchema,
+        instance_id: str,
+        initial_data: Optional[Mapping[str, Any]] = None,
+    ) -> ProcessInstance:
+        """Create a new instance of ``schema`` and advance it to its first activities."""
+        instance = ProcessInstance(instance_id=instance_id, schema=schema, initial_data=initial_data)
+        instance.status = InstanceStatus.RUNNING
+        self._emit(EventType.INSTANCE_CREATED, instance, node=None)
+        self.propagate(instance)
+        return instance
+
+    def activated_activities(self, instance: ProcessInstance) -> List[str]:
+        """Activity ids the user could start right now (worklist content)."""
+        return instance.activated_activities()
+
+    def start_activity(
+        self, instance: ProcessInstance, activity_id: str, user: Optional[str] = None
+    ) -> None:
+        """Move an activated activity to RUNNING and log the start event."""
+        self._require_active(instance)
+        schema = instance.execution_schema
+        node = schema.node(activity_id)
+        if not node.is_activity:
+            raise EngineError(f"{activity_id!r} is not an activity node")
+        state = instance.marking.node_state(activity_id)
+        if state is not NodeState.ACTIVATED:
+            raise EngineError(
+                f"activity {activity_id!r} cannot be started from state {state.value!r}"
+            )
+        instance.marking.set_node_state(activity_id, NodeState.RUNNING)
+        read_values = {
+            data_edge.element: instance.data.get(data_edge.element)
+            for data_edge in schema.reads_of(activity_id)
+        }
+        instance.history.record(
+            HistoryEventType.ACTIVITY_STARTED,
+            activity_id,
+            iteration=self._iteration_of(instance, activity_id),
+            values=read_values,
+            user=user,
+        )
+        self._emit(EventType.ACTIVITY_STARTED, instance, node=activity_id, user=user)
+
+    def complete_activity(
+        self,
+        instance: ProcessInstance,
+        activity_id: str,
+        outputs: Optional[Mapping[str, Any]] = None,
+        user: Optional[str] = None,
+    ) -> None:
+        """Complete a running activity, write its outputs and advance the instance.
+
+        The activity may also be completed directly from ACTIVATED state
+        (implicit start), which keeps scripted executions short.
+        """
+        self._require_active(instance)
+        schema = instance.execution_schema
+        node = schema.node(activity_id)
+        if not node.is_activity:
+            raise EngineError(f"{activity_id!r} is not an activity node")
+        state = instance.marking.node_state(activity_id)
+        if state is NodeState.ACTIVATED:
+            self.start_activity(instance, activity_id, user=user)
+        elif state not in (NodeState.RUNNING, NodeState.SUSPENDED):
+            raise EngineError(
+                f"activity {activity_id!r} cannot be completed from state {state.value!r}"
+            )
+        outputs = dict(outputs or {})
+        writable = {data_edge.element for data_edge in schema.writes_of(activity_id)}
+        unknown = set(outputs) - writable
+        if unknown:
+            raise EngineError(
+                f"activity {activity_id!r} has no write access to {sorted(unknown)!r}"
+            )
+        iteration = self._iteration_of(instance, activity_id)
+        for element, value in outputs.items():
+            instance.data.write(element, value, writer=activity_id, iteration=iteration)
+        instance.marking.set_node_state(activity_id, NodeState.COMPLETED)
+        instance.history.record(
+            HistoryEventType.ACTIVITY_COMPLETED,
+            activity_id,
+            iteration=iteration,
+            values=outputs,
+            user=user,
+        )
+        self._emit(EventType.ACTIVITY_COMPLETED, instance, node=activity_id, user=user)
+        self._signal_outgoing(instance, activity_id, chosen_target=None, skipped=False)
+        self.propagate(instance)
+
+    def suspend_activity(self, instance: ProcessInstance, activity_id: str) -> None:
+        """Suspend a running activity (work interrupted)."""
+        state = instance.marking.node_state(activity_id)
+        if state is not NodeState.RUNNING:
+            raise EngineError(f"activity {activity_id!r} is not running")
+        instance.marking.set_node_state(activity_id, NodeState.SUSPENDED)
+
+    def resume_activity(self, instance: ProcessInstance, activity_id: str) -> None:
+        """Resume a suspended activity."""
+        state = instance.marking.node_state(activity_id)
+        if state is not NodeState.SUSPENDED:
+            raise EngineError(f"activity {activity_id!r} is not suspended")
+        instance.marking.set_node_state(activity_id, NodeState.RUNNING)
+
+    def abort_instance(self, instance: ProcessInstance) -> None:
+        """Abort the whole instance (baseline policy of non-adaptive systems)."""
+        instance.status = InstanceStatus.ABORTED
+        self._emit(EventType.INSTANCE_ABORTED, instance, node=None)
+
+    # ------------------------------------------------------------------ #
+    # scripted execution helpers
+    # ------------------------------------------------------------------ #
+
+    def run_to_completion(
+        self,
+        instance: ProcessInstance,
+        worker: Optional[Worker] = None,
+        max_steps: int = 10000,
+    ) -> int:
+        """Execute activated activities until the instance completes.
+
+        Returns the number of activities executed.  ``worker`` maps an
+        activity node and the current data values to its outputs; when
+        omitted, plausible defaults are generated (booleans become True so
+        loops terminate).
+        """
+        steps = 0
+        while instance.status.is_active and steps < max_steps:
+            activated = self.activated_activities(instance)
+            if not activated:
+                break
+            activity_id = activated[0]
+            outputs = self._outputs_for(instance, activity_id, worker)
+            self.complete_activity(instance, activity_id, outputs=outputs)
+            steps += 1
+        return steps
+
+    def advance_instance(
+        self,
+        instance: ProcessInstance,
+        activity_count: int,
+        worker: Optional[Worker] = None,
+    ) -> int:
+        """Complete up to ``activity_count`` activities (population generator)."""
+        executed = 0
+        while executed < activity_count and instance.status.is_active:
+            activated = self.activated_activities(instance)
+            if not activated:
+                break
+            activity_id = activated[0]
+            outputs = self._outputs_for(instance, activity_id, worker)
+            self.complete_activity(instance, activity_id, outputs=outputs)
+            executed += 1
+        return executed
+
+    def _outputs_for(
+        self, instance: ProcessInstance, activity_id: str, worker: Optional[Worker]
+    ) -> Dict[str, Any]:
+        schema = instance.execution_schema
+        node = schema.node(activity_id)
+        if worker is not None:
+            produced = dict(worker(node, instance.data.values))
+            writable = {edge.element for edge in schema.writes_of(activity_id)}
+            return {k: v for k, v in produced.items() if k in writable}
+        outputs: Dict[str, Any] = {}
+        for data_edge in schema.writes_of(activity_id):
+            element = schema.data_element(data_edge.element)
+            if element.data_type is DataType.BOOLEAN:
+                outputs[element.name] = True
+            elif element.data_type is DataType.INTEGER:
+                outputs[element.name] = 1
+            elif element.data_type is DataType.FLOAT:
+                outputs[element.name] = 1.0
+            elif element.data_type is DataType.DOCUMENT:
+                outputs[element.name] = {"produced_by": activity_id}
+            else:
+                outputs[element.name] = f"{element.name}_by_{activity_id}"
+        return outputs
+
+    # ------------------------------------------------------------------ #
+    # marking propagation (the heart of the engine)
+    # ------------------------------------------------------------------ #
+
+    def propagate(self, instance: ProcessInstance) -> None:
+        """Advance the marking until no further automatic step is possible."""
+        schema = instance.execution_schema
+        for _ in range(self.max_propagation_rounds):
+            changed = False
+            for node_id in schema.node_ids():
+                state = instance.marking.node_state(node_id)
+                if state is not NodeState.NOT_ACTIVATED:
+                    continue
+                decision = self._entry_decision(instance, schema, node_id)
+                if decision == "activate":
+                    node = schema.node(node_id)
+                    if node.is_activity:
+                        instance.marking.set_node_state(node_id, NodeState.ACTIVATED)
+                        self._emit(EventType.ACTIVITY_ACTIVATED, instance, node=node_id)
+                    else:
+                        self._execute_structural(instance, node)
+                    changed = True
+                elif decision == "skip":
+                    self._skip_node(instance, node_id)
+                    changed = True
+            if not changed:
+                return
+        raise EngineError("marking propagation did not converge (possible engine bug)")
+
+    def _entry_decision(
+        self, instance: ProcessInstance, schema: ProcessSchema, node_id: str
+    ) -> Optional[str]:
+        """Decide whether a NOT_ACTIVATED node should activate, skip or wait."""
+        node = schema.node(node_id)
+        control_edges = schema.edges_to(node_id, EdgeType.CONTROL)
+        sync_edges = schema.edges_to(node_id, EdgeType.SYNC)
+        if node.node_type is NodeType.START:
+            return "activate"
+        if not control_edges:
+            return None
+        states = [
+            instance.marking.edge_state(edge.source, edge.target, EdgeType.CONTROL)
+            for edge in control_edges
+        ]
+        sync_states = [
+            instance.marking.edge_state(edge.source, edge.target, EdgeType.SYNC)
+            for edge in sync_edges
+        ]
+        all_signaled = all(s.is_signaled for s in states)
+        sync_ready = all(s.is_signaled for s in sync_states)
+        if node.node_type is NodeType.AND_JOIN:
+            if not all_signaled:
+                return None
+            if all(s is EdgeState.FALSE_SIGNALED for s in states):
+                return "skip"
+            if all(s is EdgeState.TRUE_SIGNALED for s in states):
+                return "activate" if sync_ready else None
+            # Mixed signals cannot happen in a correct block-structured schema.
+            return None
+        if node.node_type is NodeType.XOR_JOIN:
+            if not all_signaled:
+                return None
+            if any(s is EdgeState.TRUE_SIGNALED for s in states):
+                return "activate" if sync_ready else None
+            return "skip"
+        # single incoming control edge (activities, splits, loop nodes, end)
+        state = states[0]
+        if state is EdgeState.TRUE_SIGNALED:
+            return "activate" if sync_ready else None
+        if state is EdgeState.FALSE_SIGNALED:
+            return "skip"
+        return None
+
+    def _execute_structural(self, instance: ProcessInstance, node: Node) -> None:
+        """Automatically execute a structural node that just became ready."""
+        schema = instance.execution_schema
+        node_id = node.node_id
+        if node.node_type is NodeType.XOR_SPLIT:
+            instance.marking.set_node_state(node_id, NodeState.COMPLETED)
+            self._signal_outgoing(
+                instance, node_id, chosen_target=self._choose_branch(instance, schema, node_id), skipped=False
+            )
+            return
+        if node.node_type is NodeType.LOOP_END:
+            self._execute_loop_end(instance, node)
+            return
+        instance.marking.set_node_state(node_id, NodeState.COMPLETED)
+        if node.node_type is NodeType.END:
+            instance.status = InstanceStatus.COMPLETED
+            self._emit(EventType.INSTANCE_COMPLETED, instance, node=node_id)
+            return
+        self._signal_outgoing(instance, node_id, chosen_target=None, skipped=False)
+
+    def _choose_branch(
+        self, instance: ProcessInstance, schema: ProcessSchema, split_id: str
+    ) -> str:
+        """Evaluate XOR guards over the current data and pick a branch."""
+        edges = schema.edges_from(split_id, EdgeType.CONTROL)
+        default_target: Optional[str] = None
+        for edge in edges:
+            if edge.guard is None:
+                default_target = edge.target
+                continue
+            try:
+                if evaluate_condition(edge.guard, instance.data.values):
+                    return edge.target
+            except ExpressionError:
+                continue
+        if default_target is not None:
+            return default_target
+        # No guard held and no default branch: fall back to the first branch
+        # (structural verification warns about this situation at buildtime).
+        return edges[0].target
+
+    def _execute_loop_end(self, instance: ProcessInstance, node: Node) -> None:
+        schema = instance.execution_schema
+        node_id = node.node_id
+        loop_start_id = schema.matching_loop_start(node_id)
+        loop_edge = schema.edge(node_id, loop_start_id, EdgeType.LOOP)
+        loop_start = schema.node(loop_start_id)
+        max_iterations = int(loop_start.properties.get("max_iterations", 100))
+        iteration = instance.loop_iterations.get(loop_start_id, 0)
+        repeat = False
+        if loop_edge.loop_condition is not None and iteration + 1 < max_iterations:
+            try:
+                repeat = evaluate_condition(loop_edge.loop_condition, instance.data.values)
+            except ExpressionError:
+                repeat = False
+        if not repeat:
+            instance.marking.set_node_state(node_id, NodeState.COMPLETED)
+            self._signal_outgoing(instance, node_id, chosen_target=None, skipped=False)
+            return
+        self._reset_loop(instance, loop_start_id, node_id)
+
+    def _reset_loop(self, instance: ProcessInstance, loop_start_id: str, loop_end_id: str) -> None:
+        """Start a new iteration: reset the loop body and supersede its history."""
+        schema = instance.execution_schema
+        body = self._loop_body(schema, loop_start_id)
+        instance.loop_iterations[loop_start_id] = instance.loop_iterations.get(loop_start_id, 0) + 1
+        activities_in_body = [n for n in body if schema.node(n).is_activity]
+        instance.history.supersede_activities(activities_in_body)
+        reset_nodes = set(body) | {loop_start_id}
+        for node_id in reset_nodes:
+            instance.marking.set_node_state(node_id, NodeState.NOT_ACTIVATED)
+        for edge in schema.edges:
+            if edge.is_loop:
+                continue
+            if edge.source in reset_nodes and edge.target in reset_nodes:
+                instance.marking.set_edge_state(edge.source, edge.target, EdgeState.NOT_SIGNALED, edge.edge_type)
+        self._emit(EventType.LOOP_ITERATION, instance, node=loop_start_id)
+        instance.history.record(
+            HistoryEventType.LOOP_ITERATION_STARTED,
+            loop_start_id,
+            iteration=instance.loop_iterations[loop_start_id],
+        )
+        # The incoming control edge of the loop start is still TRUE-signalled,
+        # so the next propagation round re-executes the loop start node.
+
+    def _skip_node(self, instance: ProcessInstance, node_id: str) -> None:
+        """Dead-path elimination: mark a node skipped and signal FALSE onwards."""
+        schema = instance.execution_schema
+        instance.marking.set_node_state(node_id, NodeState.SKIPPED)
+        self._emit(EventType.ACTIVITY_SKIPPED, instance, node=node_id)
+        node = schema.node(node_id)
+        if node.is_activity:
+            instance.history.record(
+                HistoryEventType.ACTIVITY_SKIPPED,
+                node_id,
+                iteration=self._iteration_of(instance, node_id),
+            )
+        if node.node_type is NodeType.END:
+            return
+        self._signal_outgoing(instance, node_id, chosen_target=None, skipped=True)
+
+    def _signal_outgoing(
+        self,
+        instance: ProcessInstance,
+        node_id: str,
+        chosen_target: Optional[str],
+        skipped: bool,
+    ) -> None:
+        """Signal all outgoing control and sync edges of a finished node."""
+        schema = instance.execution_schema
+        for edge in schema.edges_from(node_id, EdgeType.CONTROL):
+            if skipped:
+                state = EdgeState.FALSE_SIGNALED
+            elif chosen_target is not None and edge.target != chosen_target:
+                state = EdgeState.FALSE_SIGNALED
+            else:
+                state = EdgeState.TRUE_SIGNALED
+            instance.marking.set_edge_state(edge.source, edge.target, state, EdgeType.CONTROL)
+        for edge in schema.edges_from(node_id, EdgeType.SYNC):
+            state = EdgeState.FALSE_SIGNALED if skipped else EdgeState.TRUE_SIGNALED
+            instance.marking.set_edge_state(edge.source, edge.target, state, EdgeType.SYNC)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _loop_body(self, schema: ProcessSchema, loop_start_id: str) -> Set[str]:
+        key = (id(schema), loop_start_id)
+        if key not in self._loop_body_cache:
+            self._loop_body_cache[key] = schema.loop_body(loop_start_id)
+        return self._loop_body_cache[key]
+
+    def _iteration_of(self, instance: ProcessInstance, node_id: str) -> int:
+        """Iteration counter of the innermost loop containing ``node_id``."""
+        schema = instance.execution_schema
+        best: Optional[Tuple[int, int]] = None  # (body size, iteration)
+        for edge in schema.loop_edges():
+            loop_start_id = edge.target
+            body = self._loop_body(schema, loop_start_id)
+            if node_id in body or node_id == loop_start_id:
+                size = len(body)
+                iteration = instance.loop_iterations.get(loop_start_id, 0)
+                if best is None or size < best[0]:
+                    best = (size, iteration)
+        return best[1] if best is not None else 0
+
+    def _require_active(self, instance: ProcessInstance) -> None:
+        if not instance.status.is_active:
+            raise EngineError(
+                f"instance {instance.instance_id!r} is {instance.status.value} and cannot execute activities"
+            )
+
+    def _emit(
+        self,
+        event_type: EventType,
+        instance: ProcessInstance,
+        node: Optional[str],
+        user: Optional[str] = None,
+    ) -> None:
+        self.event_log.append(
+            EngineEvent(
+                event_type=event_type,
+                instance_id=instance.instance_id,
+                node_id=node,
+                user=user,
+            )
+        )

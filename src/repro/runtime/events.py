@@ -1,0 +1,99 @@
+"""Engine events and the event log.
+
+The engine publishes an event for every relevant state change (instance
+created, activity activated/started/completed/skipped, loop iteration,
+instance completed, migration performed, ...).  The monitoring component
+and the worklist manager subscribe to the log; tests use it to assert
+behavioural properties without poking at engine internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+
+class EventType(str, Enum):
+    """All event kinds the runtime and the change framework emit."""
+
+    INSTANCE_CREATED = "instance_created"
+    INSTANCE_COMPLETED = "instance_completed"
+    INSTANCE_ABORTED = "instance_aborted"
+    ACTIVITY_ACTIVATED = "activity_activated"
+    ACTIVITY_STARTED = "activity_started"
+    ACTIVITY_COMPLETED = "activity_completed"
+    ACTIVITY_SKIPPED = "activity_skipped"
+    ACTIVITY_COMPENSATED = "activity_compensated"
+    LOOP_ITERATION = "loop_iteration"
+    ADHOC_CHANGE_APPLIED = "adhoc_change_applied"
+    ADHOC_CHANGE_REJECTED = "adhoc_change_rejected"
+    INSTANCE_MIGRATED = "instance_migrated"
+    MIGRATION_REJECTED = "migration_rejected"
+    SCHEMA_VERSION_RELEASED = "schema_version_released"
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """One published event."""
+
+    event_type: EventType
+    instance_id: Optional[str] = None
+    node_id: Optional[str] = None
+    user: Optional[str] = None
+    details: Optional[str] = None
+
+    def __str__(self) -> str:
+        parts = [self.event_type.value]
+        if self.instance_id:
+            parts.append(f"instance={self.instance_id}")
+        if self.node_id:
+            parts.append(f"node={self.node_id}")
+        if self.user:
+            parts.append(f"user={self.user}")
+        if self.details:
+            parts.append(self.details)
+        return " ".join(parts)
+
+
+Listener = Callable[[EngineEvent], None]
+
+
+class EventLog:
+    """Append-only in-memory event log with listener support."""
+
+    def __init__(self) -> None:
+        self._events: List[EngineEvent] = []
+        self._listeners: List[Listener] = []
+
+    def append(self, event: EngineEvent) -> None:
+        """Record an event and notify all listeners."""
+        self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
+
+    def subscribe(self, listener: Listener) -> None:
+        """Register a callback invoked for every future event."""
+        self._listeners.append(listener)
+
+    @property
+    def events(self) -> List[EngineEvent]:
+        return list(self._events)
+
+    def events_of(self, event_type: EventType, instance_id: Optional[str] = None) -> List[EngineEvent]:
+        """Events filtered by type and optionally by instance."""
+        return [
+            event
+            for event in self._events
+            if event.event_type is event_type
+            and (instance_id is None or event.instance_id == instance_id)
+        ]
+
+    def count(self, event_type: EventType) -> int:
+        return len(self.events_of(event_type))
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)

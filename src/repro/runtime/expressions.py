@@ -1,0 +1,116 @@
+"""Safe evaluation of guard and loop-condition expressions.
+
+Branch guards and loop conditions are boolean expressions over the
+process data elements (e.g. ``"score >= 50 and not rejected"``).  They
+are evaluated with a restricted AST interpreter — no attribute access, no
+calls, no subscripts — so that schema authors cannot execute arbitrary
+code through a process template.
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from typing import Any, Mapping
+
+
+class ExpressionError(Exception):
+    """Raised when an expression is malformed or references unknown names."""
+
+
+_BIN_OPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+}
+
+_COMPARE_OPS = {
+    ast.Eq: operator.eq,
+    ast.NotEq: operator.ne,
+    ast.Lt: operator.lt,
+    ast.LtE: operator.le,
+    ast.Gt: operator.gt,
+    ast.GtE: operator.ge,
+    ast.In: lambda left, right: left in right,
+    ast.NotIn: lambda left, right: left not in right,
+}
+
+
+def _evaluate(node: ast.AST, values: Mapping[str, Any]) -> Any:
+    if isinstance(node, ast.Expression):
+        return _evaluate(node.body, values)
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        if node.id not in values:
+            raise ExpressionError(f"unknown data element {node.id!r} in expression")
+        return values[node.id]
+    if isinstance(node, ast.BoolOp):
+        results = [_evaluate(value, values) for value in node.values]
+        if isinstance(node.op, ast.And):
+            outcome = True
+            for result in results:
+                outcome = outcome and result
+            return outcome
+        outcome = False
+        for result in results:
+            outcome = outcome or result
+        return outcome
+    if isinstance(node, ast.UnaryOp):
+        operand = _evaluate(node.operand, values)
+        if isinstance(node.op, ast.Not):
+            return not operand
+        if isinstance(node.op, ast.USub):
+            return -operand
+        if isinstance(node.op, ast.UAdd):
+            return +operand
+        raise ExpressionError(f"unsupported unary operator: {ast.dump(node.op)}")
+    if isinstance(node, ast.BinOp):
+        op_type = type(node.op)
+        if op_type not in _BIN_OPS:
+            raise ExpressionError(f"unsupported binary operator: {op_type.__name__}")
+        return _BIN_OPS[op_type](_evaluate(node.left, values), _evaluate(node.right, values))
+    if isinstance(node, ast.Compare):
+        left = _evaluate(node.left, values)
+        for op, comparator in zip(node.ops, node.comparators):
+            op_type = type(op)
+            if op_type not in _COMPARE_OPS:
+                raise ExpressionError(f"unsupported comparison: {op_type.__name__}")
+            right = _evaluate(comparator, values)
+            if not _COMPARE_OPS[op_type](left, right):
+                return False
+            left = right
+        return True
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return [_evaluate(element, values) for element in node.elts]
+    raise ExpressionError(f"unsupported expression construct: {type(node).__name__}")
+
+
+def evaluate_expression(expression: str, values: Mapping[str, Any]) -> Any:
+    """Evaluate ``expression`` over ``values`` and return the raw result."""
+    if not expression or not expression.strip():
+        raise ExpressionError("expression must be non-empty")
+    try:
+        tree = ast.parse(expression, mode="eval")
+    except SyntaxError as exc:
+        raise ExpressionError(f"malformed expression {expression!r}: {exc}") from exc
+    return _evaluate(tree, values)
+
+
+def evaluate_condition(expression: str, values: Mapping[str, Any]) -> bool:
+    """Evaluate ``expression`` and coerce the result to a boolean.
+
+    ``None`` values of referenced data elements are treated as "absent"
+    and make the condition false rather than raising, so that guards over
+    not-yet-written optional data behave predictably.
+    """
+    try:
+        result = evaluate_expression(expression, values)
+    except ExpressionError:
+        raise
+    except TypeError:
+        return False
+    return bool(result)

@@ -1,0 +1,213 @@
+"""Execution histories (traces) of process instances.
+
+The compliance criterion of the paper is "based on a relaxed notion of
+trace equivalence ... and works correctly in connection with loop backs".
+The execution history records one entry per activity start and completion
+(with the data values read and written and the loop iteration it belongs
+to).  The *reduced* history discards entries of superseded loop
+iterations — exactly the relaxation that makes the criterion practical
+for looping processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+class HistoryEventType(str, Enum):
+    """Kinds of history entries."""
+
+    ACTIVITY_STARTED = "activity_started"
+    ACTIVITY_COMPLETED = "activity_completed"
+    ACTIVITY_SKIPPED = "activity_skipped"
+    ACTIVITY_COMPENSATED = "activity_compensated"
+    LOOP_ITERATION_STARTED = "loop_iteration_started"
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One event of an instance's execution history.
+
+    Attributes:
+        sequence: Monotonically increasing position within the history.
+        event: Kind of event.
+        activity: Node id the event refers to.
+        iteration: Loop iteration counter of the innermost enclosing loop
+            (0 outside loops and for the first iteration).
+        values: Data values read (on start) or written (on completion).
+        user: User who performed the activity, if any.
+        superseded: True when a later loop iteration replaced this entry;
+            superseded entries are dropped from the reduced history.
+        timestamp: Logical timestamp (monotonic counter of the engine).
+    """
+
+    sequence: int
+    event: HistoryEventType
+    activity: str
+    iteration: int = 0
+    values: Mapping[str, Any] = field(default_factory=dict)
+    user: Optional[str] = None
+    superseded: bool = False
+    timestamp: int = 0
+
+    def mark_superseded(self) -> "HistoryEntry":
+        """A copy of this entry flagged as belonging to an old iteration."""
+        return HistoryEntry(
+            sequence=self.sequence,
+            event=self.event,
+            activity=self.activity,
+            iteration=self.iteration,
+            values=self.values,
+            user=self.user,
+            superseded=True,
+            timestamp=self.timestamp,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "sequence": self.sequence,
+            "event": self.event.value,
+            "activity": self.activity,
+            "iteration": self.iteration,
+            "values": dict(self.values),
+            "user": self.user,
+            "superseded": self.superseded,
+            "timestamp": self.timestamp,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "HistoryEntry":
+        return cls(
+            sequence=payload["sequence"],
+            event=HistoryEventType(payload["event"]),
+            activity=payload["activity"],
+            iteration=payload.get("iteration", 0),
+            values=dict(payload.get("values", {})),
+            user=payload.get("user"),
+            superseded=payload.get("superseded", False),
+            timestamp=payload.get("timestamp", 0),
+        )
+
+
+class ExecutionHistory:
+    """Ordered log of the events an instance produced so far."""
+
+    def __init__(self, entries: Optional[Iterable[HistoryEntry]] = None) -> None:
+        self._entries: List[HistoryEntry] = list(entries or [])
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+
+    def record(
+        self,
+        event: HistoryEventType,
+        activity: str,
+        iteration: int = 0,
+        values: Optional[Mapping[str, Any]] = None,
+        user: Optional[str] = None,
+    ) -> HistoryEntry:
+        """Append a new entry and return it."""
+        entry = HistoryEntry(
+            sequence=len(self._entries),
+            event=event,
+            activity=activity,
+            iteration=iteration,
+            values=dict(values or {}),
+            user=user,
+            timestamp=len(self._entries),
+        )
+        self._entries.append(entry)
+        return entry
+
+    def supersede_activities(self, activities: Iterable[str]) -> int:
+        """Flag all existing entries of ``activities`` as superseded.
+
+        Called by the engine when a loop starts a new iteration: entries of
+        the previous pass through the loop body no longer count for the
+        reduced history.  Returns the number of entries flagged.
+        """
+        targets = set(activities)
+        flagged = 0
+        for index, entry in enumerate(self._entries):
+            if entry.activity in targets and not entry.superseded:
+                self._entries[index] = entry.mark_superseded()
+                flagged += 1
+        return flagged
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def entries(self) -> List[HistoryEntry]:
+        """All entries in recording order (full history)."""
+        return list(self._entries)
+
+    def reduced(self) -> List[HistoryEntry]:
+        """The reduced history: entries of superseded loop iterations removed."""
+        return [entry for entry in self._entries if not entry.superseded]
+
+    def entries_for(self, activity: str, reduced: bool = False) -> List[HistoryEntry]:
+        """All entries of one activity."""
+        source = self.reduced() if reduced else self._entries
+        return [entry for entry in source if entry.activity == activity]
+
+    def completed_activities(self, reduced: bool = True) -> List[str]:
+        """Activity ids with a completion entry, in completion order."""
+        source = self.reduced() if reduced else self._entries
+        return [
+            entry.activity
+            for entry in source
+            if entry.event is HistoryEventType.ACTIVITY_COMPLETED
+        ]
+
+    def started_activities(self, reduced: bool = True) -> List[str]:
+        """Activity ids with a start entry, in start order."""
+        source = self.reduced() if reduced else self._entries
+        return [
+            entry.activity
+            for entry in source
+            if entry.event is HistoryEventType.ACTIVITY_STARTED
+        ]
+
+    def has_entries_for(self, activity: str, reduced: bool = True) -> bool:
+        """True when the (reduced) history mentions ``activity``."""
+        return bool(self.entries_for(activity, reduced=reduced))
+
+    def written_values(self, element: str) -> List[Any]:
+        """Chronological values written to a data element (full history)."""
+        values = []
+        for entry in self._entries:
+            if entry.event is HistoryEventType.ACTIVITY_COMPLETED and element in entry.values:
+                values.append(entry.values[element])
+        return values
+
+    def last_sequence(self) -> int:
+        """Sequence number of the newest entry (-1 when empty)."""
+        return self._entries[-1].sequence if self._entries else -1
+
+    # ------------------------------------------------------------------ #
+    # copy / serialization
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "ExecutionHistory":
+        return ExecutionHistory(self._entries)
+
+    def to_dict(self) -> dict:
+        return {"entries": [entry.to_dict() for entry in self._entries]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExecutionHistory":
+        return cls(HistoryEntry.from_dict(item) for item in payload.get("entries", []))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __repr__(self) -> str:
+        return f"ExecutionHistory(entries={len(self._entries)}, reduced={len(self.reduced())})"

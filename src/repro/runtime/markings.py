@@ -1,0 +1,169 @@
+"""Instance markings: the per-instance state of all nodes and edges.
+
+A marking assigns a :class:`~repro.runtime.states.NodeState` to every node
+and an :class:`~repro.runtime.states.EdgeState` to every control and sync
+edge of the instance's execution schema.  Markings are the
+instance-specific data the redundancy-free storage representation keeps
+next to the schema reference (paper Fig. 2), and the object on which the
+per-operation compliance conditions are evaluated (paper Fig. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.runtime.states import EdgeState, NodeState
+from repro.schema.edges import EdgeType
+from repro.schema.graph import ProcessSchema
+
+EdgeKey = Tuple[str, str, str]
+
+
+class Marking:
+    """State assignment for all nodes and (control/sync) edges of a schema."""
+
+    def __init__(
+        self,
+        node_states: Optional[Mapping[str, NodeState]] = None,
+        edge_states: Optional[Mapping[EdgeKey, EdgeState]] = None,
+    ) -> None:
+        self._node_states: Dict[str, NodeState] = dict(node_states or {})
+        self._edge_states: Dict[EdgeKey, EdgeState] = dict(edge_states or {})
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def initial(cls, schema: ProcessSchema) -> "Marking":
+        """The marking of a freshly created instance: everything untouched."""
+        node_states = {node_id: NodeState.NOT_ACTIVATED for node_id in schema.node_ids()}
+        edge_states = {
+            edge.key: EdgeState.NOT_SIGNALED for edge in schema.edges if not edge.is_loop
+        }
+        return cls(node_states, edge_states)
+
+    def copy(self) -> "Marking":
+        """An independent copy of this marking."""
+        return Marking(dict(self._node_states), dict(self._edge_states))
+
+    # ------------------------------------------------------------------ #
+    # node state accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def node_states(self) -> Dict[str, NodeState]:
+        return self._node_states
+
+    @property
+    def edge_states(self) -> Dict[EdgeKey, EdgeState]:
+        return self._edge_states
+
+    def node_state(self, node_id: str) -> NodeState:
+        """State of ``node_id`` (untouched nodes default to NOT_ACTIVATED)."""
+        return self._node_states.get(node_id, NodeState.NOT_ACTIVATED)
+
+    def set_node_state(self, node_id: str, state: NodeState) -> None:
+        self._node_states[node_id] = state
+
+    def remove_node(self, node_id: str) -> None:
+        """Forget the state of a node (used when a change deletes it)."""
+        self._node_states.pop(node_id, None)
+        self._edge_states = {
+            key: state
+            for key, state in self._edge_states.items()
+            if key[0] != node_id and key[1] != node_id
+        }
+
+    def nodes_in_state(self, *states: NodeState) -> List[str]:
+        """All node ids currently in one of ``states``."""
+        wanted = set(states)
+        return [node_id for node_id, state in self._node_states.items() if state in wanted]
+
+    def activated_nodes(self) -> List[str]:
+        return self.nodes_in_state(NodeState.ACTIVATED)
+
+    def running_nodes(self) -> List[str]:
+        return self.nodes_in_state(NodeState.RUNNING, NodeState.SUSPENDED)
+
+    def completed_nodes(self) -> List[str]:
+        return self.nodes_in_state(NodeState.COMPLETED)
+
+    def started_nodes(self) -> List[str]:
+        """Nodes whose execution has begun (running, suspended, completed, failed)."""
+        return [
+            node_id for node_id, state in self._node_states.items() if state.is_started
+        ]
+
+    # ------------------------------------------------------------------ #
+    # edge state accessors
+    # ------------------------------------------------------------------ #
+
+    def edge_state(self, source: str, target: str, edge_type: EdgeType = EdgeType.CONTROL) -> EdgeState:
+        """State of the edge (untouched edges default to NOT_SIGNALED)."""
+        return self._edge_states.get((source, target, edge_type.value), EdgeState.NOT_SIGNALED)
+
+    def set_edge_state(
+        self, source: str, target: str, state: EdgeState, edge_type: EdgeType = EdgeType.CONTROL
+    ) -> None:
+        self._edge_states[(source, target, edge_type.value)] = state
+
+    def ensure_edge(self, source: str, target: str, edge_type: EdgeType = EdgeType.CONTROL) -> None:
+        """Register a (new) edge with the default NOT_SIGNALED state."""
+        self._edge_states.setdefault((source, target, edge_type.value), EdgeState.NOT_SIGNALED)
+
+    def ensure_node(self, node_id: str) -> None:
+        """Register a (new) node with the default NOT_ACTIVATED state."""
+        self._node_states.setdefault(node_id, NodeState.NOT_ACTIVATED)
+
+    # ------------------------------------------------------------------ #
+    # comparison / serialization
+    # ------------------------------------------------------------------ #
+
+    def differences(self, other: "Marking") -> List[str]:
+        """Human readable differences between two markings (for tests)."""
+        problems: List[str] = []
+        node_ids = set(self._node_states) | set(other._node_states)
+        for node_id in sorted(node_ids):
+            mine = self.node_state(node_id)
+            theirs = other.node_state(node_id)
+            if mine is not theirs:
+                problems.append(f"node {node_id}: {mine.value} != {theirs.value}")
+        edge_keys = set(self._edge_states) | set(other._edge_states)
+        for key in sorted(edge_keys):
+            mine_edge = self._edge_states.get(key, EdgeState.NOT_SIGNALED)
+            theirs_edge = other._edge_states.get(key, EdgeState.NOT_SIGNALED)
+            if mine_edge is not theirs_edge:
+                problems.append(f"edge {key}: {mine_edge.value} != {theirs_edge.value}")
+        return problems
+
+    def equivalent_to(self, other: "Marking") -> bool:
+        """True when both markings assign the same states everywhere."""
+        return not self.differences(other)
+
+    def to_dict(self) -> dict:
+        """Serialize the marking to a JSON-compatible dictionary."""
+        return {
+            "node_states": {node_id: state.value for node_id, state in self._node_states.items()},
+            "edge_states": [
+                {"source": key[0], "target": key[1], "edge_type": key[2], "state": state.value}
+                for key, state in self._edge_states.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Marking":
+        """Reconstruct a marking from :meth:`to_dict` output."""
+        node_states = {
+            node_id: NodeState(value) for node_id, value in payload.get("node_states", {}).items()
+        }
+        edge_states = {
+            (entry["source"], entry["target"], entry["edge_type"]): EdgeState(entry["state"])
+            for entry in payload.get("edge_states", [])
+        }
+        return cls(node_states, edge_states)
+
+    def __repr__(self) -> str:
+        active = len(self.nodes_in_state(NodeState.ACTIVATED, NodeState.RUNNING))
+        done = len(self.completed_nodes())
+        return f"Marking(nodes={len(self._node_states)}, active={active}, completed={done})"

@@ -1,0 +1,154 @@
+"""Worklists: offering activated activities to authorised users.
+
+Activated activities are turned into work items and offered to the users
+whose role matches the activity's staff assignment (resolved through the
+organisational model, :mod:`repro.org`).  A user claims an item, performs
+the work and completes it through the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.runtime.engine import EngineError, ProcessEngine
+from repro.runtime.instance import ProcessInstance
+
+
+class WorkItemState(str, Enum):
+    """Lifecycle of a work item."""
+
+    OFFERED = "offered"
+    CLAIMED = "claimed"
+    COMPLETED = "completed"
+    WITHDRAWN = "withdrawn"
+
+
+@dataclass
+class WorkItem:
+    """One offered unit of work (an activated activity of an instance)."""
+
+    item_id: str
+    instance_id: str
+    activity_id: str
+    role: Optional[str]
+    state: WorkItemState = WorkItemState.OFFERED
+    claimed_by: Optional[str] = None
+
+    def __str__(self) -> str:
+        who = f" by {self.claimed_by}" if self.claimed_by else ""
+        return f"[{self.state.value}] {self.instance_id}/{self.activity_id} (role={self.role}){who}"
+
+
+class WorklistManager:
+    """Maintains work items for a set of instances driven by one engine."""
+
+    def __init__(self, engine: ProcessEngine, org_model: Optional[Any] = None) -> None:
+        self.engine = engine
+        self.org_model = org_model
+        self._items: Dict[str, WorkItem] = {}
+        self._instances: Dict[str, ProcessInstance] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+
+    def register_instance(self, instance: ProcessInstance) -> None:
+        """Track an instance and create work items for its activated activities."""
+        self._instances[instance.instance_id] = instance
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Synchronise work items with the current activations of all instances."""
+        active_pairs = set()
+        for instance in self._instances.values():
+            schema = instance.execution_schema
+            for activity_id in instance.activated_activities():
+                active_pairs.add((instance.instance_id, activity_id))
+                if not self._has_open_item(instance.instance_id, activity_id):
+                    self._counter += 1
+                    role = schema.node(activity_id).staff_assignment
+                    item = WorkItem(
+                        item_id=f"wi-{self._counter}",
+                        instance_id=instance.instance_id,
+                        activity_id=activity_id,
+                        role=role,
+                    )
+                    self._items[item.item_id] = item
+        # withdraw items whose activity is no longer activated (e.g. the
+        # activity was deleted by an ad-hoc change or skipped)
+        for item in self._items.values():
+            if item.state in (WorkItemState.OFFERED, WorkItemState.CLAIMED):
+                if (item.instance_id, item.activity_id) not in active_pairs:
+                    item.state = WorkItemState.WITHDRAWN
+
+    def _has_open_item(self, instance_id: str, activity_id: str) -> bool:
+        return any(
+            item.instance_id == instance_id
+            and item.activity_id == activity_id
+            and item.state in (WorkItemState.OFFERED, WorkItemState.CLAIMED)
+            for item in self._items.values()
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def worklist_for(self, user: str) -> List[WorkItem]:
+        """Open work items the given user is authorised to perform."""
+        items = []
+        for item in self._items.values():
+            if item.state is not WorkItemState.OFFERED:
+                continue
+            if self._authorised(user, item.role):
+                items.append(item)
+        return items
+
+    def _authorised(self, user: str, role: Optional[str]) -> bool:
+        if role is None:
+            return True
+        if self.org_model is None:
+            return True
+        return self.org_model.user_has_role(user, role)
+
+    def claim(self, item_id: str, user: str) -> WorkItem:
+        """Claim an offered work item for ``user``."""
+        item = self._item(item_id)
+        if item.state is not WorkItemState.OFFERED:
+            raise EngineError(f"work item {item_id!r} is not offered (state={item.state.value})")
+        if not self._authorised(user, item.role):
+            raise EngineError(f"user {user!r} lacks role {item.role!r} required by {item_id!r}")
+        item.state = WorkItemState.CLAIMED
+        item.claimed_by = user
+        self.engine.start_activity(self._instances[item.instance_id], item.activity_id, user=user)
+        return item
+
+    def complete(self, item_id: str, outputs: Optional[Mapping[str, Any]] = None) -> WorkItem:
+        """Complete a claimed work item through the engine."""
+        item = self._item(item_id)
+        if item.state is not WorkItemState.CLAIMED:
+            raise EngineError(f"work item {item_id!r} is not claimed (state={item.state.value})")
+        instance = self._instances[item.instance_id]
+        self.engine.complete_activity(instance, item.activity_id, outputs=outputs, user=item.claimed_by)
+        item.state = WorkItemState.COMPLETED
+        self.refresh()
+        return item
+
+    def open_items(self) -> List[WorkItem]:
+        """All currently offered or claimed items."""
+        return [
+            item
+            for item in self._items.values()
+            if item.state in (WorkItemState.OFFERED, WorkItemState.CLAIMED)
+        ]
+
+    def items_for_instance(self, instance_id: str) -> List[WorkItem]:
+        """All items (any state) belonging to one instance."""
+        return [item for item in self._items.values() if item.instance_id == instance_id]
+
+    def _item(self, item_id: str) -> WorkItem:
+        try:
+            return self._items[item_id]
+        except KeyError:
+            raise EngineError(f"unknown work item {item_id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._items)

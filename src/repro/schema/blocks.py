@@ -1,0 +1,302 @@
+"""Block-structure analysis of WSM nets.
+
+ADEPT2 schemas are *block structured*: every AND/XOR split has exactly one
+matching join, loops have a dedicated start and end node, and blocks are
+properly nested (they may be arbitrarily nested but never overlap).  Sync
+edges are the only construct allowed to cross branches of an AND block.
+
+This module computes matching split/join pairs via dominator and
+post-dominator analysis on the control-flow DAG (loop edges excluded),
+builds the block nesting tree and answers containment queries that the
+change operations and the substitution-block computation rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.schema.edges import EdgeType
+from repro.schema.graph import ProcessSchema, SchemaError
+from repro.schema.nodes import NodeType
+
+
+class BlockStructureError(SchemaError):
+    """Raised when block-structure analysis fails (malformed schema)."""
+
+
+class BlockKind(str, Enum):
+    """The kind of a control block."""
+
+    PROCESS = "process"
+    PARALLEL = "parallel"
+    CONDITIONAL = "conditional"
+    LOOP = "loop"
+
+
+@dataclass
+class Block:
+    """A control block delimited by an entry and an exit node.
+
+    Attributes:
+        kind: Parallel (AND), conditional (XOR), loop, or the whole process.
+        entry: Id of the opening node (split / loop start / start node).
+        exit: Id of the closing node (join / loop end / end node).
+        nodes: All node ids strictly between entry and exit (exclusive).
+        children: Directly nested blocks.
+    """
+
+    kind: BlockKind
+    entry: str
+    exit: str
+    nodes: Set[str] = field(default_factory=set)
+    children: List["Block"] = field(default_factory=list)
+
+    def contains(self, node_id: str, include_boundary: bool = True) -> bool:
+        """True when ``node_id`` lies inside this block."""
+        if include_boundary and node_id in (self.entry, self.exit):
+            return True
+        return node_id in self.nodes
+
+    def all_nodes(self) -> Set[str]:
+        """Every node of the block including entry and exit."""
+        return self.nodes | {self.entry, self.exit}
+
+    def __repr__(self) -> str:
+        return f"Block({self.kind.value}, {self.entry!r} .. {self.exit!r}, inner={len(self.nodes)})"
+
+
+def _control_successors(schema: ProcessSchema, node_id: str) -> List[str]:
+    return schema.successors(node_id, EdgeType.CONTROL)
+
+
+def _control_predecessors(schema: ProcessSchema, node_id: str) -> List[str]:
+    return schema.predecessors(node_id, EdgeType.CONTROL)
+
+
+def post_dominators(schema: ProcessSchema) -> Dict[str, Set[str]]:
+    """Post-dominator sets on the control DAG (loop edges ignored).
+
+    ``post_dominators(s)[n]`` is the set of nodes that appear on *every*
+    control path from ``n`` to the end node (including ``n`` itself).
+    """
+    order = schema.topological_order(include_sync=False)
+    end_id = schema.end_node().node_id
+    postdom: Dict[str, Set[str]] = {}
+    for node_id in reversed(order):
+        if node_id == end_id:
+            postdom[node_id] = {node_id}
+            continue
+        succs = _control_successors(schema, node_id)
+        if not succs:
+            postdom[node_id] = {node_id}
+            continue
+        common: Optional[Set[str]] = None
+        for succ in succs:
+            succ_set = postdom.get(succ, {succ})
+            common = set(succ_set) if common is None else common & succ_set
+        postdom[node_id] = (common or set()) | {node_id}
+    return postdom
+
+
+def dominators(schema: ProcessSchema) -> Dict[str, Set[str]]:
+    """Dominator sets on the control DAG (loop edges ignored).
+
+    ``dominators(s)[n]`` is the set of nodes that appear on *every*
+    control path from the start node to ``n`` (including ``n`` itself).
+    """
+    order = schema.topological_order(include_sync=False)
+    start_id = schema.start_node().node_id
+    dom: Dict[str, Set[str]] = {}
+    for node_id in order:
+        if node_id == start_id:
+            dom[node_id] = {node_id}
+            continue
+        preds = _control_predecessors(schema, node_id)
+        if not preds:
+            dom[node_id] = {node_id}
+            continue
+        common: Optional[Set[str]] = None
+        for pred in preds:
+            pred_set = dom.get(pred, {pred})
+            common = set(pred_set) if common is None else common & pred_set
+        dom[node_id] = (common or set()) | {node_id}
+    return dom
+
+
+def matching_join(schema: ProcessSchema, split_id: str) -> str:
+    """The join node closing the block opened by ``split_id``.
+
+    The matching join of a split is its immediate post-dominator of the
+    expected join type.  Raises :class:`BlockStructureError` when the
+    schema is not block structured.
+    """
+    split = schema.node(split_id)
+    if not split.node_type.is_split:
+        raise BlockStructureError(f"{split_id!r} is not a split node")
+    expected = split.node_type.counterpart
+    postdom = post_dominators(schema)
+    candidates = postdom[split_id] - {split_id}
+    if not candidates:
+        raise BlockStructureError(f"split {split_id!r} has no matching join")
+    order = schema.topological_order(include_sync=False)
+    position = {node_id: index for index, node_id in enumerate(order)}
+    for candidate in sorted(candidates, key=lambda n: position[n]):
+        if schema.node(candidate).node_type is expected:
+            return candidate
+    raise BlockStructureError(
+        f"split {split_id!r} has no post-dominating {expected.value} node"
+    )
+
+
+def matching_split(schema: ProcessSchema, join_id: str) -> str:
+    """The split node opening the block closed by ``join_id``."""
+    join = schema.node(join_id)
+    if not join.node_type.is_join:
+        raise BlockStructureError(f"{join_id!r} is not a join node")
+    expected = join.node_type.counterpart
+    dom = dominators(schema)
+    candidates = dom[join_id] - {join_id}
+    if not candidates:
+        raise BlockStructureError(f"join {join_id!r} has no matching split")
+    order = schema.topological_order(include_sync=False)
+    position = {node_id: index for index, node_id in enumerate(order)}
+    for candidate in sorted(candidates, key=lambda n: position[n], reverse=True):
+        if schema.node(candidate).node_type is expected:
+            return candidate
+    raise BlockStructureError(
+        f"join {join_id!r} has no dominating {expected.value} node"
+    )
+
+
+def block_inner_nodes(schema: ProcessSchema, entry: str, exit: str) -> Set[str]:
+    """Nodes strictly between ``entry`` and ``exit`` on control paths."""
+    after_entry = schema.transitive_successors(entry, include_sync=False)
+    before_exit = schema.transitive_predecessors(exit, include_sync=False)
+    return (after_entry & before_exit) - {entry, exit}
+
+
+def branch_roots(schema: ProcessSchema, split_id: str) -> List[str]:
+    """The first node of each branch of ``split_id`` (its direct successors)."""
+    return _control_successors(schema, split_id)
+
+
+def branch_containing(schema: ProcessSchema, split_id: str, node_id: str) -> Optional[str]:
+    """The branch root of ``split_id`` whose branch contains ``node_id``.
+
+    Returns ``None`` when the node lies outside the split's block.
+    """
+    join_id = matching_join(schema, split_id)
+    inner = block_inner_nodes(schema, split_id, join_id)
+    if node_id not in inner:
+        return None
+    for root in branch_roots(schema, split_id):
+        if node_id == root or node_id in schema.transitive_successors(root, include_sync=False):
+            before_join = schema.transitive_predecessors(join_id, include_sync=False)
+            if node_id == root or node_id in before_join:
+                return root
+    return None
+
+
+class BlockTree:
+    """The nesting tree of all blocks of a schema."""
+
+    def __init__(self, root: Block, blocks: Sequence[Block]) -> None:
+        self.root = root
+        self.blocks = list(blocks)
+
+    @classmethod
+    def build(cls, schema: ProcessSchema) -> "BlockTree":
+        """Analyse ``schema`` and build its block nesting tree."""
+        start_id = schema.start_node().node_id
+        end_id = schema.end_node().node_id
+        root = Block(
+            kind=BlockKind.PROCESS,
+            entry=start_id,
+            exit=end_id,
+            nodes=block_inner_nodes(schema, start_id, end_id),
+        )
+        blocks: List[Block] = [root]
+        for node in schema.nodes.values():
+            if node.node_type.is_split:
+                join_id = matching_join(schema, node.node_id)
+                kind = (
+                    BlockKind.PARALLEL
+                    if node.node_type is NodeType.AND_SPLIT
+                    else BlockKind.CONDITIONAL
+                )
+                blocks.append(
+                    Block(
+                        kind=kind,
+                        entry=node.node_id,
+                        exit=join_id,
+                        nodes=block_inner_nodes(schema, node.node_id, join_id),
+                    )
+                )
+            elif node.node_type is NodeType.LOOP_START:
+                loop_end = schema.matching_loop_end(node.node_id)
+                blocks.append(
+                    Block(
+                        kind=BlockKind.LOOP,
+                        entry=node.node_id,
+                        exit=loop_end,
+                        nodes=block_inner_nodes(schema, node.node_id, loop_end),
+                    )
+                )
+        cls._link_children(blocks)
+        return cls(root, blocks)
+
+    @staticmethod
+    def _link_children(blocks: List[Block]) -> None:
+        """Attach each block to its smallest strictly-enclosing block."""
+        for block in blocks:
+            parent: Optional[Block] = None
+            for candidate in blocks:
+                if candidate is block:
+                    continue
+                if block.entry in candidate.all_nodes() and block.exit in candidate.all_nodes():
+                    if not candidate.contains(block.entry, include_boundary=False) and candidate.kind is not BlockKind.PROCESS:
+                        # block.entry equals candidate boundary -> not strictly nested
+                        if block.entry in (candidate.entry, candidate.exit):
+                            continue
+                    if parent is None or len(candidate.all_nodes()) < len(parent.all_nodes()):
+                        parent = candidate
+            if parent is not None:
+                parent.children.append(block)
+
+    def enclosing_blocks(self, node_id: str) -> List[Block]:
+        """All blocks containing ``node_id``, smallest first."""
+        containing = [b for b in self.blocks if b.contains(node_id)]
+        return sorted(containing, key=lambda b: len(b.all_nodes()))
+
+    def innermost_block(self, node_id: str) -> Block:
+        """The smallest block containing ``node_id``."""
+        enclosing = self.enclosing_blocks(node_id)
+        if not enclosing:
+            raise BlockStructureError(f"node {node_id!r} is not contained in any block")
+        return enclosing[0]
+
+    def minimal_block_containing(self, node_ids: Set[str]) -> Block:
+        """The smallest block containing every node in ``node_ids``."""
+        if not node_ids:
+            return self.root
+        candidates = [
+            block
+            for block in self.blocks
+            if all(block.contains(node_id) for node_id in node_ids)
+        ]
+        if not candidates:
+            raise BlockStructureError(f"no block contains all of {sorted(node_ids)!r}")
+        return min(candidates, key=lambda b: len(b.all_nodes()))
+
+    def loop_blocks(self) -> List[Block]:
+        """All loop blocks of the schema."""
+        return [b for b in self.blocks if b.kind is BlockKind.LOOP]
+
+    def parallel_blocks(self) -> List[Block]:
+        """All AND blocks of the schema."""
+        return [b for b in self.blocks if b.kind is BlockKind.PARALLEL]
+
+    def __len__(self) -> int:
+        return len(self.blocks)

@@ -1,0 +1,159 @@
+"""Data-flow model of ADEPT2 WSM nets.
+
+ADEPT2 schemas model data flow explicitly: *data elements* are typed
+process variables, and *data edges* connect activities to data elements
+with either read or write access.  Buildtime verification uses this model
+to detect missing input data (a mandatory read not preceded by a write on
+every path) and ad-hoc deletion of activities uses it to detect the
+"missing data" problem the paper mentions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Mapping, Optional
+
+
+class DataType(str, Enum):
+    """Primitive types of process data elements."""
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    DOCUMENT = "document"
+
+    def default_value(self) -> Any:
+        """A neutral value of this type, used when supplying missing data."""
+        defaults: dict[DataType, Any] = {
+            DataType.STRING: "",
+            DataType.INTEGER: 0,
+            DataType.FLOAT: 0.0,
+            DataType.BOOLEAN: False,
+            DataType.DOCUMENT: {},
+        }
+        return defaults[self]
+
+
+class DataAccess(str, Enum):
+    """Direction of a data edge."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class DataElement:
+    """A typed process variable.
+
+    Attributes:
+        name: Unique name within the schema.
+        data_type: Primitive type of the element.
+        default: Optional initial value supplied at instance creation.
+        description: Human readable documentation.
+    """
+
+    name: str
+    data_type: DataType = DataType.STRING
+    default: Optional[Any] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("data element name must be non-empty")
+
+    def initial_value(self) -> Any:
+        """The value an instance starts with for this element."""
+        if self.default is not None:
+            return self.default
+        return None
+
+    def to_dict(self) -> dict:
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "data_type": self.data_type.value,
+        }
+        if self.default is not None:
+            payload["default"] = self.default
+        if self.description:
+            payload["description"] = self.description
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DataElement":
+        return cls(
+            name=payload["name"],
+            data_type=DataType(payload.get("data_type", "string")),
+            default=payload.get("default"),
+            description=payload.get("description", ""),
+        )
+
+
+@dataclass(frozen=True)
+class DataEdge:
+    """A read or write connection between an activity and a data element.
+
+    Attributes:
+        activity: Id of the accessing activity node.
+        element: Name of the accessed data element.
+        access: Read or write.
+        mandatory: Mandatory reads require a preceding write on every
+            execution path (verified at buildtime); optional reads do not.
+    """
+
+    activity: str
+    element: str
+    access: DataAccess
+    mandatory: bool = True
+    properties: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.activity:
+            raise ValueError("data edge activity must be non-empty")
+        if not self.element:
+            raise ValueError("data edge element must be non-empty")
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Unique identity of the data edge within a schema."""
+        return (self.activity, self.element, self.access.value)
+
+    @property
+    def is_read(self) -> bool:
+        return self.access is DataAccess.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.access is DataAccess.WRITE
+
+    def to_dict(self) -> dict:
+        payload: dict[str, Any] = {
+            "activity": self.activity,
+            "element": self.element,
+            "access": self.access.value,
+            "mandatory": self.mandatory,
+        }
+        if self.properties:
+            payload["properties"] = dict(self.properties)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DataEdge":
+        return cls(
+            activity=payload["activity"],
+            element=payload["element"],
+            access=DataAccess(payload["access"]),
+            mandatory=payload.get("mandatory", True),
+            properties=dict(payload.get("properties", {})),
+        )
+
+
+def read_edge(activity: str, element: str, mandatory: bool = True) -> DataEdge:
+    """Convenience constructor for a read data edge."""
+    return DataEdge(activity=activity, element=element, access=DataAccess.READ, mandatory=mandatory)
+
+
+def write_edge(activity: str, element: str) -> DataEdge:
+    """Convenience constructor for a write data edge."""
+    return DataEdge(activity=activity, element=element, access=DataAccess.WRITE)

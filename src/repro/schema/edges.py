@@ -1,0 +1,127 @@
+"""Edge model of ADEPT2 WSM nets.
+
+Three edge types connect the nodes of a process schema:
+
+* **control edges** define the normal precedence relation;
+* **sync edges** impose an additional ordering between activities of
+  *different* branches of an AND block (the paper's Fig. 1 inserts one
+  between ``send questions`` and ``confirm order``);
+* **loop edges** connect a loop-end node back to its loop-start node and
+  carry the loop condition.
+
+XOR split outgoing control edges carry a *guard* — an expression over the
+process data elements evaluated by the runtime engine to select a branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Mapping, Optional
+
+
+class EdgeType(str, Enum):
+    """Kinds of edges a WSM net may contain."""
+
+    CONTROL = "control"
+    SYNC = "sync"
+    LOOP = "loop"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge between two nodes of a process schema.
+
+    Attributes:
+        source: Id of the source node.
+        target: Id of the target node.
+        edge_type: Control, sync or loop edge.
+        guard: Branch-selection expression for control edges leaving an
+            XOR split (``None`` means "default branch").
+        loop_condition: Continuation condition for loop edges; the loop
+            body is repeated while the condition evaluates to true.
+        properties: Free-form extension attributes.
+    """
+
+    source: str
+    target: str
+    edge_type: EdgeType = EdgeType.CONTROL
+    guard: Optional[str] = None
+    loop_condition: Optional[str] = None
+    properties: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise ValueError("edge endpoints must be non-empty node ids")
+        if self.source == self.target:
+            raise ValueError(f"self-loop edges are not allowed ({self.source})")
+        if self.loop_condition is not None and self.edge_type is not EdgeType.LOOP:
+            raise ValueError("loop_condition is only valid on loop edges")
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Unique identity of the edge within a schema."""
+        return (self.source, self.target, self.edge_type.value)
+
+    @property
+    def is_control(self) -> bool:
+        return self.edge_type is EdgeType.CONTROL
+
+    @property
+    def is_sync(self) -> bool:
+        return self.edge_type is EdgeType.SYNC
+
+    @property
+    def is_loop(self) -> bool:
+        return self.edge_type is EdgeType.LOOP
+
+    def with_guard(self, guard: Optional[str]) -> "Edge":
+        """Return a copy of this edge with a different guard expression."""
+        return replace(self, guard=guard)
+
+    def to_dict(self) -> dict:
+        """Serialize the edge to a JSON-compatible dictionary."""
+        payload: dict[str, Any] = {
+            "source": self.source,
+            "target": self.target,
+            "edge_type": self.edge_type.value,
+        }
+        if self.guard is not None:
+            payload["guard"] = self.guard
+        if self.loop_condition is not None:
+            payload["loop_condition"] = self.loop_condition
+        if self.properties:
+            payload["properties"] = dict(self.properties)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Edge":
+        """Reconstruct an edge from :meth:`to_dict` output."""
+        return cls(
+            source=payload["source"],
+            target=payload["target"],
+            edge_type=EdgeType(payload.get("edge_type", "control")),
+            guard=payload.get("guard"),
+            loop_condition=payload.get("loop_condition"),
+            properties=dict(payload.get("properties", {})),
+        )
+
+
+def control_edge(source: str, target: str, guard: Optional[str] = None) -> Edge:
+    """Convenience constructor for a control edge."""
+    return Edge(source=source, target=target, edge_type=EdgeType.CONTROL, guard=guard)
+
+
+def sync_edge(source: str, target: str) -> Edge:
+    """Convenience constructor for a sync edge."""
+    return Edge(source=source, target=target, edge_type=EdgeType.SYNC)
+
+
+def loop_edge(source: str, target: str, condition: str = "False") -> Edge:
+    """Convenience constructor for a loop-back edge."""
+    return Edge(
+        source=source,
+        target=target,
+        edge_type=EdgeType.LOOP,
+        loop_condition=condition,
+    )

@@ -1,0 +1,146 @@
+"""Node model of ADEPT2 WSM nets.
+
+A process schema consists of *activity* nodes (units of work assigned to
+users or application components) and *structural* nodes that open and
+close control blocks: AND splits/joins for parallel branching, XOR
+splits/joins for conditional branching and loop start/end nodes for
+repetition.  Every schema has exactly one start and one end node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Mapping, Optional
+
+
+class NodeType(str, Enum):
+    """Kinds of nodes a WSM net may contain."""
+
+    START = "start"
+    END = "end"
+    ACTIVITY = "activity"
+    AND_SPLIT = "and_split"
+    AND_JOIN = "and_join"
+    XOR_SPLIT = "xor_split"
+    XOR_JOIN = "xor_join"
+    LOOP_START = "loop_start"
+    LOOP_END = "loop_end"
+
+    @property
+    def is_split(self) -> bool:
+        """True for nodes that open a branching block."""
+        return self in (NodeType.AND_SPLIT, NodeType.XOR_SPLIT)
+
+    @property
+    def is_join(self) -> bool:
+        """True for nodes that close a branching block."""
+        return self in (NodeType.AND_JOIN, NodeType.XOR_JOIN)
+
+    @property
+    def is_structural(self) -> bool:
+        """True for nodes that only shape control flow (no work performed)."""
+        return self is not NodeType.ACTIVITY
+
+    @property
+    def counterpart(self) -> Optional["NodeType"]:
+        """The matching block-closing (or opening) node type, if any."""
+        pairs = {
+            NodeType.AND_SPLIT: NodeType.AND_JOIN,
+            NodeType.AND_JOIN: NodeType.AND_SPLIT,
+            NodeType.XOR_SPLIT: NodeType.XOR_JOIN,
+            NodeType.XOR_JOIN: NodeType.XOR_SPLIT,
+            NodeType.LOOP_START: NodeType.LOOP_END,
+            NodeType.LOOP_END: NodeType.LOOP_START,
+            NodeType.START: NodeType.END,
+            NodeType.END: NodeType.START,
+        }
+        return pairs.get(self)
+
+
+@dataclass(frozen=True)
+class Node:
+    """A single node of a process schema.
+
+    Attributes:
+        node_id: Unique identifier within the schema.
+        node_type: Structural role of the node.
+        name: Human readable label (defaults to the id).
+        staff_assignment: Role name used by the organisational model to
+            resolve worklist entries for this activity.
+        duration: Estimated duration in abstract time units, used by the
+            workload generators and the distributed cost model.
+        application: Name of the application component invoked by the
+            activity (informational).
+        properties: Free-form extension attributes.
+    """
+
+    node_id: str
+    node_type: NodeType = NodeType.ACTIVITY
+    name: str = ""
+    staff_assignment: Optional[str] = None
+    duration: float = 1.0
+    application: Optional[str] = None
+    properties: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ValueError("node_id must be a non-empty string")
+        if not self.name:
+            object.__setattr__(self, "name", self.node_id)
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+
+    @property
+    def is_activity(self) -> bool:
+        """True when this node represents actual work."""
+        return self.node_type is NodeType.ACTIVITY
+
+    def renamed(self, name: str) -> "Node":
+        """Return a copy of this node with a different display name."""
+        return replace(self, name=name)
+
+    def with_assignment(self, role: str) -> "Node":
+        """Return a copy of this node assigned to ``role``."""
+        return replace(self, staff_assignment=role)
+
+    def to_dict(self) -> dict:
+        """Serialize the node to a JSON-compatible dictionary."""
+        payload: dict[str, Any] = {
+            "node_id": self.node_id,
+            "node_type": self.node_type.value,
+            "name": self.name,
+            "duration": self.duration,
+        }
+        if self.staff_assignment is not None:
+            payload["staff_assignment"] = self.staff_assignment
+        if self.application is not None:
+            payload["application"] = self.application
+        if self.properties:
+            payload["properties"] = dict(self.properties)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Node":
+        """Reconstruct a node from :meth:`to_dict` output."""
+        return cls(
+            node_id=payload["node_id"],
+            node_type=NodeType(payload.get("node_type", "activity")),
+            name=payload.get("name", ""),
+            staff_assignment=payload.get("staff_assignment"),
+            duration=payload.get("duration", 1.0),
+            application=payload.get("application"),
+            properties=dict(payload.get("properties", {})),
+        )
+
+
+def activity(node_id: str, name: str = "", **kwargs: Any) -> Node:
+    """Convenience constructor for an activity node."""
+    return Node(node_id=node_id, node_type=NodeType.ACTIVITY, name=name, **kwargs)
+
+
+def structural(node_id: str, node_type: NodeType, name: str = "") -> Node:
+    """Convenience constructor for a structural (non-activity) node."""
+    if node_type is NodeType.ACTIVITY:
+        raise ValueError("structural() must not be used for activity nodes")
+    return Node(node_id=node_id, node_type=node_type, name=name)

@@ -1,0 +1,37 @@
+"""JSON (de)serialization helpers for process schemas.
+
+The schema objects already know how to convert themselves to plain
+dictionaries; this module adds stable JSON text rendering and file I/O so
+that the schema repository and the examples can persist templates.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.schema.graph import ProcessSchema
+
+
+def schema_to_json(schema: ProcessSchema, indent: int = 2) -> str:
+    """Render ``schema`` as deterministic, human-readable JSON text."""
+    return json.dumps(schema.to_dict(), indent=indent, sort_keys=True)
+
+
+def schema_from_json(text: str) -> ProcessSchema:
+    """Parse a schema from JSON text produced by :func:`schema_to_json`."""
+    return ProcessSchema.from_dict(json.loads(text))
+
+
+def save_schema(schema: ProcessSchema, path: Union[str, Path]) -> Path:
+    """Write ``schema`` to ``path`` as JSON and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(schema_to_json(schema), encoding="utf-8")
+    return target
+
+
+def load_schema(path: Union[str, Path]) -> ProcessSchema:
+    """Load a schema previously written by :func:`save_schema`."""
+    return schema_from_json(Path(path).read_text(encoding="utf-8"))

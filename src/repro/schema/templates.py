@@ -1,0 +1,188 @@
+"""Canonical process templates used by the paper, the examples and tests.
+
+The most important template is the **online order process** of the
+paper's Figures 1 and 3: after order entry, order confirmation runs in
+parallel to composing and packing the goods, followed by delivery.  The
+module also provides the paper's type change ΔT (insert ``send_questions``
+plus a sync edge), the ad-hoc bias that makes instance I2 structurally
+conflicting, and domain templates for the e-health and container
+transportation applications the paper cites as deployments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.schema.builder import SchemaBuilder
+from repro.schema.data import DataType
+from repro.schema.graph import ProcessSchema
+
+
+def online_order_process(version: int = 1, schema_id: str = "online_order_v1") -> ProcessSchema:
+    """The paper's online ordering process (schema S / version V1).
+
+    Structure::
+
+        start - get_order - collect_data - AND( confirm_order |
+                                                compose_order - pack_goods )
+              - deliver_goods - end
+    """
+    builder = SchemaBuilder(schema_id, name="online_order", version=version)
+    builder.data("order", DataType.DOCUMENT, description="the customer order")
+    builder.data("customer", DataType.DOCUMENT, description="customer master data")
+    builder.data("confirmation", DataType.BOOLEAN, description="order confirmed?")
+    builder.data("shipment", DataType.DOCUMENT, description="packed shipment")
+    builder.activity("get_order", role="clerk", writes=["order"])
+    builder.activity("collect_data", role="clerk", reads=["order"], writes=["customer"])
+    builder.parallel(
+        [
+            lambda seq: seq.activity(
+                "confirm_order", role="sales", reads=["order", "customer"], writes=["confirmation"]
+            ),
+            lambda seq: (
+                seq.activity("compose_order", role="warehouse", reads=["order"])
+                .activity("pack_goods", role="warehouse", reads=["order"], writes=["shipment"])
+            ),
+        ],
+        label="fulfil",
+    )
+    builder.activity(
+        "deliver_goods", role="logistics", reads=["shipment", "confirmation"]
+    )
+    return builder.build()
+
+
+def patient_treatment_process(schema_id: str = "patient_treatment_v1") -> ProcessSchema:
+    """An e-health treatment process with a diagnostic loop and an XOR block.
+
+    Mirrors the kind of clinical pathway the ADEPT group used in its
+    e-health deployments: admission, a repeatable examine/treat cycle, a
+    decision between surgery and medication, and discharge.
+    """
+    builder = SchemaBuilder(schema_id, name="patient_treatment", version=1)
+    builder.data("patient", DataType.DOCUMENT)
+    builder.data("diagnosis", DataType.STRING)
+    builder.data("cured", DataType.BOOLEAN, default=False)
+    builder.data("surgery_needed", DataType.BOOLEAN, default=False)
+    builder.activity("admit_patient", role="nurse", writes=["patient"])
+    builder.loop(
+        lambda seq: (
+            seq.activity("examine_patient", role="physician", reads=["patient"], writes=["diagnosis"])
+            .activity("perform_treatment", role="physician", reads=["diagnosis"], writes=["cured"])
+        ),
+        condition="not cured",
+        label="treatment_cycle",
+        max_iterations=10,
+    )
+    builder.conditional(
+        [
+            ("surgery_needed", lambda seq: seq.activity("schedule_surgery", role="surgeon", reads=["diagnosis"])),
+            (None, lambda seq: seq.activity("prescribe_medication", role="physician", reads=["diagnosis"])),
+        ],
+        label="therapy",
+    )
+    builder.activity("discharge_patient", role="nurse", reads=["patient"])
+    return builder.build()
+
+
+def container_transport_process(schema_id: str = "container_transport_v1") -> ProcessSchema:
+    """A container transportation process (after Bassil et al., BPM'04).
+
+    Booking and customs clearance run in parallel to vessel planning; the
+    actual transport leg repeats until the container reaches its final
+    destination.
+    """
+    builder = SchemaBuilder(schema_id, name="container_transport", version=1)
+    builder.data("booking", DataType.DOCUMENT)
+    builder.data("customs_cleared", DataType.BOOLEAN, default=False)
+    builder.data("route", DataType.DOCUMENT)
+    builder.data("arrived", DataType.BOOLEAN, default=False)
+    builder.activity("register_booking", role="dispatcher", writes=["booking"])
+    builder.parallel(
+        [
+            lambda seq: (
+                seq.activity("clear_customs", role="customs", reads=["booking"], writes=["customs_cleared"])
+            ),
+            lambda seq: (
+                seq.activity("plan_route", role="dispatcher", reads=["booking"], writes=["route"])
+                .activity("assign_vessel", role="dispatcher", reads=["route"])
+            ),
+        ],
+        label="prepare",
+    )
+    builder.loop(
+        lambda seq: (
+            seq.activity("transport_leg", role="carrier", reads=["route"], writes=["arrived"])
+            .activity("report_position", role="carrier", reads=["route"])
+        ),
+        condition="not arrived",
+        label="journey",
+        max_iterations=20,
+    )
+    builder.activity("deliver_container", role="carrier", reads=["booking", "customs_cleared"])
+    return builder.build()
+
+
+def credit_application_process(schema_id: str = "credit_application_v1") -> ProcessSchema:
+    """A simple credit application process with an approval decision."""
+    builder = SchemaBuilder(schema_id, name="credit_application", version=1)
+    builder.data("application", DataType.DOCUMENT)
+    builder.data("score", DataType.INTEGER, default=0)
+    builder.data("approved", DataType.BOOLEAN, default=False)
+    builder.activity("receive_application", role="clerk", writes=["application"])
+    builder.parallel(
+        [
+            lambda seq: seq.activity("check_identity", role="clerk", reads=["application"]),
+            lambda seq: seq.activity("compute_score", role="analyst", reads=["application"], writes=["score"]),
+        ],
+        label="checks",
+    )
+    builder.conditional(
+        [
+            ("score >= 50", lambda seq: seq.activity("approve_credit", role="manager", writes=["approved"])),
+            (None, lambda seq: seq.activity("reject_credit", role="manager", writes=["approved"])),
+        ],
+        label="decision",
+    )
+    builder.activity("notify_customer", role="clerk", reads=["application", "approved"])
+    return builder.build()
+
+
+def sequential_process(length: int = 5, schema_id: str = "sequence_v1") -> ProcessSchema:
+    """A purely sequential process of ``length`` activities (test helper)."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    builder = SchemaBuilder(schema_id, name="sequence", version=1)
+    for index in range(1, length + 1):
+        builder.activity(f"step_{index}", role="worker")
+    return builder.build()
+
+
+def loop_process(body_length: int = 2, schema_id: str = "loop_v1", max_iterations: int = 50) -> ProcessSchema:
+    """A process with one loop of ``body_length`` activities (test helper)."""
+    if body_length < 1:
+        raise ValueError("body_length must be >= 1")
+    builder = SchemaBuilder(schema_id, name="loop_process", version=1)
+    builder.data("done", DataType.BOOLEAN, default=False)
+    builder.activity("prepare", role="worker")
+
+    def body(seq):
+        for index in range(1, body_length + 1):
+            writes = ["done"] if index == body_length else ()
+            seq.activity(f"body_{index}", role="worker", writes=writes)
+
+    builder.loop(body, condition="not done", label="main", max_iterations=max_iterations)
+    builder.activity("finish", role="worker")
+    return builder.build()
+
+
+def all_templates() -> List[ProcessSchema]:
+    """Every named template (used by tests and the verification bench)."""
+    return [
+        online_order_process(),
+        patient_treatment_process(),
+        container_transport_process(),
+        credit_application_process(),
+        sequential_process(),
+        loop_process(),
+    ]

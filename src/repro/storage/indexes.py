@@ -1,0 +1,77 @@
+"""Secondary indexes over the instance store.
+
+The migration manager needs "all running instances of type T on version
+V" quickly even with thousands of stored instances; these simple inverted
+indexes (by process type, schema version, status and bias flag) provide
+that without scanning every record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set
+
+
+class InstanceIndex:
+    """Inverted indexes over stored instance records."""
+
+    def __init__(self) -> None:
+        self._by_type: Dict[str, Set[str]] = {}
+        self._by_version: Dict[tuple, Set[str]] = {}
+        self._by_status: Dict[str, Set[str]] = {}
+        self._biased: Set[str] = set()
+
+    # ------------------------------------------------------------------ #
+
+    def add(self, instance_id: str, record: Mapping) -> None:
+        """Index (or re-index) one stored record."""
+        self.remove(instance_id)
+        process_type = record.get("process_type", "")
+        version = record.get("schema_version", 0)
+        status = record.get("status", "")
+        self._by_type.setdefault(process_type, set()).add(instance_id)
+        self._by_version.setdefault((process_type, version), set()).add(instance_id)
+        self._by_status.setdefault(status, set()).add(instance_id)
+        if record.get("biased"):
+            self._biased.add(instance_id)
+
+    def remove(self, instance_id: str) -> None:
+        """Drop an instance from every index."""
+        for bucket in self._by_type.values():
+            bucket.discard(instance_id)
+        for bucket in self._by_version.values():
+            bucket.discard(instance_id)
+        for bucket in self._by_status.values():
+            bucket.discard(instance_id)
+        self._biased.discard(instance_id)
+
+    def clear(self) -> None:
+        self._by_type.clear()
+        self._by_version.clear()
+        self._by_status.clear()
+        self._biased.clear()
+
+    # ------------------------------------------------------------------ #
+
+    def by_type(self, process_type: str) -> List[str]:
+        """Instance ids of one process type."""
+        return sorted(self._by_type.get(process_type, set()))
+
+    def by_version(self, process_type: str, version: int) -> List[str]:
+        """Instance ids of one process type running on a specific version."""
+        return sorted(self._by_version.get((process_type, version), set()))
+
+    def by_status(self, status: str) -> List[str]:
+        """Instance ids currently in one lifecycle status."""
+        return sorted(self._by_status.get(status, set()))
+
+    def biased_instances(self) -> List[str]:
+        """Instance ids carrying ad-hoc modifications."""
+        return sorted(self._biased)
+
+    def counts_by_version(self, process_type: str) -> Dict[int, int]:
+        """Mapping of schema version to number of instances of the type."""
+        counts: Dict[int, int] = {}
+        for (type_name, version), bucket in self._by_version.items():
+            if type_name == process_type and bucket:
+                counts[version] = len(bucket)
+        return counts

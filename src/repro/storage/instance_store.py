@@ -1,0 +1,205 @@
+"""The instance store: persisting and re-loading process instances.
+
+Combines the schema repository (shared schema versions), a representation
+strategy (how instance-specific schemas are stored — Fig. 2), the
+key-value store (persistence), the write-ahead log (recovery) and the
+secondary indexes (efficient querying by type / version / status).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.runtime.instance import ProcessInstance
+from repro.storage.indexes import InstanceIndex
+from repro.storage.kv import KeyValueStore
+from repro.storage.repository import SchemaRepository
+from repro.storage.representations import HybridSubstitutionRepresentation, RepresentationStrategy
+from repro.storage.serialization import instance_from_dict, instance_to_dict
+from repro.storage.wal import WriteAheadLog
+
+_NAMESPACE = "instances"
+
+
+class StorageError(Exception):
+    """Raised when an instance cannot be stored or loaded."""
+
+
+@dataclass
+class StoredInstance:
+    """Size accounting for one stored instance (used by benchmark E2)."""
+
+    instance_id: str
+    total_bytes: int
+    schema_payload_bytes: int
+    biased: bool
+
+
+class InstanceStore:
+    """Persists process instances using a pluggable representation strategy."""
+
+    def __init__(
+        self,
+        repository: SchemaRepository,
+        strategy: Optional[RepresentationStrategy] = None,
+        store: Optional[KeyValueStore] = None,
+        wal: Optional[WriteAheadLog] = None,
+    ) -> None:
+        self.repository = repository
+        self.strategy = strategy or HybridSubstitutionRepresentation()
+        self._store = store or KeyValueStore()
+        self._wal = wal
+        self.index = InstanceIndex()
+        self._rebuild_index()
+
+    # ------------------------------------------------------------------ #
+    # save / load / delete
+    # ------------------------------------------------------------------ #
+
+    def save(self, instance: ProcessInstance) -> StoredInstance:
+        """Persist an instance and return its size accounting."""
+        if not self.repository.has_type(instance.process_type):
+            raise StorageError(
+                f"process type {instance.process_type!r} is not registered in the schema repository"
+            )
+        record = instance_to_dict(instance)
+        schema_part = self.strategy.encode(instance)
+        record["representation"] = {"strategy": self.strategy.name, **schema_part}
+        if self._wal is not None:
+            self._wal.append({"action": "save", "record": record})
+        self._store.put(_NAMESPACE, instance.instance_id, record)
+        self.index.add(instance.instance_id, record)
+        return StoredInstance(
+            instance_id=instance.instance_id,
+            total_bytes=len(self._render(record)),
+            schema_payload_bytes=self.strategy.payload_size_bytes(schema_part),
+            biased=bool(record.get("biased")),
+        )
+
+    def save_all(self, instances: Iterable[ProcessInstance]) -> List[StoredInstance]:
+        """Persist many instances and return their size accounting."""
+        return [self.save(instance) for instance in instances]
+
+    def load(self, instance_id: str) -> ProcessInstance:
+        """Re-load an instance (materialising its execution schema if biased)."""
+        record = self._store.get(_NAMESPACE, instance_id)
+        if record is None:
+            raise StorageError(f"unknown instance {instance_id!r}")
+        return self._instantiate(record)
+
+    def load_all(self, instance_ids: Optional[Iterable[str]] = None) -> List[ProcessInstance]:
+        """Load several (or all) stored instances."""
+        ids = list(instance_ids) if instance_ids is not None else self.instance_ids()
+        return [self.load(instance_id) for instance_id in ids]
+
+    def delete(self, instance_id: str) -> bool:
+        """Remove a stored instance; returns True when it existed."""
+        if self._wal is not None:
+            self._wal.append({"action": "delete", "instance_id": instance_id})
+        existed = self._store.delete(_NAMESPACE, instance_id)
+        self.index.remove(instance_id)
+        return existed
+
+    def contains(self, instance_id: str) -> bool:
+        return self._store.contains(_NAMESPACE, instance_id)
+
+    def instance_ids(self) -> List[str]:
+        return sorted(self._store.keys(_NAMESPACE))
+
+    def record(self, instance_id: str) -> Dict[str, Any]:
+        """The raw stored record (tests and the storage benchmark use this)."""
+        record = self._store.get(_NAMESPACE, instance_id)
+        if record is None:
+            raise StorageError(f"unknown instance {instance_id!r}")
+        return record
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def instances_of_type(self, process_type: str, version: Optional[int] = None) -> List[str]:
+        """Instance ids of one type (optionally restricted to a schema version)."""
+        if version is None:
+            return self.index.by_type(process_type)
+        return self.index.by_version(process_type, version)
+
+    def running_instances(self) -> List[str]:
+        """Instance ids that are still active."""
+        return sorted(
+            set(self.index.by_status("running"))
+            | set(self.index.by_status("created"))
+            | set(self.index.by_status("suspended"))
+        )
+
+    def biased_instances(self) -> List[str]:
+        return self.index.biased_instances()
+
+    # ------------------------------------------------------------------ #
+    # accounting & recovery
+    # ------------------------------------------------------------------ #
+
+    def total_bytes(self) -> int:
+        """Approximate persisted size of all instance records."""
+        return self._store.size_bytes(_NAMESPACE)
+
+    def schema_payload_bytes(self) -> int:
+        """Persisted bytes spent on per-instance schema representations."""
+        total = 0
+        for _, record in self._store.scan(_NAMESPACE):
+            representation = dict(record.get("representation", {}))
+            representation.pop("strategy", None)
+            total += self.strategy.payload_size_bytes(representation)
+        return total
+
+    def recover_from_wal(self) -> int:
+        """Re-apply WAL records on top of the current store content.
+
+        Returns the number of replayed records.  Called after a simulated
+        crash where the namespace file may lag behind the log.
+        """
+        if self._wal is None:
+            return 0
+        replayed = 0
+        for entry in self._wal.records():
+            action = entry.get("action")
+            if action == "save" and "record" in entry:
+                record = entry["record"]
+                self._store.put(_NAMESPACE, record["instance_id"], record)
+                self.index.add(record["instance_id"], record)
+                replayed += 1
+            elif action == "delete" and "instance_id" in entry:
+                self._store.delete(_NAMESPACE, entry["instance_id"])
+                self.index.remove(entry["instance_id"])
+                replayed += 1
+        return replayed
+
+    def checkpoint(self) -> None:
+        """Flush the store and truncate the WAL."""
+        self._store.flush()
+        if self._wal is not None:
+            self._wal.truncate()
+
+    # ------------------------------------------------------------------ #
+
+    def _instantiate(self, record: Mapping[str, Any]) -> ProcessInstance:
+        original = self.repository.resolve(record["process_type"], record["schema_version"])
+        representation = record.get("representation", {})
+        execution_schema = self.strategy.materialize_schema(
+            representation, original, record["instance_id"]
+        )
+        return instance_from_dict(record, self.repository.resolve, execution_schema=execution_schema)
+
+    def _rebuild_index(self) -> None:
+        self.index.clear()
+        for instance_id, record in self._store.scan(_NAMESPACE):
+            self.index.add(instance_id, record)
+
+    @staticmethod
+    def _render(record: Mapping[str, Any]) -> str:
+        import json
+
+        return json.dumps(record, sort_keys=True)
+
+    def __len__(self) -> int:
+        return self._store.count(_NAMESPACE)

@@ -1,0 +1,123 @@
+"""A small namespaced key-value store with optional file persistence.
+
+The reproduction does not depend on an external DBMS; this store provides
+just enough database behaviour for the schema repository and the instance
+store: namespaced JSON documents, atomic file persistence per namespace
+and size accounting (the storage benchmark measures persisted bytes).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+
+class KeyValueStore:
+    """Namespaced JSON document store (in memory, optionally file backed)."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self._namespaces: Dict[str, Dict[str, Any]] = {}
+        self._directory = Path(directory) if directory else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            self._load_all()
+
+    # ------------------------------------------------------------------ #
+    # basic operations
+    # ------------------------------------------------------------------ #
+
+    def put(self, namespace: str, key: str, value: Mapping[str, Any]) -> None:
+        """Store a JSON-serialisable document under ``namespace``/``key``."""
+        json.dumps(value)  # fail fast on non-serialisable content
+        self._namespaces.setdefault(namespace, {})[key] = value
+        self._persist(namespace)
+
+    def get(self, namespace: str, key: str, default: Any = None) -> Any:
+        """Fetch a document (or ``default`` when absent)."""
+        return self._namespaces.get(namespace, {}).get(key, default)
+
+    def delete(self, namespace: str, key: str) -> bool:
+        """Remove a document; returns True when it existed."""
+        namespace_dict = self._namespaces.get(namespace, {})
+        existed = key in namespace_dict
+        namespace_dict.pop(key, None)
+        if existed:
+            self._persist(namespace)
+        return existed
+
+    def keys(self, namespace: str) -> List[str]:
+        """All keys of a namespace."""
+        return list(self._namespaces.get(namespace, {}))
+
+    def scan(self, namespace: str) -> Iterator[Tuple[str, Any]]:
+        """Iterate over ``(key, value)`` pairs of a namespace."""
+        return iter(list(self._namespaces.get(namespace, {}).items()))
+
+    def contains(self, namespace: str, key: str) -> bool:
+        return key in self._namespaces.get(namespace, {})
+
+    def clear(self, namespace: Optional[str] = None) -> None:
+        """Drop one namespace (or everything)."""
+        if namespace is None:
+            namespaces = list(self._namespaces)
+            self._namespaces.clear()
+            for name in namespaces:
+                self._persist(name)
+        else:
+            self._namespaces.pop(namespace, None)
+            self._persist(namespace)
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    def count(self, namespace: str) -> int:
+        return len(self._namespaces.get(namespace, {}))
+
+    def size_bytes(self, namespace: Optional[str] = None) -> int:
+        """Approximate persisted size (length of the JSON rendering)."""
+        if namespace is not None:
+            return len(json.dumps(self._namespaces.get(namespace, {}), sort_keys=True))
+        return sum(self.size_bytes(name) for name in self._namespaces)
+
+    def namespaces(self) -> List[str]:
+        return list(self._namespaces)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def _namespace_path(self, namespace: str) -> Optional[Path]:
+        if self._directory is None:
+            return None
+        return self._directory / f"{namespace}.json"
+
+    def _persist(self, namespace: str) -> None:
+        path = self._namespace_path(namespace)
+        if path is None:
+            return
+        payload = self._namespaces.get(namespace, {})
+        if not payload:
+            if path.exists():
+                path.unlink()
+            return
+        temporary = path.with_suffix(".json.tmp")
+        temporary.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        temporary.replace(path)
+
+    def _load_all(self) -> None:
+        assert self._directory is not None
+        for path in sorted(self._directory.glob("*.json")):
+            namespace = path.stem
+            try:
+                self._namespaces[namespace] = json.loads(path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError:
+                # A torn write of the namespace file is ignored; the WAL is
+                # the recovery mechanism for in-flight instance updates.
+                continue
+
+    def flush(self) -> None:
+        """Re-persist every namespace (no-op for purely in-memory stores)."""
+        for namespace in self._namespaces:
+            self._persist(namespace)

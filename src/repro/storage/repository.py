@@ -1,0 +1,111 @@
+"""The versioned schema repository.
+
+Process templates (schemas) are released per process type and version;
+the repository persists them through the key-value store and hands out
+the referenced schema objects to the instance store — one shared object
+per version, which is what makes the reference-based instance
+representation redundancy free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.evolution import EvolutionError, ProcessType, TypeChange
+from repro.schema.graph import ProcessSchema
+from repro.storage.kv import KeyValueStore
+
+_NAMESPACE = "schemas"
+
+
+class SchemaRepository:
+    """Stores process types and their released schema versions."""
+
+    def __init__(self, store: Optional[KeyValueStore] = None) -> None:
+        self._store = store or KeyValueStore()
+        self._types: Dict[str, ProcessType] = {}
+        self._load()
+
+    # ------------------------------------------------------------------ #
+
+    def register_type(self, schema: ProcessSchema) -> ProcessType:
+        """Register a new process type with ``schema`` as its first version."""
+        if schema.name in self._types:
+            raise EvolutionError(f"process type {schema.name!r} is already registered")
+        process_type = ProcessType(schema.name, initial_schema=schema)
+        self._types[schema.name] = process_type
+        self._persist(schema)
+        return process_type
+
+    def adopt_type(self, process_type: ProcessType) -> ProcessType:
+        """Adopt an externally managed process type (all versions are persisted).
+
+        Useful when a :class:`~repro.core.evolution.ProcessType` was built and
+        evolved outside the repository (e.g. by a workload generator) and its
+        instances should now be stored.
+        """
+        if process_type.name in self._types:
+            raise EvolutionError(f"process type {process_type.name!r} is already registered")
+        self._types[process_type.name] = process_type
+        for version in process_type.versions:
+            self._persist(process_type.schema_for(version))
+        return process_type
+
+    def release_version(self, type_name: str, type_change: TypeChange) -> ProcessSchema:
+        """Release a new version of ``type_name`` by applying ``type_change``."""
+        process_type = self.process_type(type_name)
+        new_schema = process_type.release_new_version(type_change)
+        self._persist(new_schema)
+        return new_schema
+
+    def process_type(self, type_name: str) -> ProcessType:
+        try:
+            return self._types[type_name]
+        except KeyError:
+            raise EvolutionError(f"unknown process type {type_name!r}") from None
+
+    def has_type(self, type_name: str) -> bool:
+        return type_name in self._types
+
+    def schema(self, type_name: str, version: int) -> ProcessSchema:
+        """The released schema of ``type_name`` with the given version."""
+        return self.process_type(type_name).schema_for(version)
+
+    def latest_schema(self, type_name: str) -> ProcessSchema:
+        return self.process_type(type_name).latest_schema
+
+    def type_names(self) -> List[str]:
+        return sorted(self._types)
+
+    def versions_of(self, type_name: str) -> List[int]:
+        return self.process_type(type_name).versions
+
+    def resolve(self, type_name: str, version: int) -> ProcessSchema:
+        """Schema resolver signature used by the instance store."""
+        return self.schema(type_name, version)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def _persist(self, schema: ProcessSchema) -> None:
+        key = f"{schema.name}:{schema.version}"
+        self._store.put(_NAMESPACE, key, schema.to_dict())
+
+    def _load(self) -> None:
+        records: Dict[str, List[Tuple[int, ProcessSchema]]] = {}
+        for _, payload in self._store.scan(_NAMESPACE):
+            schema = ProcessSchema.from_dict(payload)
+            records.setdefault(schema.name, []).append((schema.version, schema))
+        for type_name, versions in records.items():
+            process_type = ProcessType(type_name)
+            for _, schema in sorted(versions, key=lambda pair: pair[0]):
+                process_type.add_version(schema)
+            self._types[type_name] = process_type
+
+    def storage_size_bytes(self) -> int:
+        """Approximate persisted size of all schema versions."""
+        return self._store.size_bytes(_NAMESPACE)
+
+    def __len__(self) -> int:
+        return len(self._types)

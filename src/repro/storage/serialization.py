@@ -1,0 +1,68 @@
+"""Serialisation of process instances (independent of the representation).
+
+The representation strategies (:mod:`repro.storage.representations`)
+decide how the *schema* of an instance is persisted; everything else —
+marking, history, data context, loop counters, status, bias change log —
+is serialised here in one canonical format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.core.changelog import ChangeLog
+from repro.runtime.data_context import DataContext
+from repro.runtime.history import ExecutionHistory
+from repro.runtime.instance import ProcessInstance
+from repro.runtime.markings import Marking
+from repro.runtime.states import InstanceStatus
+from repro.schema.graph import ProcessSchema
+
+SchemaResolver = Callable[[str, int], ProcessSchema]
+
+
+def instance_to_dict(instance: ProcessInstance) -> Dict[str, Any]:
+    """Serialise the representation-independent part of an instance."""
+    payload: Dict[str, Any] = {
+        "instance_id": instance.instance_id,
+        "process_type": instance.process_type,
+        "schema_version": instance.schema_version,
+        "status": instance.status.value,
+        "marking": instance.marking.to_dict(),
+        "history": instance.history.to_dict(),
+        "data": instance.data.to_dict(),
+        "loop_iterations": dict(instance.loop_iterations),
+        "biased": instance.is_biased,
+    }
+    if isinstance(instance.bias, ChangeLog) and len(instance.bias) > 0:
+        payload["bias"] = instance.bias.to_dict()
+    return payload
+
+
+def instance_from_dict(
+    payload: Mapping[str, Any],
+    schema_resolver: SchemaResolver,
+    execution_schema: Optional[ProcessSchema] = None,
+) -> ProcessInstance:
+    """Reconstruct an instance from :func:`instance_to_dict` output.
+
+    ``schema_resolver`` maps ``(process_type, version)`` to the referenced
+    original schema; ``execution_schema`` is the materialised
+    instance-specific schema for biased instances (produced by the
+    representation strategy) and may be omitted for unbiased ones.
+    """
+    original = schema_resolver(payload["process_type"], payload["schema_version"])
+    instance = ProcessInstance(instance_id=payload["instance_id"], schema=original)
+    instance.status = InstanceStatus(payload.get("status", "running"))
+    instance.marking = Marking.from_dict(payload.get("marking", {}))
+    instance.history = ExecutionHistory.from_dict(payload.get("history", {}))
+    instance.data = DataContext.from_dict(payload.get("data", {}))
+    instance.loop_iterations = dict(payload.get("loop_iterations", {}))
+    bias_payload = payload.get("bias")
+    if bias_payload:
+        bias = ChangeLog.from_dict(bias_payload)
+        if execution_schema is None:
+            execution_schema = bias.apply_to(original, check=False)
+            execution_schema.schema_id = f"{original.schema_id}+{instance.instance_id}"
+        instance.set_bias(bias, execution_schema)
+    return instance

@@ -1,0 +1,73 @@
+"""Write-ahead log for instance state changes.
+
+Every instance save is appended to the WAL before the instance store's
+namespace file is rewritten; after a crash the store replays the log on
+top of the last checkpoint.  The log is deliberately simple (JSON lines)
+— its purpose in the reproduction is to demonstrate that the hybrid
+storage representation composes with standard recovery techniques, and to
+give the failure-injection tests something real to exercise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+
+class WriteAheadLog:
+    """Append-only JSON-lines log with checkpoint support."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self._path = Path(path) if path else None
+        self._memory: List[Dict[str, Any]] = []
+        if self._path is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            if not self._path.exists():
+                self._path.touch()
+
+    # ------------------------------------------------------------------ #
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Append one record (must be JSON serialisable)."""
+        entry = dict(record)
+        line = json.dumps(entry, sort_keys=True)
+        if self._path is not None:
+            with self._path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        else:
+            self._memory.append(entry)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All records currently in the log (oldest first).
+
+        Torn trailing lines (from a crash in the middle of a write) are
+        ignored.
+        """
+        if self._path is None:
+            return list(self._memory)
+        entries: List[Dict[str, Any]] = []
+        if not self._path.exists():
+            return entries
+        for line in self._path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                break
+        return entries
+
+    def truncate(self) -> None:
+        """Drop all records (called after a successful checkpoint)."""
+        if self._path is not None:
+            self._path.write_text("", encoding="utf-8")
+        else:
+            self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.records())

@@ -1,0 +1,147 @@
+"""Verification issues and reports.
+
+Every verifier produces :class:`VerificationIssue` objects with a stable
+issue code, a severity and the schema elements involved.  A
+:class:`VerificationReport` aggregates the issues of one verification run;
+a schema is *correct* when the report contains no errors (warnings are
+informational, e.g. unused data elements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+class Severity(str, Enum):
+    """Severity of a verification finding."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+class IssueCode(str, Enum):
+    """Stable identifiers for every kind of verification finding."""
+
+    # structural
+    MISSING_START = "missing_start"
+    MISSING_END = "missing_end"
+    MULTIPLE_START = "multiple_start"
+    MULTIPLE_END = "multiple_end"
+    UNREACHABLE_NODE = "unreachable_node"
+    NO_PATH_TO_END = "no_path_to_end"
+    DANGLING_EDGE = "dangling_edge"
+    BAD_DEGREE = "bad_degree"
+    UNMATCHED_BLOCK = "unmatched_block"
+    BLOCK_OVERLAP = "block_overlap"
+    BAD_LOOP_EDGE = "bad_loop_edge"
+    MISSING_GUARD = "missing_guard"
+    DUPLICATE_GUARD_DEFAULT = "duplicate_guard_default"
+    # deadlock
+    CONTROL_CYCLE = "control_cycle"
+    SYNC_CYCLE = "sync_cycle"
+    SYNC_WITHIN_BRANCH = "sync_within_branch"
+    SYNC_CROSSES_LOOP = "sync_crosses_loop"
+    SYNC_FROM_CONDITIONAL = "sync_from_conditional"
+    # data flow
+    MISSING_INPUT_DATA = "missing_input_data"
+    UNWRITTEN_ELEMENT = "unwritten_element"
+    UNUSED_ELEMENT = "unused_element"
+    PARALLEL_WRITE_CONFLICT = "parallel_write_conflict"
+    UNKNOWN_GUARD_ELEMENT = "unknown_guard_element"
+    # soundness
+    NOT_SOUND = "not_sound"
+    DEAD_ACTIVITY = "dead_activity"
+
+
+@dataclass(frozen=True)
+class VerificationIssue:
+    """One finding of a verifier.
+
+    Attributes:
+        code: Stable identifier of the kind of problem.
+        severity: Error (schema rejected) or warning (informational).
+        message: Human readable explanation.
+        nodes: Node ids involved in the finding.
+        edges: Edges involved as ``(source, target)`` pairs.
+        element: Data element involved, if any.
+    """
+
+    code: IssueCode
+    severity: Severity
+    message: str
+    nodes: Tuple[str, ...] = ()
+    edges: Tuple[Tuple[str, str], ...] = ()
+    element: Optional[str] = None
+
+    def __str__(self) -> str:
+        location = ""
+        if self.nodes:
+            location = f" [nodes: {', '.join(self.nodes)}]"
+        elif self.edges:
+            rendered = ", ".join(f"{s}->{t}" for s, t in self.edges)
+            location = f" [edges: {rendered}]"
+        elif self.element:
+            location = f" [data: {self.element}]"
+        return f"{self.severity.value.upper()} {self.code.value}: {self.message}{location}"
+
+
+@dataclass
+class VerificationReport:
+    """Aggregated findings of one verification run over one schema."""
+
+    schema_id: str
+    issues: List[VerificationIssue] = field(default_factory=list)
+
+    def add(self, issue: VerificationIssue) -> None:
+        self.issues.append(issue)
+
+    def extend(self, issues: Iterable[VerificationIssue]) -> None:
+        self.issues.extend(issues)
+
+    def merge(self, other: "VerificationReport") -> None:
+        """Fold another report (for the same schema) into this one."""
+        self.issues.extend(other.issues)
+
+    @property
+    def errors(self) -> List[VerificationIssue]:
+        return [issue for issue in self.issues if issue.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[VerificationIssue]:
+        return [issue for issue in self.issues if issue.severity is Severity.WARNING]
+
+    @property
+    def is_correct(self) -> bool:
+        """True when the schema contains no errors (warnings allowed)."""
+        return not self.errors
+
+    def has_issue(self, code: IssueCode) -> bool:
+        return any(issue.code is code for issue in self.issues)
+
+    def issues_with(self, code: IssueCode) -> List[VerificationIssue]:
+        return [issue for issue in self.issues if issue.code is code]
+
+    def summary(self) -> str:
+        """Multi-line human readable summary of all findings."""
+        if not self.issues:
+            return f"schema {self.schema_id}: correct (no findings)"
+        lines = [
+            f"schema {self.schema_id}: {len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        ]
+        lines.extend(f"  - {issue}" for issue in self.issues)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.issues)
+
+
+def error(code: IssueCode, message: str, **kwargs) -> VerificationIssue:
+    """Shorthand for constructing an error issue."""
+    return VerificationIssue(code=code, severity=Severity.ERROR, message=message, **kwargs)
+
+
+def warning(code: IssueCode, message: str, **kwargs) -> VerificationIssue:
+    """Shorthand for constructing a warning issue."""
+    return VerificationIssue(code=code, severity=Severity.WARNING, message=message, **kwargs)

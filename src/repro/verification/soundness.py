@@ -1,0 +1,169 @@
+"""Behavioural soundness check by bounded state-space exploration.
+
+Structural and deadlock checks are static; this verifier additionally
+plays the token game over the schema and explores *every* branching
+decision to confirm that
+
+* the end node is reached from every reachable configuration
+  ("option to complete"), and
+* every activity is executed in at least one run ("no dead activities").
+
+The exploration uses a deliberately independent, simplified execution
+semantics — each node is pending, done or skipped, loops are unrolled at
+most once, dead XOR branches propagate a "skipped" status — so that it
+cross-validates the production runtime engine instead of sharing its
+code.  The state space of block-structured schemas is small, but a
+configurable cap keeps pathological inputs bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.schema.edges import EdgeType
+from repro.schema.graph import ProcessSchema, SchemaError
+from repro.schema.nodes import NodeType
+from repro.verification.report import (
+    IssueCode,
+    VerificationReport,
+    error,
+    warning,
+)
+
+PENDING = "pending"
+DONE = "done"
+SKIPPED = "skipped"
+
+Configuration = Tuple[Tuple[str, str], ...]
+
+
+class SoundnessVerifier:
+    """Explores all decision outcomes of a schema within a state cap."""
+
+    def __init__(self, max_states: int = 20000) -> None:
+        self.max_states = max_states
+
+    def verify(self, schema: ProcessSchema) -> VerificationReport:
+        """Run the bounded exploration and report soundness violations."""
+        report = VerificationReport(schema_id=schema.schema_id)
+        try:
+            schema.start_node()
+            end_id = schema.end_node().node_id
+            schema.topological_order(include_sync=True)
+        except SchemaError:
+            # Malformed schemas are reported by the other verifiers.
+            return report
+
+        initial: Dict[str, str] = {node_id: PENDING for node_id in schema.node_ids()}
+        seen: Set[Configuration] = set()
+        stack: List[Dict[str, str]] = [initial]
+        executed_somewhere: Set[str] = set()
+        truncated = False
+
+        while stack:
+            if len(seen) >= self.max_states:
+                truncated = True
+                break
+            state = stack.pop()
+            key = tuple(sorted(state.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            successors = self._successor_states(schema, state)
+            if not successors:
+                if state[end_id] != DONE:
+                    stuck = sorted(n for n, s in state.items() if s == PENDING)
+                    report.add(
+                        error(
+                            IssueCode.NOT_SOUND,
+                            "execution can reach a configuration from which the end node "
+                            "is unreachable (deadlock)",
+                            nodes=tuple(stuck[:6]),
+                        )
+                    )
+                    return report
+                executed_somewhere |= {n for n, s in state.items() if s == DONE}
+                continue
+            stack.extend(successors)
+
+        if truncated:
+            report.add(
+                warning(
+                    IssueCode.NOT_SOUND,
+                    f"state space exceeded {self.max_states} configurations; "
+                    "soundness only partially explored",
+                )
+            )
+            return report
+
+        for node in schema.nodes.values():
+            if node.is_activity and node.node_id not in executed_somewhere:
+                report.add(
+                    warning(
+                        IssueCode.DEAD_ACTIVITY,
+                        f"activity {node.node_id!r} is not executed in any explored run",
+                        nodes=(node.node_id,),
+                    )
+                )
+        return report
+
+    # ------------------------------------------------------------------ #
+
+    def _successor_states(
+        self, schema: ProcessSchema, state: Dict[str, str]
+    ) -> List[Dict[str, str]]:
+        """All configurations reachable by resolving one pending node."""
+        successors: List[Dict[str, str]] = []
+        for node_id in schema.node_ids():
+            if state[node_id] != PENDING:
+                continue
+            transition = self._transition_for(schema, state, node_id)
+            if transition is None:
+                continue
+            kind = transition
+            node = schema.node(node_id)
+            if kind == "fire" and node.node_type is NodeType.XOR_SPLIT:
+                branches = schema.successors(node_id, EdgeType.CONTROL)
+                for chosen in branches:
+                    next_state = dict(state)
+                    next_state[node_id] = DONE
+                    for branch in branches:
+                        if branch != chosen and next_state.get(branch) == PENDING:
+                            next_state[branch] = SKIPPED
+                    successors.append(next_state)
+            else:
+                next_state = dict(state)
+                next_state[node_id] = DONE if kind == "fire" else SKIPPED
+                successors.append(next_state)
+        return successors
+
+    def _transition_for(
+        self, schema: ProcessSchema, state: Dict[str, str], node_id: str
+    ) -> Optional[str]:
+        """How a pending node can be resolved: ``"fire"``, ``"skip"`` or ``None``."""
+        node = schema.node(node_id)
+        if node.node_type is NodeType.START:
+            return "fire"
+        control_preds = schema.predecessors(node_id, EdgeType.CONTROL)
+        sync_preds = schema.predecessors(node_id, EdgeType.SYNC)
+        if not control_preds:
+            return None
+        pred_states = [state[p] for p in control_preds]
+        if any(s == PENDING for s in pred_states):
+            return None
+        sync_ready = all(state[p] != PENDING for p in sync_preds)
+        if node.node_type is NodeType.AND_JOIN:
+            if all(s == DONE for s in pred_states):
+                return "fire" if sync_ready else None
+            if all(s == SKIPPED for s in pred_states):
+                return "skip"
+            # mixed: the join can never fire -> leave pending (deadlock surfaces)
+            return None
+        if node.node_type is NodeType.XOR_JOIN:
+            if any(s == DONE for s in pred_states):
+                return "fire" if sync_ready else None
+            return "skip"
+        # single incoming control edge
+        if pred_states[0] == DONE:
+            return "fire" if sync_ready else None
+        return "skip"

@@ -1,0 +1,27 @@
+"""Workload generation for tests, examples and the benchmark harness.
+
+Random block-structured schema generation, instance population
+generation (instances advanced to random progress, a fraction ad-hoc
+modified), random change scenarios, and the paper's concrete online-order
+migration scenario (Figs. 1 and 3).
+"""
+
+from repro.workloads.schema_generator import RandomSchemaGenerator, SchemaGeneratorConfig
+from repro.workloads.population import PopulationConfig, PopulationGenerator
+from repro.workloads.change_generator import ChangeScenarioGenerator
+from repro.workloads.order_process import (
+    order_type_change_v2,
+    paper_fig1_scenario,
+    paper_fig3_population,
+)
+
+__all__ = [
+    "RandomSchemaGenerator",
+    "SchemaGeneratorConfig",
+    "PopulationGenerator",
+    "PopulationConfig",
+    "ChangeScenarioGenerator",
+    "order_type_change_v2",
+    "paper_fig1_scenario",
+    "paper_fig3_population",
+]

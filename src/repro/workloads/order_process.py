@@ -1,0 +1,167 @@
+"""The paper's online-order migration scenario (Figs. 1 and 3).
+
+This module builds, programmatically, exactly the situation the paper
+uses to demonstrate ADEPT2:
+
+* schema ``S`` (online order, version V1),
+* the type change ΔT = addActivity(``send_questions``, between
+  ``compose_order`` and ``pack_goods``) + insertSyncEdge(``send_questions``
+  → ``confirm_order``),
+* instance **I1**: unbiased, compose_order finished but pack_goods not yet
+  started → compliant, migrates with state adaptation,
+* instance **I2**: ad-hoc modified (inserted ``send_brochure`` after
+  ``confirm_order`` plus a sync edge ``confirm_order`` → ``compose_order``)
+  → ΔT would close a deadlock-causing cycle → structural conflict,
+* instance **I3**: unbiased but ``pack_goods`` already executed → state
+  conflict,
+
+plus a larger Fig. 3-style population generator (many instances at random
+progress, a fraction of them ad-hoc modified like I2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.adhoc import AdHocChanger
+from repro.core.changelog import ChangeLog
+from repro.core.evolution import ProcessType, TypeChange
+from repro.core.operations import InsertSyncEdge, SerialInsertActivity
+from repro.runtime.engine import ProcessEngine
+from repro.runtime.instance import ProcessInstance
+from repro.schema.edges import EdgeType
+from repro.schema.graph import ProcessSchema
+from repro.schema.nodes import Node
+from repro.schema.templates import online_order_process
+
+#: Activities of the online order process in one valid execution order.
+ORDER_EXECUTION_SEQUENCE: Tuple[str, ...] = (
+    "get_order",
+    "collect_data",
+    "confirm_order",
+    "compose_order",
+    "pack_goods",
+    "deliver_goods",
+)
+
+
+def order_type_change_v2(from_version: int = 1) -> TypeChange:
+    """The paper's ΔT: insert ``send_questions`` and a sync edge to ``confirm_order``."""
+    send_questions = Node(
+        node_id="send_questions",
+        name="send questions",
+        staff_assignment="sales",
+    )
+    return TypeChange.of(
+        from_version,
+        [
+            SerialInsertActivity(activity=send_questions, pred="compose_order", succ="pack_goods"),
+            InsertSyncEdge(source="send_questions", target="confirm_order"),
+        ],
+        comment="V2: clarify open questions with the customer before packing",
+    )
+
+
+def i2_adhoc_bias() -> List:
+    """The ad-hoc operations that make instance I2 structurally conflicting.
+
+    ``send_brochure`` is added after ``confirm_order`` and a sync edge
+    forces ``compose_order`` to wait for ``confirm_order`` — combined with
+    ΔT's sync edge this closes a cycle.
+    """
+    send_brochure = Node(node_id="send_brochure", name="send brochure", staff_assignment="sales")
+    return [
+        InsertSyncEdge(source="confirm_order", target="compose_order"),
+        SerialInsertActivity(activity=send_brochure, pred="confirm_order", succ=_join_after_confirm()),
+    ]
+
+
+def _join_after_confirm() -> str:
+    """The AND-join node id following ``confirm_order`` in the template."""
+    schema = online_order_process()
+    successors = schema.successors("confirm_order", EdgeType.CONTROL)
+    return successors[0]
+
+
+@dataclass
+class Fig1Scenario:
+    """The fully built Fig. 1 situation."""
+
+    process_type: ProcessType
+    schema_v1: ProcessSchema
+    type_change: TypeChange
+    engine: ProcessEngine
+    i1: ProcessInstance
+    i2: ProcessInstance
+    i3: ProcessInstance
+
+    @property
+    def instances(self) -> List[ProcessInstance]:
+        return [self.i1, self.i2, self.i3]
+
+
+def paper_fig1_scenario(engine: Optional[ProcessEngine] = None) -> Fig1Scenario:
+    """Build schema S, ΔT and the three instances I1-I3 of the paper's Fig. 1."""
+    engine = engine or ProcessEngine()
+    schema = online_order_process()
+    process_type = ProcessType("online_order", schema)
+
+    # I1: compose_order done, pack_goods still activated -> compliant
+    i1 = engine.create_instance(schema, "I1")
+    for activity in ("get_order", "collect_data", "compose_order"):
+        engine.complete_activity(i1, activity)
+
+    # I2: ad-hoc modified such that Delta T would close a cycle -> structural conflict
+    i2 = engine.create_instance(schema, "I2")
+    for activity in ("get_order", "collect_data"):
+        engine.complete_activity(i2, activity)
+    AdHocChanger(engine).apply(i2, i2_adhoc_bias(), comment="customer asked for brochure first")
+
+    # I3: pack_goods already executed -> state conflict
+    i3 = engine.create_instance(schema, "I3")
+    for activity in ("get_order", "collect_data", "compose_order", "pack_goods"):
+        engine.complete_activity(i3, activity)
+
+    return Fig1Scenario(
+        process_type=process_type,
+        schema_v1=schema,
+        type_change=order_type_change_v2(),
+        engine=engine,
+        i1=i1,
+        i2=i2,
+        i3=i3,
+    )
+
+
+def paper_fig3_population(
+    instance_count: int = 100,
+    biased_fraction: float = 0.1,
+    seed: int = 7,
+    engine: Optional[ProcessEngine] = None,
+) -> Tuple[ProcessType, ProcessEngine, List[ProcessInstance]]:
+    """A Fig. 3-style population: many order instances at random progress.
+
+    A ``biased_fraction`` of the still-early instances receives the I2-style
+    ad-hoc modification; instance progress is spread uniformly over the
+    activity sequence so the migration report contains migrated instances
+    as well as state- and structurally-conflicting ones.
+    """
+    engine = engine or ProcessEngine()
+    rng = random.Random(seed)
+    schema = online_order_process()
+    process_type = ProcessType("online_order", schema)
+    changer = AdHocChanger(engine)
+    instances: List[ProcessInstance] = []
+    for index in range(instance_count):
+        instance = engine.create_instance(schema, f"order-{index:05d}")
+        progress = rng.randint(0, len(ORDER_EXECUTION_SEQUENCE))
+        for activity in ORDER_EXECUTION_SEQUENCE[:progress]:
+            engine.complete_activity(instance, activity)
+        if progress <= 2 and rng.random() < biased_fraction * 2:
+            # only instances that have not composed the order yet can receive
+            # the I2-style bias (its compliance condition requires that)
+            changer.try_apply(instance, i2_adhoc_bias(), comment="ad-hoc deviation")
+        instances.append(instance)
+    return process_type, engine, instances

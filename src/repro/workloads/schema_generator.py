@@ -1,0 +1,172 @@
+"""Random generation of block-structured process schemas.
+
+The verification benchmark (A4), the storage benchmark (E2) and the
+property-based tests need many structurally diverse but *correct* schemas
+of controllable size.  The generator builds them through the
+:class:`~repro.schema.builder.SchemaBuilder`, so block structure holds by
+construction, and every generated schema passes buildtime verification
+(asserted by the tests).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.schema.builder import SchemaBuilder, SequenceBuilder
+from repro.schema.data import DataType
+from repro.schema.graph import ProcessSchema
+
+
+@dataclass
+class SchemaGeneratorConfig:
+    """Knobs of the random schema generator.
+
+    Attributes:
+        target_activities: Approximate number of activity nodes to generate.
+        parallel_probability: Chance of opening an AND block at each step.
+        conditional_probability: Chance of opening an XOR block at each step.
+        loop_probability: Chance of opening a loop block at each step.
+        max_depth: Maximum block nesting depth.
+        max_branches: Maximum number of branches per AND/XOR block.
+        data_element_pool: Number of shared data elements activities may use.
+        read_probability: Chance that an activity reads a pool element.
+        write_probability: Chance that an activity writes a pool element.
+        roles: Staff assignments to draw from.
+    """
+
+    target_activities: int = 20
+    parallel_probability: float = 0.15
+    conditional_probability: float = 0.15
+    loop_probability: float = 0.08
+    max_depth: int = 3
+    max_branches: int = 3
+    data_element_pool: int = 6
+    read_probability: float = 0.3
+    write_probability: float = 0.25
+    roles: tuple = ("clerk", "sales", "warehouse", "manager", "worker")
+
+
+class RandomSchemaGenerator:
+    """Generates random, verified block-structured schemas."""
+
+    def __init__(self, config: Optional[SchemaGeneratorConfig] = None, seed: int = 42) -> None:
+        self.config = config or SchemaGeneratorConfig()
+        self._rng = random.Random(seed)
+        self._activity_counter = 0
+        self._flag_counter = 0
+
+    # ------------------------------------------------------------------ #
+
+    def generate(self, schema_id: str = "random_process") -> ProcessSchema:
+        """Build one random schema of roughly the configured size."""
+        self._activity_counter = 0
+        self._flag_counter = 0
+        builder = SchemaBuilder(schema_id, name=schema_id)
+        for index in range(self.config.data_element_pool):
+            builder.data(f"field_{index}", DataType.STRING, default="")
+        self._fill_sequence(builder, budget=self.config.target_activities, depth=0)
+        if self._activity_counter == 0:
+            self._append_activity(builder)
+        return builder.build(validate=True)
+
+    def generate_many(self, count: int, prefix: str = "random") -> List[ProcessSchema]:
+        """Generate several schemas with distinct ids."""
+        return [self.generate(f"{prefix}_{index:03d}") for index in range(count)]
+
+    # ------------------------------------------------------------------ #
+
+    def _fill_sequence(self, sequence: SequenceBuilder, budget: int, depth: int) -> int:
+        """Append roughly ``budget`` activities to ``sequence``; returns the rest."""
+        config = self.config
+        while budget > 0:
+            roll = self._rng.random()
+            can_nest = depth < config.max_depth and budget >= 4
+            if can_nest and roll < config.parallel_probability:
+                budget = self._append_parallel(sequence, budget, depth)
+            elif can_nest and roll < config.parallel_probability + config.conditional_probability:
+                budget = self._append_conditional(sequence, budget, depth)
+            elif (
+                can_nest
+                and roll
+                < config.parallel_probability + config.conditional_probability + config.loop_probability
+            ):
+                budget = self._append_loop(sequence, budget, depth)
+            else:
+                self._append_activity(sequence)
+                budget -= 1
+        return budget
+
+    def _append_activity(self, sequence: SequenceBuilder) -> None:
+        config = self.config
+        self._activity_counter += 1
+        activity_id = f"act_{self._activity_counter:03d}"
+        reads = []
+        writes = []
+        if config.data_element_pool:
+            if self._rng.random() < config.write_probability:
+                writes.append(f"field_{self._rng.randrange(config.data_element_pool)}")
+            if self._rng.random() < config.read_probability:
+                reads.append(f"field_{self._rng.randrange(config.data_element_pool)}")
+        sequence.activity(
+            activity_id,
+            role=self._rng.choice(config.roles),
+            duration=round(self._rng.uniform(0.5, 4.0), 1),
+            reads=tuple(reads),
+            writes=tuple(writes),
+        )
+
+    def _branch_budgets(self, budget: int, branches: int) -> List[int]:
+        base = max(1, budget // (branches + 1))
+        return [base for _ in range(branches)]
+
+    def _branch_spec(self, budget: int, depth: int):
+        """A branch callable filling its sequence with ``budget`` activities."""
+
+        def spec(sequence: SequenceBuilder) -> None:
+            self._fill_sequence(sequence, budget, depth)
+
+        return spec
+
+    def _append_parallel(self, sequence: SequenceBuilder, budget: int, depth: int) -> int:
+        branches = self._rng.randint(2, self.config.max_branches)
+        budgets = self._branch_budgets(budget, branches)
+        specs = [self._branch_spec(branch_budget, depth + 1) for branch_budget in budgets]
+        sequence.parallel(specs, label=f"p{self._activity_counter}")
+        return budget - sum(budgets)
+
+    def _append_conditional(self, sequence: SequenceBuilder, budget: int, depth: int) -> int:
+        branches = self._rng.randint(2, self.config.max_branches)
+        budgets = self._branch_budgets(budget, branches)
+        self._flag_counter += 1
+        flag = f"choice_{self._flag_counter}"
+        sequence._parent.data(flag, DataType.BOOLEAN, default=False)
+        guarded = [(flag, self._branch_spec(budgets[0], depth + 1))]
+        guarded += [(None, self._branch_spec(b, depth + 1)) for b in budgets[1:2]]
+        guarded += [
+            (f"not {flag}", self._branch_spec(b, depth + 1)) for b in budgets[2:]
+        ]
+        sequence.conditional(guarded, label=f"c{self._flag_counter}")
+        return budget - sum(budgets)
+
+    def _append_loop(self, sequence: SequenceBuilder, budget: int, depth: int) -> int:
+        self._flag_counter += 1
+        flag = f"exit_{self._flag_counter}"
+        sequence._parent.data(flag, DataType.BOOLEAN, default=False)
+        body_budget = max(1, min(budget - 1, self._rng.randint(1, 4)))
+
+        def body(seq: SequenceBuilder, budget_for_body=body_budget, exit_flag=flag) -> None:
+            remaining = budget_for_body
+            while remaining > 1:
+                self._append_activity(seq)
+                remaining -= 1
+            self._activity_counter += 1
+            seq.activity(
+                f"act_{self._activity_counter:03d}",
+                role=self._rng.choice(self.config.roles),
+                writes=(exit_flag,),
+            )
+
+        sequence.loop(body, condition=f"not {flag}", label=f"l{self._flag_counter}", max_iterations=8)
+        return budget - body_budget

@@ -1,0 +1,89 @@
+"""Tests for change-log simplification (bias purging)."""
+
+import pytest
+
+from repro.core.changelog import ChangeLog
+from repro.core.operations import (
+    ChangeActivityAttributes,
+    DeleteActivity,
+    DeleteSyncEdge,
+    InsertSyncEdge,
+    SerialInsertActivity,
+)
+from repro.schema.nodes import Node
+
+
+def insert(node_id, pred="get_order", succ="collect_data"):
+    return SerialInsertActivity(activity=Node(node_id=node_id), pred=pred, succ=succ)
+
+
+class TestSimplify:
+    def test_insert_then_delete_cancels(self, order_schema):
+        log = ChangeLog([insert("temp"), DeleteActivity(activity_id="temp")])
+        simplified = log.simplify()
+        assert len(simplified) == 0
+        assert simplified.apply_to(order_schema).structurally_equals(order_schema)
+
+    def test_sync_edge_add_remove_cancels(self, order_schema):
+        log = ChangeLog(
+            [
+                InsertSyncEdge(source="confirm_order", target="compose_order"),
+                DeleteSyncEdge(source="confirm_order", target="compose_order"),
+            ]
+        )
+        assert len(log.simplify()) == 0
+
+    def test_unrelated_operations_kept(self, order_schema):
+        log = ChangeLog(
+            [
+                insert("keep_me"),
+                ChangeActivityAttributes(activity_id="deliver_goods", role="courier"),
+            ]
+        )
+        simplified = log.simplify()
+        assert len(simplified) == 2
+        assert simplified.apply_to(order_schema).structurally_equals(log.apply_to(order_schema))
+
+    def test_intervening_dependent_operation_blocks_cancellation(self, order_schema):
+        # the inserted activity is referenced by an operation between insert and delete,
+        # so the pair must not be removed blindly
+        log = ChangeLog(
+            [
+                insert("temp"),
+                InsertSyncEdge(source="temp", target="confirm_order"),
+                DeleteActivity(activity_id="temp"),
+            ]
+        )
+        simplified = log.simplify()
+        assert len(simplified) == 3
+
+    def test_multiple_pairs_cancel(self, order_schema):
+        log = ChangeLog(
+            [
+                insert("a"),
+                DeleteActivity(activity_id="a"),
+                insert("b", pred="compose_order", succ="pack_goods"),
+                DeleteActivity(activity_id="b"),
+                ChangeActivityAttributes(activity_id="get_order", duration=9.0),
+            ]
+        )
+        simplified = log.simplify()
+        assert len(simplified) == 1
+        assert simplified.operations[0].activity_id == "get_order"
+
+    def test_simplify_is_idempotent(self, order_schema):
+        log = ChangeLog([insert("temp"), DeleteActivity(activity_id="temp"), insert("kept")])
+        once = log.simplify()
+        twice = once.simplify()
+        assert [op.to_dict() for op in once] == [op.to_dict() for op in twice]
+
+    def test_simplified_log_produces_same_schema(self, order_schema):
+        log = ChangeLog(
+            [
+                insert("temp"),
+                insert("kept", pred="temp", succ="collect_data"),
+            ]
+        )
+        # no cancellation possible here, but simplify must be a no-op that
+        # still yields an equivalent schema
+        assert log.simplify().apply_to(order_schema).structurally_equals(log.apply_to(order_schema))

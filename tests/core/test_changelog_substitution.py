@@ -1,0 +1,174 @@
+"""Tests for change logs (bias) and substitution blocks (Fig. 2)."""
+
+import pytest
+
+from repro.core.changelog import ChangeLog
+from repro.core.operations import (
+    ChangeActivityAttributes,
+    DeleteActivity,
+    InsertSyncEdge,
+    OperationError,
+    SerialInsertActivity,
+)
+from repro.core.substitution import SubstitutionBlock
+from repro.schema.nodes import Node
+from repro.verification import verify_schema
+
+
+def insert_op(node_id="extra", pred="get_order", succ="collect_data"):
+    return SerialInsertActivity(activity=Node(node_id=node_id), pred=pred, succ=succ)
+
+
+class TestChangeLog:
+    def test_apply_to_returns_copy(self, order_schema):
+        log = ChangeLog([insert_op()])
+        changed = log.apply_to(order_schema)
+        assert changed.has_node("extra")
+        assert not order_schema.has_node("extra")
+
+    def test_operations_applied_in_order(self, order_schema):
+        log = ChangeLog([
+            insert_op("first"),
+            SerialInsertActivity(activity=Node(node_id="second"), pred="first", succ="collect_data"),
+        ])
+        changed = log.apply_to(order_schema)
+        assert changed.has_edge("first", "second")
+
+    def test_failed_precondition_raises(self, order_schema):
+        log = ChangeLog([insert_op(pred="ghost")])
+        with pytest.raises(OperationError):
+            log.apply_to(order_schema)
+
+    def test_unchecked_apply_skips_preconditions(self, order_schema):
+        # the second insertion of the same node id fails even unchecked, but a
+        # delete with unsatisfied data preconditions goes through unchecked
+        log = ChangeLog([DeleteActivity(activity_id="pack_goods")])
+        changed = log.apply_to(order_schema, check=False)
+        assert not changed.has_node("pack_goods")
+
+    def test_compose(self):
+        first = ChangeLog([insert_op("a1")])
+        second = ChangeLog([insert_op("a2", pred="a1", succ="collect_data")])
+        combined = first.compose(second)
+        assert len(combined) == 2
+        assert [op.activity.node_id for op in combined] == ["a1", "a2"]
+
+    def test_affected_and_added_nodes(self):
+        log = ChangeLog([insert_op(), DeleteActivity(activity_id="pack_goods")])
+        assert "get_order" in log.affected_nodes()
+        assert log.added_node_ids() == {"extra"}
+        assert log.removed_node_ids() == {"pack_goods"}
+
+    def test_roundtrip_serialization(self, order_schema):
+        log = ChangeLog(
+            [insert_op(), InsertSyncEdge(source="confirm_order", target="compose_order")],
+            comment="test change",
+        )
+        restored = ChangeLog.from_dict(log.to_dict())
+        assert len(restored) == 2
+        assert restored.comment == "test change"
+        # the restored log produces the same schema
+        assert restored.apply_to(order_schema).structurally_equals(log.apply_to(order_schema))
+
+    def test_describe_lists_operations(self):
+        log = ChangeLog([insert_op()])
+        assert "serialInsert" in log.describe()
+        assert ChangeLog().describe() == "(empty change log)"
+
+
+class TestOverlap:
+    def test_disjoint_changes_do_not_overlap(self):
+        mine = ChangeLog([insert_op("a1", "get_order", "collect_data")])
+        theirs = ChangeLog([ChangeActivityAttributes(activity_id="deliver_goods", role="boss")])
+        assert mine.overlaps_with(theirs) == set()
+
+    def test_insert_next_to_same_activity_does_not_overlap(self):
+        mine = ChangeLog([insert_op("a1", "compose_order", "pack_goods")])
+        theirs = ChangeLog([insert_op("b1", "compose_order", "pack_goods")])
+        assert mine.overlaps_with(theirs) == set()
+
+    def test_delete_vs_modify_overlaps(self):
+        mine = ChangeLog([DeleteActivity(activity_id="pack_goods")])
+        theirs = ChangeLog([ChangeActivityAttributes(activity_id="pack_goods", role="boss")])
+        assert "pack_goods" in mine.overlaps_with(theirs)
+
+    def test_both_delete_same_activity_overlaps(self):
+        mine = ChangeLog([DeleteActivity(activity_id="pack_goods")])
+        theirs = ChangeLog([DeleteActivity(activity_id="pack_goods")])
+        assert "pack_goods" in mine.overlaps_with(theirs)
+
+    def test_same_added_node_id_overlaps(self):
+        mine = ChangeLog([insert_op("same_id")])
+        theirs = ChangeLog([insert_op("same_id", "compose_order", "pack_goods")])
+        assert "same_id" in mine.overlaps_with(theirs)
+
+    def test_overlap_is_symmetric(self):
+        mine = ChangeLog([DeleteActivity(activity_id="pack_goods")])
+        theirs = ChangeLog([ChangeActivityAttributes(activity_id="pack_goods", role="boss")])
+        assert mine.overlaps_with(theirs) == theirs.overlaps_with(mine)
+
+
+class TestSubstitutionBlock:
+    def biased_schema(self, order_schema):
+        log = ChangeLog(
+            [insert_op("extra"), InsertSyncEdge(source="confirm_order", target="compose_order")]
+        )
+        return log.apply_to(order_schema)
+
+    def test_diff_captures_added_elements(self, order_schema):
+        biased = self.biased_schema(order_schema)
+        block = SubstitutionBlock.from_schemas(order_schema, biased)
+        assert [n.node_id for n in block.added_nodes] == ["extra"]
+        assert len(block.added_edges) == 3  # two rewired control edges + sync edge
+        assert block.removed_edges == [("get_order", "collect_data", "control")]
+        assert not block.is_empty()
+
+    def test_overlay_reproduces_biased_schema(self, order_schema):
+        biased = self.biased_schema(order_schema)
+        block = SubstitutionBlock.from_schemas(order_schema, biased)
+        materialised = block.overlay(order_schema)
+        assert materialised.structurally_equals(biased)
+
+    def test_overlay_does_not_touch_original(self, order_schema):
+        biased = self.biased_schema(order_schema)
+        block = SubstitutionBlock.from_schemas(order_schema, biased)
+        block.overlay(order_schema)
+        assert not order_schema.has_node("extra")
+
+    def test_identical_schemas_give_empty_block(self, order_schema):
+        block = SubstitutionBlock.from_schemas(order_schema, order_schema.copy())
+        assert block.is_empty()
+        assert block.element_count() == 0
+
+    def test_deletion_captured(self, order_schema):
+        log = ChangeLog([DeleteActivity(activity_id="confirm_order", supply_values={"confirmation": True})])
+        biased = log.apply_to(order_schema)
+        block = SubstitutionBlock.from_schemas(order_schema, biased)
+        assert block.removed_nodes == ["confirm_order"]
+        assert block.overlay(order_schema).structurally_equals(biased)
+
+    def test_attribute_change_captured_as_modified_node(self, order_schema):
+        log = ChangeLog([ChangeActivityAttributes(activity_id="get_order", role="manager")])
+        biased = log.apply_to(order_schema)
+        block = SubstitutionBlock.from_schemas(order_schema, biased)
+        assert [n.node_id for n in block.modified_nodes] == ["get_order"]
+        assert block.overlay(order_schema).node("get_order").staff_assignment == "manager"
+
+    def test_block_is_much_smaller_than_full_schema(self, order_schema):
+        import json
+
+        biased = self.biased_schema(order_schema)
+        block = SubstitutionBlock.from_schemas(order_schema, biased)
+        full_size = len(json.dumps(biased.to_dict()))
+        assert block.storage_size() < full_size / 2
+
+    def test_roundtrip_serialization(self, order_schema):
+        biased = self.biased_schema(order_schema)
+        block = SubstitutionBlock.from_schemas(order_schema, biased)
+        restored = SubstitutionBlock.from_dict(block.to_dict())
+        assert restored.overlay(order_schema).structurally_equals(biased)
+
+    def test_overlay_of_templates_verifies(self, order_schema):
+        biased = self.biased_schema(order_schema)
+        block = SubstitutionBlock.from_schemas(order_schema, biased)
+        assert verify_schema(block.overlay(order_schema)).is_correct

@@ -1,0 +1,200 @@
+"""Tests for delete, move and attribute-change operations."""
+
+import pytest
+
+from repro.core.operations import (
+    ChangeActivityAttributes,
+    DeleteActivity,
+    MoveActivity,
+    OperationError,
+    operation_from_dict,
+)
+from repro.runtime.states import NodeState
+from repro.schema.edges import EdgeType
+from repro.verification import verify_schema
+
+
+class TestDeleteActivity:
+    def test_apply_bridges_neighbours(self, order_schema):
+        changed = order_schema.copy()
+        DeleteActivity(activity_id="collect_data", supply_values={"customer": {}}).apply_checked(changed)
+        assert not changed.has_node("collect_data")
+        succ = changed.successors("get_order", EdgeType.CONTROL)
+        assert len(succ) == 1  # bridged to the AND split
+        assert verify_schema(changed).is_correct
+
+    def test_delete_drops_data_edges(self, order_schema):
+        changed = order_schema.copy()
+        DeleteActivity(activity_id="collect_data", supply_values={"customer": {}}).apply_checked(changed)
+        assert all(d.activity != "collect_data" for d in changed.data_edges)
+
+    def test_delete_structural_node_rejected(self, order_schema):
+        operation = DeleteActivity(activity_id="start")
+        assert operation.check_preconditions(order_schema)
+
+    def test_delete_unknown_node_rejected(self, order_schema):
+        assert DeleteActivity(activity_id="ghost").check_preconditions(order_schema)
+
+    def test_missing_data_problem_detected(self, order_schema):
+        # pack_goods is the only writer of "shipment", read by deliver_goods
+        operation = DeleteActivity(activity_id="pack_goods")
+        problems = operation.check_preconditions(order_schema)
+        assert any("shipment" in problem for problem in problems)
+
+    def test_missing_data_resolved_by_supplied_value(self, order_schema):
+        operation = DeleteActivity(activity_id="pack_goods", supply_values={"shipment": {"manual": True}})
+        assert operation.check_preconditions(order_schema) == []
+        changed = order_schema.copy()
+        operation.apply_checked(changed)
+        assert verify_schema(changed).is_correct
+        assert changed.data_element("shipment").default == {"manual": True}
+
+    def test_compliance_not_started(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        engine.complete_activity(instance, "get_order")
+        operation = DeleteActivity(activity_id="confirm_order", supply_values={"confirmation": True})
+        assert operation.compliance_conflicts(instance) == []
+
+    def test_compliance_conflict_when_started(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        engine.complete_activity(instance, "get_order")
+        conflicts = DeleteActivity(activity_id="get_order").compliance_conflicts(instance)
+        assert conflicts and conflicts[0].kind.value == "state"
+
+    def test_compliance_data_conflict_reported(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        conflicts = DeleteActivity(activity_id="pack_goods").compliance_conflicts(instance)
+        assert conflicts and conflicts[0].kind.value == "data"
+
+    def test_compliance_data_conflict_resolved_by_instance_value(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        instance.data.supply("shipment", {"manual": True})
+        assert DeleteActivity(activity_id="pack_goods").compliance_conflicts(instance) == []
+
+    def test_roundtrip_serialization(self):
+        operation = DeleteActivity(activity_id="a", supply_values={"x": 1})
+        restored = operation_from_dict(operation.to_dict())
+        assert isinstance(restored, DeleteActivity)
+        assert restored.supply_values == {"x": 1}
+
+    def test_removed_node_ids(self):
+        assert DeleteActivity(activity_id="a").removed_node_ids() == {"a"}
+
+
+class TestDeleteWholeBranch:
+    def test_delete_single_branch_activity_keeps_block(self, order_schema):
+        changed = order_schema.copy()
+        DeleteActivity(activity_id="confirm_order", supply_values={"confirmation": True}).apply_checked(changed)
+        # the AND block now has an empty branch (split -> join edge)
+        assert verify_schema(changed).is_correct
+
+    def test_delete_both_branch_activities_blocked_by_duplicate_edge(self, order_schema):
+        changed = order_schema.copy()
+        DeleteActivity(activity_id="compose_order").apply_checked(changed)
+        DeleteActivity(activity_id="pack_goods", supply_values={"shipment": {}}).apply_checked(changed)
+        # deleting confirm_order as well would duplicate the split->join edge
+        problems = DeleteActivity(
+            activity_id="confirm_order", supply_values={"confirmation": True}
+        ).check_preconditions(changed)
+        assert any("duplicate" in problem for problem in problems)
+
+
+class TestMoveActivity:
+    def test_move_later(self, order_schema):
+        changed = order_schema.copy()
+        operation = MoveActivity(
+            activity_id="confirm_order",
+            new_pred="compose_order",
+            new_succ="pack_goods",
+        )
+        operation.apply_checked(changed)
+        assert changed.has_edge("compose_order", "confirm_order")
+        assert changed.has_edge("confirm_order", "pack_goods")
+        assert verify_schema(changed).is_correct
+
+    def test_move_preserves_data_edges(self, order_schema):
+        changed = order_schema.copy()
+        MoveActivity(
+            activity_id="collect_data", new_pred="compose_order", new_succ="pack_goods"
+        ).apply_checked(changed)
+        assert "collect_data" in changed.writers_of("customer")
+
+    def test_move_to_missing_edge_rejected(self, order_schema):
+        operation = MoveActivity(activity_id="collect_data", new_pred="get_order", new_succ="pack_goods")
+        assert operation.check_preconditions(order_schema)
+
+    def test_move_next_to_itself_rejected(self, order_schema):
+        operation = MoveActivity(activity_id="collect_data", new_pred="collect_data", new_succ="pack_goods")
+        assert operation.check_preconditions(order_schema)
+
+    def test_compliance_requires_activity_not_started(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        engine.complete_activity(instance, "get_order")
+        engine.complete_activity(instance, "collect_data")
+        operation = MoveActivity(
+            activity_id="collect_data", new_pred="compose_order", new_succ="pack_goods"
+        )
+        conflicts = operation.compliance_conflicts(instance)
+        assert conflicts and conflicts[0].kind.value == "state"
+
+    def test_compliance_requires_target_not_started(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        for activity in ("get_order", "collect_data", "compose_order"):
+            engine.complete_activity(instance, activity)
+        # moving confirm_order to before the (already passed) AND split fails
+        and_split = order_schema.successors("collect_data")[0]
+        operation = MoveActivity(
+            activity_id="confirm_order", new_pred="collect_data", new_succ=and_split
+        )
+        conflicts = operation.compliance_conflicts(instance)
+        assert conflicts and conflicts[0].kind.value == "state"
+
+    def test_compliance_ok_when_both_untouched(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        engine.complete_activity(instance, "get_order")
+        operation = MoveActivity(
+            activity_id="confirm_order",
+            new_pred="pack_goods",
+            new_succ=order_schema.successors("pack_goods")[0],
+        )
+        assert operation.compliance_conflicts(instance) == []
+
+    def test_roundtrip_serialization(self):
+        operation = MoveActivity(activity_id="a", new_pred="b", new_succ="c")
+        restored = operation_from_dict(operation.to_dict())
+        assert isinstance(restored, MoveActivity)
+        assert (restored.new_pred, restored.new_succ) == ("b", "c")
+
+
+class TestChangeAttributes:
+    def test_apply_changes_attributes(self, order_schema):
+        changed = order_schema.copy()
+        ChangeActivityAttributes(
+            activity_id="get_order", role="sales", duration=3.5, name="Take order"
+        ).apply_checked(changed)
+        node = changed.node("get_order")
+        assert node.staff_assignment == "sales"
+        assert node.duration == 3.5
+        assert node.name == "Take order"
+
+    def test_partial_change_keeps_other_attributes(self, order_schema):
+        changed = order_schema.copy()
+        ChangeActivityAttributes(activity_id="get_order", duration=9.0).apply_checked(changed)
+        node = changed.node("get_order")
+        assert node.staff_assignment == "clerk"
+        assert node.duration == 9.0
+
+    def test_no_change_requested_rejected(self, order_schema):
+        assert ChangeActivityAttributes(activity_id="get_order").check_preconditions(order_schema)
+
+    def test_always_compliant(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        engine.complete_activity(instance, "get_order")
+        operation = ChangeActivityAttributes(activity_id="get_order", role="manager")
+        assert operation.compliance_conflicts(instance) == []
+
+    def test_roundtrip_serialization(self):
+        operation = ChangeActivityAttributes(activity_id="a", role="boss")
+        restored = operation_from_dict(operation.to_dict())
+        assert isinstance(restored, ChangeActivityAttributes)
+        assert restored.role == "boss"

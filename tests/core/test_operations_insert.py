@@ -1,0 +1,234 @@
+"""Tests for the insert change operations (serial, parallel, conditional)."""
+
+import pytest
+
+from repro.core.operations import (
+    ConditionalInsertActivity,
+    OperationError,
+    ParallelInsertActivity,
+    SerialInsertActivity,
+    operation_from_dict,
+)
+from repro.runtime.states import NodeState
+from repro.schema.edges import EdgeType
+from repro.schema.nodes import Node
+from repro.verification import verify_schema
+
+
+def new_activity(node_id="new_step", role="clerk"):
+    return Node(node_id=node_id, name=node_id, staff_assignment=role)
+
+
+class TestSerialInsert:
+    def operation(self):
+        return SerialInsertActivity(
+            activity=new_activity(), pred="get_order", succ="collect_data", writes=("note",)
+        )
+
+    def test_apply_rewires_edges(self, order_schema):
+        changed = order_schema.copy()
+        self.operation().apply_checked(changed)
+        assert changed.has_node("new_step")
+        assert changed.has_edge("get_order", "new_step")
+        assert changed.has_edge("new_step", "collect_data")
+        assert not changed.has_edge("get_order", "collect_data")
+
+    def test_result_verifies(self, order_schema):
+        changed = order_schema.copy()
+        self.operation().apply_checked(changed)
+        assert verify_schema(changed).is_correct
+
+    def test_data_edges_created(self, order_schema):
+        changed = order_schema.copy()
+        self.operation().apply_checked(changed)
+        assert changed.writers_of("note") == ["new_step"]
+
+    def test_precondition_edge_must_exist(self, order_schema):
+        operation = SerialInsertActivity(
+            activity=new_activity(), pred="get_order", succ="pack_goods"
+        )
+        problems = operation.check_preconditions(order_schema)
+        assert problems
+        with pytest.raises(OperationError):
+            operation.apply_checked(order_schema.copy())
+
+    def test_precondition_duplicate_node(self, order_schema):
+        operation = SerialInsertActivity(
+            activity=Node(node_id="get_order"), pred="collect_data", succ="confirm_order"
+        )
+        assert operation.check_preconditions(order_schema)
+
+    def test_insert_into_guarded_edge_preserves_guard(self, credit_schema):
+        split = next(
+            n.node_id for n in credit_schema.nodes.values() if n.node_type.value == "xor_split"
+        )
+        guarded_edge = next(
+            e for e in credit_schema.edges_from(split, EdgeType.CONTROL) if e.guard is not None
+        )
+        operation = SerialInsertActivity(
+            activity=new_activity("pre_approval"), pred=split, succ=guarded_edge.target
+        )
+        changed = credit_schema.copy()
+        operation.apply_checked(changed)
+        new_edge = changed.edge(split, "pre_approval", EdgeType.CONTROL)
+        assert new_edge.guard == guarded_edge.guard
+        assert verify_schema(changed).is_correct
+
+    def test_compliance_before_frontier(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        engine.complete_activity(instance, "get_order")
+        # collect_data only activated, not started -> compliant
+        assert self.operation().compliance_conflicts(instance) == []
+
+    def test_compliance_conflict_when_successor_started(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        engine.complete_activity(instance, "get_order")
+        engine.complete_activity(instance, "collect_data")
+        conflicts = self.operation().compliance_conflicts(instance)
+        assert conflicts and conflicts[0].kind.value == "state"
+
+    def test_compliance_with_skipped_successor(self, engine, credit_schema):
+        instance = engine.create_instance(credit_schema, "i1")
+        engine.complete_activity(instance, "receive_application")
+        engine.complete_activity(instance, "check_identity")
+        engine.complete_activity(instance, "compute_score", outputs={"score": 10})
+        # approve_credit was skipped; inserting before it is still compliant
+        split_edge = credit_schema.edges_to("approve_credit", EdgeType.CONTROL)[0]
+        operation = SerialInsertActivity(
+            activity=new_activity("extra_check"), pred=split_edge.source, succ="approve_credit"
+        )
+        assert operation.compliance_conflicts(instance) == []
+
+    def test_inverse_is_delete(self):
+        inverse = self.operation().inverse()
+        assert inverse.activity_id == "new_step"
+
+    def test_roundtrip_serialization(self):
+        operation = self.operation()
+        restored = operation_from_dict(operation.to_dict())
+        assert isinstance(restored, SerialInsertActivity)
+        assert restored.pred == operation.pred
+        assert restored.succ == operation.succ
+        assert restored.activity.node_id == "new_step"
+        assert restored.writes == ("note",)
+
+    def test_affected_and_added_nodes(self):
+        operation = self.operation()
+        assert operation.affected_nodes() == {"get_order", "collect_data"}
+        assert operation.added_node_ids() == {"new_step"}
+        assert operation.affected_elements() == {"note"}
+
+
+class TestParallelInsert:
+    def operation(self):
+        return ParallelInsertActivity(activity=new_activity("side_task"), parallel_to="collect_data")
+
+    def test_apply_creates_and_block(self, order_schema):
+        changed = order_schema.copy()
+        self.operation().apply_checked(changed)
+        assert changed.are_parallel("side_task", "collect_data")
+        assert verify_schema(changed).is_correct
+
+    def test_apply_preserves_reachability(self, order_schema):
+        changed = order_schema.copy()
+        self.operation().apply_checked(changed)
+        assert changed.is_predecessor("get_order", "side_task")
+        assert changed.is_predecessor("side_task", "deliver_goods")
+
+    def test_precondition_requires_activity(self, order_schema):
+        operation = ParallelInsertActivity(activity=new_activity("x"), parallel_to="start")
+        assert operation.check_preconditions(order_schema)
+
+    def test_precondition_missing_target(self, order_schema):
+        operation = ParallelInsertActivity(activity=new_activity("x"), parallel_to="ghost")
+        assert operation.check_preconditions(order_schema)
+
+    def test_compliance_when_successor_not_started(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        engine.complete_activity(instance, "get_order")
+        engine.complete_activity(instance, "collect_data")
+        # collect_data itself is completed but its successor (the AND split)
+        # fires instantly, so the region after it has started -> conflict
+        conflicts = self.operation().compliance_conflicts(instance)
+        assert conflicts
+
+    def test_compliance_parallel_to_future_activity(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        engine.complete_activity(instance, "get_order")
+        operation = ParallelInsertActivity(activity=new_activity("side"), parallel_to="pack_goods")
+        assert operation.compliance_conflicts(instance) == []
+
+    def test_roundtrip_serialization(self):
+        operation = self.operation()
+        restored = operation_from_dict(operation.to_dict())
+        assert isinstance(restored, ParallelInsertActivity)
+        assert restored.parallel_to == "collect_data"
+
+    def test_added_nodes_include_split_and_join(self):
+        added = self.operation().added_node_ids()
+        assert "side_task" in added
+        assert len(added) == 3
+
+
+class TestConditionalInsert:
+    def operation(self):
+        return ConditionalInsertActivity(
+            activity=new_activity("escalation"),
+            pred="collect_data",
+            succ=None or "and_split_fulfil_1",
+            guard="True",
+        )
+
+    def test_apply_creates_xor_block(self, order_schema):
+        succ = order_schema.successors("collect_data", EdgeType.CONTROL)[0]
+        operation = ConditionalInsertActivity(
+            activity=new_activity("escalation"), pred="collect_data", succ=succ, guard="True"
+        )
+        changed = order_schema.copy()
+        operation.apply_checked(changed)
+        assert changed.has_node("escalation")
+        assert verify_schema(changed).is_correct
+
+    def test_empty_default_branch_allowed(self, order_schema):
+        succ = order_schema.successors("collect_data", EdgeType.CONTROL)[0]
+        operation = ConditionalInsertActivity(
+            activity=new_activity("escalation"), pred="collect_data", succ=succ, guard="True"
+        )
+        changed = order_schema.copy()
+        operation.apply_checked(changed)
+        # the XOR split has a direct (empty) default edge to its join
+        assert changed.has_edge(operation.split_id, operation.join_id, EdgeType.CONTROL)
+
+    def test_guarded_branch_executes_when_condition_holds(self, engine, order_schema):
+        succ = order_schema.successors("collect_data", EdgeType.CONTROL)[0]
+        operation = ConditionalInsertActivity(
+            activity=new_activity("escalation"),
+            pred="collect_data",
+            succ=succ,
+            guard="True",
+        )
+        changed = order_schema.copy()
+        operation.apply_checked(changed)
+        instance = engine.create_instance(changed, "i1")
+        engine.run_to_completion(instance)
+        assert "escalation" in instance.completed_activities()
+
+    def test_compliance_mirrors_serial_insert(self, engine, order_schema):
+        succ = order_schema.successors("collect_data", EdgeType.CONTROL)[0]
+        operation = ConditionalInsertActivity(
+            activity=new_activity("escalation"), pred="collect_data", succ=succ, guard="True"
+        )
+        instance = engine.create_instance(order_schema, "i1")
+        engine.complete_activity(instance, "get_order")
+        assert operation.compliance_conflicts(instance) == []
+        engine.complete_activity(instance, "collect_data")
+        assert operation.compliance_conflicts(instance)  # split already passed
+
+    def test_roundtrip_serialization(self, order_schema):
+        succ = order_schema.successors("collect_data", EdgeType.CONTROL)[0]
+        operation = ConditionalInsertActivity(
+            activity=new_activity("escalation"), pred="collect_data", succ=succ, guard="priority == 'high'"
+        )
+        restored = operation_from_dict(operation.to_dict())
+        assert isinstance(restored, ConditionalInsertActivity)
+        assert restored.guard == "priority == 'high'"

@@ -1,0 +1,91 @@
+"""Direct unit tests for the low-level graph transformation primitives."""
+
+import pytest
+
+from repro.core.primitives import (
+    control_edge_between,
+    insert_conditional_block,
+    insert_node_between,
+    remove_activity_and_bridge,
+    wrap_in_parallel_block,
+)
+from repro.schema.edges import EdgeType
+from repro.schema.graph import SchemaError
+from repro.schema.nodes import Node, NodeType
+from repro.verification import verify_schema
+
+
+class TestInsertNodeBetween:
+    def test_basic_insertion(self, order_schema):
+        insert_node_between(order_schema, Node(node_id="x"), "get_order", "collect_data")
+        assert order_schema.has_edge("get_order", "x")
+        assert order_schema.has_edge("x", "collect_data")
+        assert not order_schema.has_edge("get_order", "collect_data")
+
+    def test_missing_edge_rejected(self, order_schema):
+        with pytest.raises(SchemaError):
+            insert_node_between(order_schema, Node(node_id="x"), "get_order", "pack_goods")
+
+    def test_guard_preserved(self, credit_schema):
+        split = next(
+            n.node_id for n in credit_schema.nodes.values() if n.node_type is NodeType.XOR_SPLIT
+        )
+        guarded = next(
+            e for e in credit_schema.edges_from(split, EdgeType.CONTROL) if e.guard is not None
+        )
+        insert_node_between(credit_schema, Node(node_id="x"), split, guarded.target)
+        assert credit_schema.edge(split, "x").guard == guarded.guard
+        assert credit_schema.edge("x", guarded.target).guard is None
+
+
+class TestRemoveActivityAndBridge:
+    def test_basic_removal(self, sequence_schema):
+        pred, succ = remove_activity_and_bridge(sequence_schema, "step_3")
+        assert (pred, succ) == ("step_2", "step_4")
+        assert sequence_schema.has_edge("step_2", "step_4")
+        assert not sequence_schema.has_node("step_3")
+
+    def test_structural_node_rejected(self, order_schema):
+        with pytest.raises(SchemaError):
+            remove_activity_and_bridge(order_schema, "start")
+
+    def test_duplicate_bridge_rejected(self, order_schema):
+        remove_activity_and_bridge(order_schema, "compose_order")
+        # removing pack_goods now would connect the split directly to the join
+        # in a branch that still has another direct connection available
+        remove_activity_and_bridge(order_schema, "pack_goods")
+        with pytest.raises(SchemaError):
+            remove_activity_and_bridge(order_schema, "confirm_order")
+
+
+class TestWrapInParallelBlock:
+    def test_wrap(self, order_schema):
+        wrap_in_parallel_block(order_schema, "collect_data", Node(node_id="extra"), "psplit", "pjoin")
+        assert order_schema.are_parallel("collect_data", "extra")
+        assert verify_schema(order_schema).is_correct
+
+    def test_wrap_requires_activity(self, order_schema):
+        with pytest.raises(SchemaError):
+            wrap_in_parallel_block(order_schema, "start", Node(node_id="extra"), "psplit", "pjoin")
+
+
+class TestInsertConditionalBlock:
+    def test_insert(self, order_schema):
+        insert_conditional_block(
+            order_schema, Node(node_id="extra"), "get_order", "collect_data", "True", "csplit", "cjoin"
+        )
+        assert order_schema.has_edge("csplit", "cjoin")  # empty default branch
+        assert order_schema.edge("csplit", "extra").guard == "True"
+        assert verify_schema(order_schema).is_correct
+
+    def test_missing_edge_rejected(self, order_schema):
+        with pytest.raises(SchemaError):
+            insert_conditional_block(
+                order_schema, Node(node_id="extra"), "get_order", "pack_goods", "True", "s", "j"
+            )
+
+
+class TestControlEdgeBetween:
+    def test_found_and_missing(self, order_schema):
+        assert control_edge_between(order_schema, "get_order", "collect_data") is not None
+        assert control_edge_between(order_schema, "get_order", "pack_goods") is None

@@ -1,0 +1,125 @@
+"""Tests for marking adaptation after migrations and ad-hoc changes."""
+
+import pytest
+
+from repro.core.compliance import ComplianceChecker
+from repro.core.state_adaptation import StateAdapter
+from repro.runtime.states import NodeState
+from repro.workloads.order_process import ORDER_EXECUTION_SEQUENCE, order_type_change_v2
+
+
+@pytest.fixture
+def adapter():
+    return StateAdapter()
+
+
+@pytest.fixture
+def schema_v2(order_schema):
+    return order_type_change_v2().operations.apply_to(order_schema)
+
+
+def instance_at(engine, schema, progress, instance_id="inst"):
+    instance = engine.create_instance(schema, instance_id)
+    for activity in ORDER_EXECUTION_SEQUENCE[:progress]:
+        engine.complete_activity(instance, activity)
+    return instance
+
+
+class TestIncrementalAdaptation:
+    def test_completed_work_preserved(self, adapter, engine, order_schema, schema_v2):
+        instance = instance_at(engine, order_schema, 4)
+        marking = adapter.adapt(instance, schema_v2)
+        for activity in ORDER_EXECUTION_SEQUENCE[:4]:
+            assert marking.node_state(activity) is NodeState.COMPLETED
+
+    def test_new_activity_activated_and_successor_deactivated(self, adapter, engine, order_schema, schema_v2):
+        """The paper's I1: pack_goods loses its activation to send_questions."""
+        instance = instance_at(engine, order_schema, 4)
+        assert instance.node_state("pack_goods") is NodeState.ACTIVATED
+        marking = adapter.adapt(instance, schema_v2)
+        assert marking.node_state("send_questions") is NodeState.ACTIVATED
+        assert marking.node_state("pack_goods") is NodeState.NOT_ACTIVATED
+
+    def test_new_activity_not_activated_when_region_not_reached(self, adapter, engine, order_schema, schema_v2):
+        instance = instance_at(engine, order_schema, 1)
+        marking = adapter.adapt(instance, schema_v2)
+        assert marking.node_state("send_questions") is NodeState.NOT_ACTIVATED
+
+    def test_running_activity_stays_running(self, adapter, engine, order_schema, schema_v2):
+        instance = instance_at(engine, order_schema, 2)
+        engine.start_activity(instance, "confirm_order")
+        marking = adapter.adapt(instance, schema_v2)
+        assert marking.node_state("confirm_order") is NodeState.RUNNING
+
+    def test_adaptation_does_not_mutate_instance(self, adapter, engine, order_schema, schema_v2):
+        instance = instance_at(engine, order_schema, 4)
+        adapter.adapt(instance, schema_v2)
+        assert instance.node_state("pack_goods") is NodeState.ACTIVATED
+
+    def test_adapted_instance_continues_correctly(self, adapter, engine, order_schema, schema_v2):
+        instance = instance_at(engine, order_schema, 4)
+        instance.marking = adapter.adapt(instance, schema_v2)
+        instance.rebind_schema(schema_v2)
+        engine.run_to_completion(instance)
+        completed = instance.completed_activities()
+        assert "send_questions" in completed
+        assert completed.index("send_questions") < completed.index("pack_goods")
+
+
+class TestAdaptationInSkippedRegions:
+    def test_new_activity_in_skipped_branch_is_skipped(self, adapter, engine, credit_schema):
+        from repro.core.changelog import ChangeLog
+        from repro.core.operations import SerialInsertActivity
+        from repro.schema.nodes import Node
+
+        instance = engine.create_instance(credit_schema, "i1")
+        engine.complete_activity(instance, "receive_application")
+        engine.complete_activity(instance, "check_identity")
+        engine.complete_activity(instance, "compute_score", outputs={"score": 10})
+        # the approve branch was skipped; insert a new activity into it
+        target = ChangeLog(
+            [
+                SerialInsertActivity(
+                    activity=Node(node_id="board_review"),
+                    pred=credit_schema.predecessors("approve_credit")[0],
+                    succ="approve_credit",
+                )
+            ]
+        ).apply_to(credit_schema)
+        marking = adapter.adapt(instance, target)
+        assert marking.node_state("board_review") is NodeState.SKIPPED
+
+
+class TestReplayBaselineAgreement:
+    @pytest.mark.parametrize("progress", range(0, 3))
+    def test_incremental_equals_replay(self, adapter, engine, order_schema, schema_v2, progress):
+        instance = instance_at(engine, order_schema, progress, f"i-{progress}")
+        incremental, agrees = adapter.adapt_and_verify(instance, schema_v2)
+        assert agrees, incremental.differences(adapter.recompute_by_replay(instance, schema_v2))
+
+    def test_incremental_equals_replay_for_paper_i1(self, adapter, fig1):
+        target = fig1.type_change.operations.apply_to(fig1.schema_v1)
+        _, agrees = adapter.adapt_and_verify(fig1.i1, target)
+        assert agrees
+
+    def test_replay_baseline_rejects_non_compliant_instance(self, adapter, engine, order_schema, schema_v2):
+        instance = instance_at(engine, order_schema, 5)
+        with pytest.raises(ValueError):
+            adapter.recompute_by_replay(instance, schema_v2)
+
+    def test_adapt_and_verify_reports_disagreement_for_non_compliant(self, adapter, engine, order_schema, schema_v2):
+        instance = instance_at(engine, order_schema, 5)
+        _, agrees = adapter.adapt_and_verify(instance, schema_v2)
+        assert not agrees
+
+    def test_agreement_with_biased_instance(self, adapter, engine, fig1):
+        """The biased I2 is adapted on its own (bias-extended) schema."""
+        from repro.core.changelog import ChangeLog
+        from repro.core.operations import ChangeActivityAttributes
+
+        compatible_change = ChangeLog(
+            [ChangeActivityAttributes(activity_id="deliver_goods", role="courier")]
+        )
+        target = compatible_change.apply_to(fig1.i2.execution_schema)
+        incremental, agrees = adapter.adapt_and_verify(fig1.i2, target)
+        assert agrees

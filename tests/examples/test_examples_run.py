@@ -1,0 +1,26 @@
+"""Smoke tests: every bundled example runs to completion without errors."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("example_path", EXAMPLES, ids=[path.stem for path in EXAMPLES])
+def test_example_runs(example_path, capsys, monkeypatch):
+    """Each example script executes its __main__ block without raising."""
+    monkeypatch.setattr(sys, "argv", [str(example_path)])
+    runpy.run_path(str(example_path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{example_path.name} produced no output"
+
+
+def test_examples_directory_contains_expected_scenarios():
+    names = {path.stem for path in EXAMPLES}
+    assert "quickstart" in names
+    assert "order_migration_demo" in names
+    assert len(names) >= 3

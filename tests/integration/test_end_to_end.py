@@ -1,0 +1,165 @@
+"""End-to-end integration tests across all subsystems.
+
+These scenarios exercise the full stack the way the examples do: schema
+repository + engine + worklists + ad-hoc changes + schema evolution +
+migration + storage + monitoring, in one flow.
+"""
+
+import pytest
+
+from repro.core.adhoc import AdHocChanger
+from repro.core.migration import MigrationManager, MigrationOutcome
+from repro.core.operations import SerialInsertActivity
+from repro.monitoring.monitor import InstanceMonitor
+from repro.monitoring.report import render_migration_report
+from repro.monitoring.statistics import PopulationStatistics
+from repro.org.model import example_org_model
+from repro.runtime.engine import ProcessEngine
+from repro.runtime.states import InstanceStatus, NodeState
+from repro.runtime.worklist import WorklistManager
+from repro.schema import templates
+from repro.schema.nodes import Node
+from repro.storage.instance_store import InstanceStore
+from repro.storage.repository import SchemaRepository
+from repro.workloads.order_process import order_type_change_v2, paper_fig3_population
+
+
+class TestFullLifecycle:
+    def test_model_execute_change_evolve_migrate_store(self, tmp_path):
+        # 1. model and register the process type
+        engine = ProcessEngine()
+        repository = SchemaRepository()
+        schema_v1 = templates.online_order_process()
+        process_type = repository.register_type(schema_v1)
+        store = InstanceStore(repository)
+        worklists = WorklistManager(engine, org_model=example_org_model())
+
+        # 2. create and drive instances through the worklist
+        case_a = engine.create_instance(schema_v1, "case-a")
+        case_b = engine.create_instance(schema_v1, "case-b")
+        for case in (case_a, case_b):
+            worklists.register_instance(case)
+        item = worklists.worklist_for("alice")[0]
+        worklists.claim(item.item_id, "alice")
+        worklists.complete(item.item_id, outputs={"order": {"item": "desk"}})
+        engine.complete_activity(case_a, "collect_data")
+        engine.complete_activity(case_a, "compose_order")
+        engine.advance_instance(case_b, 5)
+
+        # 3. ad-hoc change on case-a
+        AdHocChanger(engine).apply(
+            case_a,
+            [SerialInsertActivity(activity=Node(node_id="gift_wrap"), pred="pack_goods",
+                                  succ=case_a.execution_schema.successors("pack_goods")[0])],
+            comment="customer wants gift wrapping",
+        )
+        assert case_a.is_biased
+
+        # 4. evolve the type and migrate
+        manager = MigrationManager(engine)
+        report = manager.migrate_type(process_type, order_type_change_v2(), [case_a, case_b])
+        assert report.count(MigrationOutcome.MIGRATED_WITH_BIAS) == 1
+        assert report.count(MigrationOutcome.STATE_CONFLICT) == 1
+        assert "Migration report" in render_migration_report(report)
+
+        # 5. persist everything, reload, and finish execution on the reloaded copies
+        store.save_all([case_a, case_b])
+        reloaded_a = store.load("case-a")
+        assert reloaded_a.is_biased
+        assert reloaded_a.schema_version == 2
+        engine.run_to_completion(reloaded_a)
+        assert "gift_wrap" in reloaded_a.completed_activities()
+        assert "send_questions" in reloaded_a.completed_activities()
+
+        reloaded_b = store.load("case-b")
+        engine.run_to_completion(reloaded_b)
+        assert reloaded_b.status is InstanceStatus.COMPLETED
+        assert reloaded_b.schema_version == 1
+
+        # 6. monitoring views render without errors
+        assert "case-a" in InstanceMonitor(reloaded_a).state_view()
+        stats = PopulationStatistics.collect([reloaded_a, reloaded_b])
+        assert stats.total == 2
+
+    def test_population_migration_with_storage(self):
+        process_type, engine, instances = paper_fig3_population(instance_count=150, seed=8)
+        repository = SchemaRepository()
+        repository.adopt_type(process_type)  # share the evolved type object
+        store = InstanceStore(repository)
+        store.save_all(instances)
+
+        report = MigrationManager(engine).migrate_type(
+            process_type, order_type_change_v2(), instances
+        )
+        store.save_all(instances)
+
+        assert report.total == 150
+        v2_ids = set(store.instances_of_type("online_order", version=2))
+        assert v2_ids == set(report.migrated_instances)
+
+        # spot-check: reload a migrated instance and run it to completion
+        if report.migrated_instances:
+            instance = store.load(report.migrated_instances[0])
+            engine.run_to_completion(instance)
+            assert instance.status is InstanceStatus.COMPLETED
+            assert "send_questions" in instance.completed_activities()
+
+    def test_two_successive_evolutions(self):
+        engine = ProcessEngine()
+        schema_v1 = templates.online_order_process()
+        from repro.core.evolution import ProcessType, TypeChange
+
+        process_type = ProcessType("online_order", schema_v1)
+        instance = engine.create_instance(schema_v1, "long-runner")
+        engine.complete_activity(instance, "get_order")
+
+        manager = MigrationManager(engine)
+        first = manager.migrate_type(process_type, order_type_change_v2(), [instance])
+        assert first.migrated_count == 1
+        assert instance.schema_version == 2
+
+        second_change = TypeChange.of(
+            2,
+            [SerialInsertActivity(activity=Node(node_id="invoice"), pred="deliver_goods",
+                                  succ=process_type.latest_schema.successors("deliver_goods")[0])],
+            comment="V3: invoicing step",
+        )
+        second = manager.migrate_type(process_type, second_change, [instance])
+        assert second.migrated_count == 1
+        assert instance.schema_version == 3
+
+        engine.run_to_completion(instance)
+        completed = instance.completed_activities()
+        assert "send_questions" in completed and "invoice" in completed
+
+
+class TestEHealthScenario:
+    def test_treatment_case_with_deviation_and_evolution(self):
+        engine = ProcessEngine()
+        schema = templates.patient_treatment_process()
+        from repro.core.evolution import ProcessType, TypeChange
+
+        process_type = ProcessType("patient_treatment", schema)
+        case = engine.create_instance(schema, "patient-1")
+        engine.complete_activity(case, "admit_patient")
+
+        AdHocChanger(engine).apply(
+            case,
+            [SerialInsertActivity(activity=Node(node_id="lab_test"), pred="examine_patient", succ="perform_treatment")],
+        )
+        engine.complete_activity(case, "examine_patient", outputs={"diagnosis": "x"})
+        engine.complete_activity(case, "lab_test")
+
+        change = TypeChange.of(
+            1,
+            [SerialInsertActivity(activity=Node(node_id="inform_relatives"), pred="discharge_patient",
+                                  succ=schema.successors("discharge_patient")[0])],
+            comment="V2: relatives must be informed",
+        )
+        report = MigrationManager(engine).migrate_type(process_type, change, [case])
+        assert report.results[0].outcome is MigrationOutcome.MIGRATED_WITH_BIAS
+
+        engine.complete_activity(case, "perform_treatment", outputs={"cured": True})
+        engine.run_to_completion(case)
+        completed = case.completed_activities()
+        assert "lab_test" in completed and "inform_relatives" in completed

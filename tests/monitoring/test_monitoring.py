@@ -1,0 +1,129 @@
+"""Tests for rendering, monitoring, migration reports and statistics."""
+
+import pytest
+
+from repro.core.migration import MigrationManager, MigrationOutcome
+from repro.monitoring.monitor import InstanceMonitor
+from repro.monitoring.render import render_schema_ascii, render_schema_dot
+from repro.monitoring.report import (
+    conflicting_instances,
+    migration_report_table,
+    migration_throughput,
+    render_migration_report,
+)
+from repro.monitoring.statistics import PopulationStatistics
+from repro.workloads.order_process import paper_fig3_population, order_type_change_v2
+
+
+class TestRender:
+    def test_ascii_lists_all_nodes(self, order_schema):
+        text = render_schema_ascii(order_schema)
+        for node_id in order_schema.node_ids():
+            assert node_id in text
+
+    def test_ascii_with_marking_shows_symbols(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        engine.complete_activity(instance, "get_order")
+        text = render_schema_ascii(order_schema, instance.marking)
+        assert "✔" in text and "▶" in text
+
+    def test_ascii_shows_sync_and_loop_edges(self, treatment_schema, fig1):
+        assert "loop edges:" in render_schema_ascii(treatment_schema)
+        v2 = fig1.type_change.operations.apply_to(fig1.schema_v1)
+        assert "~~>" in render_schema_ascii(v2)
+
+    def test_dot_output_is_wellformed(self, order_schema):
+        dot = render_schema_dot(order_schema)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"get_order"' in dot
+
+    def test_dot_with_marking_colours_completed(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        engine.complete_activity(instance, "get_order")
+        dot = render_schema_dot(order_schema, instance.marking)
+        assert "palegreen" in dot
+
+
+class TestInstanceMonitor:
+    def test_state_view(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        view = InstanceMonitor(instance).state_view()
+        assert "i1" in view and "get_order" in view
+
+    def test_bias_view_for_unbiased_instance(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        assert "unbiased" in InstanceMonitor(instance).bias_view()
+
+    def test_bias_view_for_biased_instance(self, fig1):
+        view = InstanceMonitor(fig1.i2).bias_view()
+        assert "ad-hoc modified" in view
+        assert "insertSyncEdge" in view
+        assert "substitution block" in view
+
+    def test_history_view(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        engine.complete_activity(instance, "get_order", outputs={"order": {"id": 2}})
+        view = InstanceMonitor(instance).history_view()
+        assert "activity_completed" in view and "get_order" in view
+
+    def test_worklist_view(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        view = InstanceMonitor(instance).worklist_view()
+        assert "get_order" in view and "clerk" in view
+
+    def test_progress_line(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        engine.run_to_completion(instance)
+        line = InstanceMonitor(instance).progress_line()
+        assert "6/6" in line and "completed" in line
+
+
+class TestMigrationReportRendering:
+    @pytest.fixture
+    def report(self, fig1):
+        return MigrationManager(fig1.engine).migrate_type(
+            fig1.process_type, fig1.type_change, fig1.instances
+        )
+
+    def test_render_full_report(self, report):
+        text = render_migration_report(report)
+        assert "Migration report" in text
+        assert "[+] I1" in text
+        assert "[-] I2" in text
+
+    def test_report_table_rows(self, report):
+        rows = migration_report_table(report)
+        by_outcome = {row["outcome"]: row for row in rows}
+        assert by_outcome["migrated"]["count"] == "1"
+        assert by_outcome["total"]["count"] == "3"
+
+    def test_conflicting_instances(self, report):
+        assert {r.instance_id for r in conflicting_instances(report)} == {"I2", "I3"}
+
+    def test_throughput_positive(self, report):
+        assert migration_throughput(report) > 0
+
+
+class TestPopulationStatistics:
+    def test_collect(self):
+        process_type, engine, instances = paper_fig3_population(instance_count=50, seed=2)
+        stats = PopulationStatistics.collect(instances)
+        assert stats.total == 50
+        assert stats.running() <= 50
+        assert 0 <= stats.mean_progress <= 1
+        assert stats.by_version == {1: 50}
+        assert stats.biased >= 1
+
+    def test_summary_and_dict(self):
+        _, _, instances = paper_fig3_population(instance_count=20, seed=4)
+        stats = PopulationStatistics.collect(instances)
+        assert "instances" in stats.summary()
+        payload = stats.to_dict()
+        assert payload["total"] == 20
+
+    def test_versions_after_migration(self):
+        process_type, engine, instances = paper_fig3_population(instance_count=30, seed=6)
+        MigrationManager(engine).migrate_type(process_type, order_type_change_v2(), instances)
+        stats = PopulationStatistics.collect(instances)
+        assert set(stats.by_version) == {1, 2}

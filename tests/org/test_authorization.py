@@ -1,0 +1,72 @@
+"""Tests for change authorization (who may change instances / evolve types)."""
+
+import pytest
+
+from repro.core.adhoc import AdHocChangeError, AdHocChanger
+from repro.core.operations import SerialInsertActivity
+from repro.org.authorization import AuthorizationError, ChangeAuthorization
+from repro.org.model import example_org_model
+from repro.schema.nodes import Node
+
+
+@pytest.fixture
+def authorization():
+    return ChangeAuthorization(
+        org_model=example_org_model(),
+        adhoc_roles={"manager", "physician"},
+        evolution_roles={"manager"},
+    )
+
+
+class TestChangeAuthorization:
+    def test_role_holder_permitted(self, authorization):
+        assert authorization.may_change_instance("carol")  # manager
+        assert authorization.may_change_instance("dora")  # physician
+        assert authorization.may_evolve_type("carol")
+
+    def test_other_users_rejected(self, authorization):
+        assert not authorization.may_change_instance("bob")
+        assert not authorization.may_evolve_type("dora")
+        with pytest.raises(AuthorizationError):
+            authorization.require_instance_change("bob")
+        with pytest.raises(AuthorizationError):
+            authorization.require_type_evolution("erik")
+
+    def test_unknown_user_rejected(self, authorization):
+        assert not authorization.may_change_instance("stranger")
+        assert not authorization.may_change_instance(None)
+
+    def test_empty_role_set_allows_known_users(self):
+        open_policy = ChangeAuthorization(org_model=example_org_model())
+        assert open_policy.may_change_instance("bob")
+        assert open_policy.may_evolve_type("erik")
+        assert open_policy.may_change_instance(None)
+        assert not open_policy.may_change_instance("stranger")
+
+
+class TestAuthorizedAdHocChanges:
+    def operation(self, instance):
+        return SerialInsertActivity(
+            activity=Node(node_id="extra_step"),
+            pred="get_order",
+            succ="collect_data",
+        )
+
+    def test_authorised_user_may_change(self, engine, order_schema, authorization):
+        changer = AdHocChanger(engine, authorization=authorization)
+        instance = engine.create_instance(order_schema, "case")
+        result = changer.apply(instance, [self.operation(instance)], user="carol")
+        assert result.operation_count == 1
+        assert instance.is_biased
+
+    def test_unauthorised_user_rejected(self, engine, order_schema, authorization):
+        changer = AdHocChanger(engine, authorization=authorization)
+        instance = engine.create_instance(order_schema, "case")
+        with pytest.raises(AdHocChangeError):
+            changer.apply(instance, [self.operation(instance)], user="bob")
+        assert not instance.is_biased
+
+    def test_no_policy_means_everyone_may_change(self, engine, order_schema):
+        changer = AdHocChanger(engine)
+        instance = engine.create_instance(order_schema, "case")
+        assert changer.apply(instance, [self.operation(instance)], user="bob")

@@ -1,0 +1,100 @@
+"""Tests for the organisational model and staff assignment resolution."""
+
+import pytest
+
+from repro.org.assignment import StaffAssignmentResolver
+from repro.org.model import OrgModel, OrgUnit, Role, User, example_org_model
+
+
+class TestOrgModel:
+    def test_add_and_query_users(self):
+        model = OrgModel()
+        model.add_role(Role("clerk"))
+        model.add_org_unit(OrgUnit("office"))
+        model.add_user(User("u1", roles={"clerk"}, org_unit="office"))
+        assert model.user("u1").has_role("clerk")
+        assert model.user_has_role("u1", "clerk")
+        assert not model.user_has_role("u1", "manager")
+        assert not model.user_has_role("ghost", "clerk")
+
+    def test_duplicate_entities_rejected(self):
+        model = OrgModel()
+        model.add_role(Role("clerk"))
+        with pytest.raises(ValueError):
+            model.add_role(Role("clerk"))
+        model.add_org_unit(OrgUnit("office"))
+        with pytest.raises(ValueError):
+            model.add_org_unit(OrgUnit("office"))
+        model.add_user(User("u1"))
+        with pytest.raises(ValueError):
+            model.add_user(User("u1"))
+
+    def test_references_must_exist(self):
+        model = OrgModel()
+        with pytest.raises(ValueError):
+            model.add_user(User("u1", roles={"ghost_role"}))
+        with pytest.raises(ValueError):
+            model.add_user(User("u2", org_unit="ghost_unit"))
+        with pytest.raises(ValueError):
+            model.add_org_unit(OrgUnit("child", parent="ghost_parent"))
+
+    def test_grant_role(self):
+        model = OrgModel()
+        model.add_role(Role("clerk"))
+        model.add_role(Role("manager"))
+        model.add_user(User("u1", roles={"clerk"}))
+        model.grant_role("u1", "manager")
+        assert model.user_has_role("u1", "manager")
+        with pytest.raises(ValueError):
+            model.grant_role("u1", "ghost")
+
+    def test_users_with_role(self):
+        model = example_org_model()
+        clerks = {user.user_id for user in model.users_with_role("clerk")}
+        assert "alice" in clerks and "grace" in clerks
+
+    def test_users_in_unit_includes_children(self):
+        model = example_org_model()
+        company_users = {user.user_id for user in model.users_in_unit("company")}
+        assert "alice" in company_users  # sales_dept is a child of company
+        sales_only = {user.user_id for user in model.users_in_unit("sales_dept")}
+        assert sales_only == {"alice"}
+
+    def test_empty_user_id_rejected(self):
+        with pytest.raises(ValueError):
+            User("")
+
+    def test_example_model_covers_template_roles(self, any_template):
+        model = example_org_model()
+        for activity_id in any_template.activity_ids():
+            role = any_template.node(activity_id).staff_assignment
+            assert model.has_role(role), role
+            assert model.users_with_role(role), role
+
+
+class TestStaffAssignmentResolver:
+    def test_role_expression(self):
+        resolver = StaffAssignmentResolver(example_org_model())
+        users = {user.user_id for user in resolver.resolve("physician")}
+        assert users == {"dora"}
+
+    def test_alternatives(self):
+        resolver = StaffAssignmentResolver(example_org_model())
+        users = {user.user_id for user in resolver.resolve("nurse|surgeon")}
+        assert users == {"dora", "erik"}
+
+    def test_role_at_unit(self):
+        resolver = StaffAssignmentResolver(example_org_model())
+        users = {user.user_id for user in resolver.resolve("clerk@sales_dept")}
+        assert users == {"alice"}
+
+    def test_empty_expression_means_everyone(self):
+        model = example_org_model()
+        resolver = StaffAssignmentResolver(model)
+        assert len(resolver.resolve(None)) == len(model)
+        assert len(resolver.resolve("")) == len(model)
+
+    def test_can_perform(self):
+        resolver = StaffAssignmentResolver(example_org_model())
+        assert resolver.can_perform("dora", "physician")
+        assert not resolver.can_perform("erik", "physician")

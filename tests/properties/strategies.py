@@ -1,0 +1,35 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.runtime.engine import ProcessEngine
+from repro.schema.graph import ProcessSchema
+from repro.workloads.schema_generator import RandomSchemaGenerator, SchemaGeneratorConfig
+
+
+@st.composite
+def random_schemas(draw, min_activities: int = 4, max_activities: int = 18) -> ProcessSchema:
+    """A random, verified block-structured schema."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    target = draw(st.integers(min_value=min_activities, max_value=max_activities))
+    config = SchemaGeneratorConfig(
+        target_activities=target,
+        parallel_probability=draw(st.floats(min_value=0.0, max_value=0.3)),
+        conditional_probability=draw(st.floats(min_value=0.0, max_value=0.3)),
+        loop_probability=draw(st.floats(min_value=0.0, max_value=0.15)),
+        max_depth=draw(st.integers(min_value=1, max_value=3)),
+    )
+    return RandomSchemaGenerator(config, seed=seed).generate(f"prop_{seed}_{target}")
+
+
+@st.composite
+def executed_instances(draw, schema: ProcessSchema, instance_id: str = "prop"):
+    """An instance of ``schema`` advanced by a random number of steps."""
+    engine = ProcessEngine()
+    instance = engine.create_instance(schema, instance_id)
+    total = len(schema.activity_ids())
+    steps = draw(st.integers(min_value=0, max_value=total))
+    engine.advance_instance(instance, steps)
+    return engine, instance

@@ -1,0 +1,80 @@
+"""Property-based tests on the execution engine."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.engine import ProcessEngine
+from repro.runtime.states import InstanceStatus, NodeState
+
+from .strategies import random_schemas
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+class TestEngineProperties:
+    @RELAXED
+    @given(schema=random_schemas())
+    def test_every_generated_schema_runs_to_completion(self, schema):
+        engine = ProcessEngine()
+        instance = engine.create_instance(schema, "prop")
+        engine.run_to_completion(instance)
+        assert instance.status is InstanceStatus.COMPLETED
+
+    @RELAXED
+    @given(schema=random_schemas())
+    def test_terminal_marking_has_no_loose_ends(self, schema):
+        """Invariant 6: at completion every node is finished or untouched."""
+        engine = ProcessEngine()
+        instance = engine.create_instance(schema, "prop")
+        engine.run_to_completion(instance)
+        for node_id in schema.node_ids():
+            state = instance.node_state(node_id)
+            assert state in (
+                NodeState.COMPLETED,
+                NodeState.SKIPPED,
+                NodeState.NOT_ACTIVATED,
+            ), f"{node_id} ended in {state}"
+
+    @RELAXED
+    @given(schema=random_schemas())
+    def test_history_matches_marking(self, schema):
+        engine = ProcessEngine()
+        instance = engine.create_instance(schema, "prop")
+        engine.run_to_completion(instance)
+        completed_in_marking = {
+            node_id
+            for node_id in schema.activity_ids()
+            if instance.node_state(node_id) is NodeState.COMPLETED
+        }
+        completed_in_history = set(instance.history.completed_activities(reduced=True))
+        assert completed_in_marking == completed_in_history
+
+    @RELAXED
+    @given(schema=random_schemas(), steps=st.integers(min_value=0, max_value=30))
+    def test_partial_execution_never_activates_unready_nodes(self, schema, steps):
+        """A node is only activated when all its control predecessors finished."""
+        engine = ProcessEngine()
+        instance = engine.create_instance(schema, "prop")
+        engine.advance_instance(instance, steps)
+        from repro.schema.edges import EdgeType
+
+        for node_id in instance.activated_activities():
+            for pred in schema.predecessors(node_id, EdgeType.CONTROL):
+                assert instance.node_state(pred).is_finished
+
+    @RELAXED
+    @given(schema=random_schemas())
+    def test_progress_is_monotone(self, schema):
+        engine = ProcessEngine()
+        instance = engine.create_instance(schema, "prop")
+        last = instance.progress()
+        for _ in range(len(schema.activity_ids())):
+            if not engine.advance_instance(instance, 1):
+                break
+            current = instance.progress()
+            assert current >= last
+            last = current

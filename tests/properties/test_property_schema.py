@@ -1,0 +1,99 @@
+"""Property-based tests on schemas, change operations and substitution blocks."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.changelog import ChangeLog
+from repro.core.substitution import SubstitutionBlock
+from repro.schema.graph import ProcessSchema
+from repro.verification import verify_schema
+from repro.workloads.change_generator import ChangeScenarioGenerator
+
+from .strategies import random_schemas
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+class TestGeneratedSchemas:
+    @RELAXED
+    @given(schema=random_schemas())
+    def test_generated_schemas_are_correct(self, schema):
+        """Invariant 1: every generated schema passes buildtime verification."""
+        report = verify_schema(schema)
+        assert report.is_correct, report.summary()
+
+    @RELAXED
+    @given(schema=random_schemas())
+    def test_serialization_roundtrip(self, schema):
+        restored = ProcessSchema.from_dict(schema.to_dict())
+        assert restored.structurally_equals(schema)
+
+    @RELAXED
+    @given(schema=random_schemas())
+    def test_topological_order_is_consistent(self, schema):
+        order = schema.topological_order()
+        position = {node_id: index for index, node_id in enumerate(order)}
+        for edge in schema.edges:
+            if edge.is_loop:
+                continue
+            assert position[edge.source] < position[edge.target]
+
+
+class TestChangeOperationProperties:
+    @RELAXED
+    @given(schema=random_schemas(), seed=st.integers(min_value=0, max_value=9999))
+    def test_random_type_changes_preserve_correctness(self, schema, seed):
+        """Invariant 1 under change: applying a valid ΔT keeps the schema correct."""
+        generator = ChangeScenarioGenerator(schema, seed=seed)
+        change = generator.random_type_change(operation_count=2)
+        changed = change.operations.apply_to(schema)
+        report = verify_schema(changed)
+        assert report.is_correct, report.summary()
+
+    @RELAXED
+    @given(schema=random_schemas(), seed=st.integers(min_value=0, max_value=9999))
+    def test_insert_then_inverse_restores_schema(self, schema, seed):
+        """Invariant 2: an insert followed by its inverse is the identity."""
+        generator = ChangeScenarioGenerator(schema, seed=seed)
+        insert = generator.random_serial_insert()
+        if insert is None:
+            return
+        changed = schema.copy()
+        insert.apply_checked(changed)
+        insert.inverse().apply_checked(changed)
+        assert changed.structurally_equals(schema)
+
+    @RELAXED
+    @given(schema=random_schemas(), seed=st.integers(min_value=0, max_value=9999))
+    def test_sync_insert_then_inverse_restores_schema(self, schema, seed):
+        generator = ChangeScenarioGenerator(schema, seed=seed)
+        operation = generator.random_sync_insert()
+        if operation is None:
+            return
+        changed = schema.copy()
+        operation.apply_checked(changed)
+        operation.inverse().apply_checked(changed)
+        assert changed.structurally_equals(schema)
+
+
+class TestSubstitutionBlockProperties:
+    @RELAXED
+    @given(schema=random_schemas(), seed=st.integers(min_value=0, max_value=9999))
+    def test_overlay_equals_direct_application(self, schema, seed):
+        """Invariant 5: overlaying the substitution block == applying the bias."""
+        generator = ChangeScenarioGenerator(schema, seed=seed)
+        change = generator.random_type_change(operation_count=2)
+        biased = change.operations.apply_to(schema)
+        block = SubstitutionBlock.from_schemas(schema, biased)
+        assert block.overlay(schema).structurally_equals(biased)
+
+    @RELAXED
+    @given(schema=random_schemas())
+    def test_empty_bias_gives_empty_block(self, schema):
+        block = SubstitutionBlock.from_schemas(schema, schema.copy())
+        assert block.is_empty()
+        assert block.overlay(schema).structurally_equals(schema)

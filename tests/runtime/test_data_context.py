@@ -1,0 +1,68 @@
+"""Unit tests for the per-instance data context."""
+
+import pytest
+
+from repro.runtime.data_context import DataContext
+from repro.schema import templates
+
+
+class TestInitialValues:
+    def test_defaults_loaded_from_schema(self):
+        schema = templates.patient_treatment_process()
+        context = DataContext(schema)
+        assert context.get("cured") is False
+        assert not context.has_value("diagnosis")
+
+    def test_empty_context(self):
+        context = DataContext()
+        assert context.values == {}
+        assert context.get("anything") is None
+
+
+class TestWrites:
+    def test_write_and_read(self):
+        context = DataContext()
+        context.write("x", 42, writer="a")
+        assert context.get("x") == 42
+        assert context.has_value("x")
+
+    def test_write_history_tracked(self):
+        context = DataContext()
+        context.write("x", 1, writer="a")
+        context.write("x", 2, writer="b", iteration=1)
+        assert context.writers_of("x") == ["a", "b"]
+        last = context.last_write("x")
+        assert last.value == 2 and last.writer == "b" and last.iteration == 1
+
+    def test_last_write_missing(self):
+        assert DataContext().last_write("x") is None
+
+    def test_supply_marks_writer(self):
+        context = DataContext()
+        context.supply("x", "manual value")
+        assert context.get("x") == "manual value"
+        assert context.writers_of("x") == ["<supplied>"]
+
+    def test_values_snapshot_is_a_copy(self):
+        context = DataContext()
+        context.write("x", 1, writer="a")
+        snapshot = context.values
+        snapshot["x"] = 999
+        assert context.get("x") == 1
+
+
+class TestCopySerialize:
+    def test_copy_is_independent(self):
+        context = DataContext()
+        context.write("x", 1, writer="a")
+        clone = context.copy()
+        clone.write("x", 2, writer="b")
+        assert context.get("x") == 1
+        assert clone.get("x") == 2
+
+    def test_roundtrip(self):
+        context = DataContext()
+        context.write("x", {"nested": True}, writer="a", iteration=2)
+        restored = DataContext.from_dict(context.to_dict())
+        assert restored.get("x") == {"nested": True}
+        assert restored.last_write("x").iteration == 2

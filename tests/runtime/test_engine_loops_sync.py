@@ -1,0 +1,133 @@
+"""Engine tests for loops (iteration, history reduction) and sync edges."""
+
+import pytest
+
+from repro.runtime.engine import ProcessEngine
+from repro.runtime.states import InstanceStatus, NodeState
+from repro.schema import templates
+from repro.schema.builder import SchemaBuilder
+from repro.schema.data import DataType
+
+
+class TestLoops:
+    def loop_worker(self, iterations: int):
+        """A worker that keeps looping for ``iterations`` passes, then exits."""
+        counter = {"done": 0}
+
+        def worker(node, data):
+            if node.node_id.startswith("body_2"):
+                counter["done"] += 1
+                return {"done": counter["done"] >= iterations}
+            return {}
+
+        return worker
+
+    def test_single_iteration_when_condition_false(self, engine, loop_schema):
+        instance = engine.create_instance(loop_schema, "i1")
+        engine.run_to_completion(instance)  # default worker writes done=True
+        assert instance.status is InstanceStatus.COMPLETED
+        assert instance.completed_activities().count("body_1") == 1
+
+    def test_multiple_iterations(self, engine, loop_schema):
+        instance = engine.create_instance(loop_schema, "i1")
+        engine.run_to_completion(instance, worker=self.loop_worker(3))
+        loop_start = loop_schema.loop_edges()[0].target
+        assert instance.iteration_of(loop_start) == 2  # two loop-backs, three passes
+        # full history has three completions of each body activity
+        assert instance.history.completed_activities(reduced=False).count("body_1") == 3
+
+    def test_reduced_history_keeps_only_last_iteration(self, engine, loop_schema):
+        instance = engine.create_instance(loop_schema, "i1")
+        engine.run_to_completion(instance, worker=self.loop_worker(3))
+        reduced = instance.history.completed_activities(reduced=True)
+        assert reduced.count("body_1") == 1
+        assert reduced.count("body_2") == 1
+
+    def test_activities_outside_loop_not_superseded(self, engine, loop_schema):
+        instance = engine.create_instance(loop_schema, "i1")
+        engine.run_to_completion(instance, worker=self.loop_worker(2))
+        reduced = instance.history.completed_activities(reduced=True)
+        assert "prepare" in reduced and "finish" in reduced
+
+    def test_max_iterations_bound_respected(self, engine):
+        schema = templates.loop_process(max_iterations=3)
+
+        def never_done(node, data):
+            return {"done": False} if node.node_id == "body_1" else {}
+
+        instance = engine.create_instance(schema, "i1")
+        engine.run_to_completion(instance, worker=never_done)
+        assert instance.status is InstanceStatus.COMPLETED
+        assert instance.history.completed_activities(reduced=False).count("body_1") == 3
+
+    def test_loop_iteration_counter_in_history(self, engine, loop_schema):
+        instance = engine.create_instance(loop_schema, "i1")
+        engine.run_to_completion(instance, worker=self.loop_worker(2))
+        entries = instance.history.entries_for("body_1", reduced=True)
+        assert all(entry.iteration == 1 for entry in entries)
+
+    def test_treatment_loop_integrates_with_xor(self, engine, treatment_schema):
+        calls = {"count": 0}
+
+        def worker(node, data):
+            if node.node_id == "perform_treatment":
+                calls["count"] += 1
+                return {"cured": calls["count"] >= 2}
+            if node.node_id == "examine_patient":
+                return {"diagnosis": "flu"}
+            return {}
+
+        instance = engine.create_instance(treatment_schema, "case")
+        engine.run_to_completion(instance, worker=worker)
+        assert instance.status is InstanceStatus.COMPLETED
+        assert instance.history.completed_activities(reduced=False).count("examine_patient") == 2
+
+
+class TestSyncEdges:
+    def synced_schema(self):
+        """Two parallel branches with a sync edge a2 -> b2."""
+        builder = SchemaBuilder("synced")
+        builder.parallel(
+            [
+                lambda s: s.activity("a1").activity("a2"),
+                lambda s: s.activity("b1").activity("b2"),
+            ]
+        )
+        builder.sync("a2", "b2")
+        return builder.build()
+
+    def test_sync_target_waits_for_source(self, engine):
+        schema = self.synced_schema()
+        instance = engine.create_instance(schema, "i1")
+        engine.complete_activity(instance, "b1")
+        # b2 must wait for a2 even though its control predecessor completed
+        assert "b2" not in instance.activated_activities()
+        engine.complete_activity(instance, "a1")
+        engine.complete_activity(instance, "a2")
+        assert "b2" in instance.activated_activities()
+
+    def test_sync_source_in_skipped_branch_releases_target(self, engine):
+        builder = SchemaBuilder("sync_xor")
+        builder.data("flag", DataType.BOOLEAN, default=False)
+        builder.parallel(
+            [
+                lambda s: s.conditional(
+                    [("flag", lambda b: b.activity("optional_step")), (None, lambda b: b.activity("normal_step"))]
+                ),
+                lambda s: s.activity("waiter"),
+            ]
+        )
+        builder.sync("optional_step", "waiter")
+        schema = builder.build()
+        instance = engine.create_instance(schema, "i1")
+        # flag is False -> optional_step is skipped -> waiter must not block forever
+        engine.run_to_completion(instance)
+        assert instance.status is InstanceStatus.COMPLETED
+        assert instance.node_state("optional_step") is NodeState.SKIPPED
+        assert "waiter" in instance.completed_activities()
+
+    def test_whole_process_completes_with_sync(self, engine):
+        schema = self.synced_schema()
+        instance = engine.create_instance(schema, "i1")
+        engine.run_to_completion(instance)
+        assert instance.status is InstanceStatus.COMPLETED

@@ -1,0 +1,57 @@
+"""Unit tests for the safe expression evaluator."""
+
+import pytest
+
+from repro.runtime.expressions import ExpressionError, evaluate_condition, evaluate_expression
+
+
+class TestEvaluation:
+    def test_boolean_logic(self):
+        assert evaluate_condition("a and not b", {"a": True, "b": False})
+        assert not evaluate_condition("a and b", {"a": True, "b": False})
+        assert evaluate_condition("a or b", {"a": False, "b": True})
+
+    def test_comparisons(self):
+        assert evaluate_condition("score >= 50", {"score": 60})
+        assert not evaluate_condition("score >= 50", {"score": 40})
+        assert evaluate_condition("1 < x < 10", {"x": 5})
+        assert evaluate_condition("name == 'alice'", {"name": "alice"})
+
+    def test_arithmetic(self):
+        assert evaluate_expression("a + b * 2", {"a": 1, "b": 3}) == 7
+        assert evaluate_expression("-a", {"a": 4}) == -4
+        assert evaluate_expression("a % 3", {"a": 7}) == 1
+
+    def test_membership(self):
+        assert evaluate_condition("status in ['open', 'pending']", {"status": "open"})
+        assert evaluate_condition("status not in ['open']", {"status": "closed"})
+
+    def test_constants(self):
+        assert evaluate_condition("True", {})
+        assert not evaluate_condition("False", {})
+
+
+class TestErrors:
+    def test_unknown_name(self):
+        with pytest.raises(ExpressionError):
+            evaluate_condition("missing > 1", {})
+
+    def test_malformed_expression(self):
+        with pytest.raises(ExpressionError):
+            evaluate_condition("a >=", {"a": 1})
+
+    def test_empty_expression(self):
+        with pytest.raises(ExpressionError):
+            evaluate_condition("", {})
+
+    def test_function_calls_rejected(self):
+        with pytest.raises(ExpressionError):
+            evaluate_condition("__import__('os').system('true')", {})
+
+    def test_attribute_access_rejected(self):
+        with pytest.raises(ExpressionError):
+            evaluate_condition("a.__class__", {"a": 1})
+
+    def test_none_values_make_condition_false(self):
+        # comparing against a not-yet-written (None) value is falsy, not an error
+        assert not evaluate_condition("score >= 50", {"score": None})

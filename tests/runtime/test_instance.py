@@ -1,0 +1,95 @@
+"""Unit tests for the ProcessInstance object."""
+
+import pytest
+
+from repro.core.changelog import ChangeLog
+from repro.core.operations import SerialInsertActivity
+from repro.runtime.instance import ProcessInstance
+from repro.runtime.states import InstanceStatus, NodeState
+from repro.schema.nodes import Node
+
+
+class TestBasics:
+    def test_requires_id(self, order_schema):
+        with pytest.raises(ValueError):
+            ProcessInstance("", order_schema)
+
+    def test_initial_state(self, order_schema):
+        instance = ProcessInstance("i1", order_schema)
+        assert instance.status is InstanceStatus.CREATED
+        assert instance.process_type == "online_order"
+        assert instance.schema_version == 1
+        assert not instance.is_biased
+        assert instance.execution_schema is order_schema
+
+    def test_initial_data(self, order_schema):
+        instance = ProcessInstance("i1", order_schema, initial_data={"order": {"id": 1}})
+        assert instance.data.get("order") == {"id": 1}
+
+    def test_progress_empty(self, order_schema):
+        assert ProcessInstance("i1", order_schema).progress() == 0.0
+
+    def test_summary_mentions_type_and_version(self, order_schema):
+        summary = ProcessInstance("i1", order_schema).summary()
+        assert "online_order" in summary and "v1" in summary
+
+
+class TestBias:
+    def make_bias(self, order_schema):
+        operation = SerialInsertActivity(
+            activity=Node(node_id="extra"), pred="get_order", succ="collect_data"
+        )
+        bias = ChangeLog([operation])
+        changed = bias.apply_to(order_schema)
+        return bias, changed
+
+    def test_set_bias(self, order_schema):
+        instance = ProcessInstance("i1", order_schema)
+        bias, changed = self.make_bias(order_schema)
+        instance.set_bias(bias, changed)
+        assert instance.is_biased
+        assert instance.execution_schema is changed
+        assert instance.original_schema is order_schema
+
+    def test_clear_bias(self, order_schema):
+        instance = ProcessInstance("i1", order_schema)
+        bias, changed = self.make_bias(order_schema)
+        instance.set_bias(bias, changed)
+        instance.clear_bias()
+        assert not instance.is_biased
+        assert instance.execution_schema is order_schema
+
+    def test_empty_changelog_is_not_bias(self, order_schema):
+        instance = ProcessInstance("i1", order_schema)
+        instance.set_bias(ChangeLog(), order_schema)
+        assert not instance.is_biased
+
+    def test_rebind_schema(self, order_schema):
+        instance = ProcessInstance("i1", order_schema)
+        new_schema = order_schema.copy(schema_id="online_order_v2", version=2)
+        instance.rebind_schema(new_schema)
+        assert instance.schema_version == 2
+        assert instance.execution_schema is new_schema
+
+
+class TestStateQueries:
+    def test_node_state_defaults(self, order_schema):
+        instance = ProcessInstance("i1", order_schema)
+        assert instance.node_state("get_order") is NodeState.NOT_ACTIVATED
+
+    def test_activated_activities_filters_structural_nodes(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        engine.complete_activity(instance, "get_order")
+        engine.complete_activity(instance, "collect_data")
+        activated = instance.activated_activities()
+        assert all(order_schema.node(a).is_activity for a in activated)
+
+    def test_progress_counts_skipped(self, engine, credit_schema):
+        instance = engine.create_instance(credit_schema, "i1")
+        engine.run_to_completion(instance)
+        # one of approve/reject is skipped but progress still reaches 100%
+        assert instance.progress() == 1.0
+
+    def test_iteration_of_unknown_loop_is_zero(self, order_schema):
+        instance = ProcessInstance("i1", order_schema)
+        assert instance.iteration_of("nonexistent_loop") == 0

@@ -1,0 +1,99 @@
+"""Unit tests for instance markings."""
+
+import pytest
+
+from repro.runtime.markings import Marking
+from repro.runtime.states import EdgeState, NodeState
+from repro.schema.edges import EdgeType
+
+
+class TestInitialMarking:
+    def test_all_nodes_not_activated(self, order_schema):
+        marking = Marking.initial(order_schema)
+        for node_id in order_schema.node_ids():
+            assert marking.node_state(node_id) is NodeState.NOT_ACTIVATED
+
+    def test_all_edges_not_signaled(self, order_schema):
+        marking = Marking.initial(order_schema)
+        for edge in order_schema.edges:
+            if edge.is_loop:
+                continue
+            assert marking.edge_state(edge.source, edge.target, edge.edge_type) is EdgeState.NOT_SIGNALED
+
+    def test_loop_edges_not_tracked(self, loop_schema):
+        marking = Marking.initial(loop_schema)
+        loop_edge = loop_schema.loop_edges()[0]
+        assert (loop_edge.source, loop_edge.target, "loop") not in marking.edge_states
+
+
+class TestAccessors:
+    def test_unknown_node_defaults_to_not_activated(self):
+        assert Marking().node_state("anything") is NodeState.NOT_ACTIVATED
+
+    def test_set_and_get(self):
+        marking = Marking()
+        marking.set_node_state("a", NodeState.RUNNING)
+        assert marking.node_state("a") is NodeState.RUNNING
+
+    def test_nodes_in_state(self):
+        marking = Marking()
+        marking.set_node_state("a", NodeState.COMPLETED)
+        marking.set_node_state("b", NodeState.ACTIVATED)
+        marking.set_node_state("c", NodeState.COMPLETED)
+        assert set(marking.completed_nodes()) == {"a", "c"}
+        assert marking.activated_nodes() == ["b"]
+        assert set(marking.nodes_in_state(NodeState.COMPLETED, NodeState.ACTIVATED)) == {"a", "b", "c"}
+
+    def test_started_nodes(self):
+        marking = Marking()
+        marking.set_node_state("a", NodeState.RUNNING)
+        marking.set_node_state("b", NodeState.ACTIVATED)
+        assert marking.started_nodes() == ["a"]
+
+    def test_remove_node_drops_edges(self):
+        marking = Marking()
+        marking.set_node_state("a", NodeState.COMPLETED)
+        marking.set_edge_state("a", "b", EdgeState.TRUE_SIGNALED)
+        marking.remove_node("a")
+        assert marking.node_state("a") is NodeState.NOT_ACTIVATED
+        assert marking.edge_state("a", "b") is EdgeState.NOT_SIGNALED
+
+    def test_ensure_node_and_edge_do_not_overwrite(self):
+        marking = Marking()
+        marking.set_node_state("a", NodeState.COMPLETED)
+        marking.ensure_node("a")
+        assert marking.node_state("a") is NodeState.COMPLETED
+        marking.set_edge_state("a", "b", EdgeState.TRUE_SIGNALED)
+        marking.ensure_edge("a", "b")
+        assert marking.edge_state("a", "b") is EdgeState.TRUE_SIGNALED
+
+
+class TestCompareSerialize:
+    def test_copy_is_independent(self):
+        marking = Marking()
+        marking.set_node_state("a", NodeState.RUNNING)
+        clone = marking.copy()
+        clone.set_node_state("a", NodeState.COMPLETED)
+        assert marking.node_state("a") is NodeState.RUNNING
+
+    def test_differences_empty_for_equal_markings(self, order_schema):
+        first = Marking.initial(order_schema)
+        second = Marking.initial(order_schema)
+        assert first.differences(second) == []
+        assert first.equivalent_to(second)
+
+    def test_differences_reported(self, order_schema):
+        first = Marking.initial(order_schema)
+        second = Marking.initial(order_schema)
+        second.set_node_state("get_order", NodeState.COMPLETED)
+        second.set_edge_state("get_order", "collect_data", EdgeState.TRUE_SIGNALED)
+        differences = first.differences(second)
+        assert len(differences) == 2
+        assert not first.equivalent_to(second)
+
+    def test_roundtrip_serialization(self, order_schema):
+        marking = Marking.initial(order_schema)
+        marking.set_node_state("get_order", NodeState.COMPLETED)
+        marking.set_edge_state("get_order", "collect_data", EdgeState.TRUE_SIGNALED)
+        restored = Marking.from_dict(marking.to_dict())
+        assert restored.equivalent_to(marking)

@@ -1,0 +1,72 @@
+"""Unit tests for node/edge/instance states and transitions."""
+
+import pytest
+
+from repro.runtime.states import (
+    EdgeState,
+    InstanceStatus,
+    NodeState,
+    allowed_node_transitions,
+    is_valid_node_transition,
+)
+
+
+class TestNodeState:
+    def test_started_states(self):
+        assert NodeState.RUNNING.is_started
+        assert NodeState.COMPLETED.is_started
+        assert NodeState.SUSPENDED.is_started
+        assert not NodeState.ACTIVATED.is_started
+        assert not NodeState.NOT_ACTIVATED.is_started
+        assert not NodeState.SKIPPED.is_started
+
+    def test_finished_states(self):
+        assert NodeState.COMPLETED.is_finished
+        assert NodeState.SKIPPED.is_finished
+        assert NodeState.FAILED.is_finished
+        assert not NodeState.RUNNING.is_finished
+
+    def test_changeable_states(self):
+        assert NodeState.NOT_ACTIVATED.is_changeable
+        assert NodeState.ACTIVATED.is_changeable
+        assert not NodeState.RUNNING.is_changeable
+        assert not NodeState.COMPLETED.is_changeable
+
+
+class TestTransitions:
+    def test_activation(self):
+        assert is_valid_node_transition(NodeState.NOT_ACTIVATED, NodeState.ACTIVATED)
+
+    def test_deactivation_allowed(self):
+        # migrations may take an activated node back to not-activated
+        assert is_valid_node_transition(NodeState.ACTIVATED, NodeState.NOT_ACTIVATED)
+
+    def test_completed_only_resets_via_loop(self):
+        assert is_valid_node_transition(NodeState.COMPLETED, NodeState.NOT_ACTIVATED)
+        assert not is_valid_node_transition(NodeState.COMPLETED, NodeState.RUNNING)
+
+    def test_not_activated_cannot_run_directly(self):
+        assert not is_valid_node_transition(NodeState.NOT_ACTIVATED, NodeState.RUNNING)
+
+    def test_identity_transition_allowed(self):
+        for state in NodeState:
+            assert is_valid_node_transition(state, state)
+
+    def test_allowed_transitions_returns_copy(self):
+        allowed = allowed_node_transitions(NodeState.RUNNING)
+        allowed.add(NodeState.NOT_ACTIVATED)
+        assert NodeState.NOT_ACTIVATED not in allowed_node_transitions(NodeState.RUNNING)
+
+
+class TestEdgeAndInstanceStates:
+    def test_edge_signaled(self):
+        assert EdgeState.TRUE_SIGNALED.is_signaled
+        assert EdgeState.FALSE_SIGNALED.is_signaled
+        assert not EdgeState.NOT_SIGNALED.is_signaled
+
+    def test_instance_active(self):
+        assert InstanceStatus.RUNNING.is_active
+        assert InstanceStatus.CREATED.is_active
+        assert InstanceStatus.SUSPENDED.is_active
+        assert not InstanceStatus.COMPLETED.is_active
+        assert not InstanceStatus.ABORTED.is_active

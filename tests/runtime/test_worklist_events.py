@@ -1,0 +1,136 @@
+"""Tests for the worklist manager and the event log."""
+
+import pytest
+
+from repro.core.adhoc import AdHocChanger
+from repro.core.operations import DeleteActivity
+from repro.org.model import example_org_model
+from repro.runtime.engine import EngineError, ProcessEngine
+from repro.runtime.events import EngineEvent, EventLog, EventType
+from repro.runtime.states import InstanceStatus
+from repro.runtime.worklist import WorkItemState, WorklistManager
+
+
+@pytest.fixture
+def org_model():
+    return example_org_model()
+
+
+@pytest.fixture
+def worklists(engine, org_model):
+    return WorklistManager(engine, org_model=org_model)
+
+
+class TestWorklist:
+    def test_items_created_for_activated_activities(self, engine, worklists, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        worklists.register_instance(instance)
+        items = worklists.open_items()
+        assert len(items) == 1
+        assert items[0].activity_id == "get_order"
+        assert items[0].role == "clerk"
+
+    def test_worklist_filtered_by_role(self, engine, worklists, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        worklists.register_instance(instance)
+        assert worklists.worklist_for("alice")  # alice is a clerk
+        assert not worklists.worklist_for("bob")  # bob is warehouse/logistics
+
+    def test_claim_and_complete(self, engine, worklists, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        worklists.register_instance(instance)
+        item = worklists.worklist_for("alice")[0]
+        claimed = worklists.claim(item.item_id, "alice")
+        assert claimed.state is WorkItemState.CLAIMED
+        completed = worklists.complete(item.item_id, outputs={"order": {"id": 9}})
+        assert completed.state is WorkItemState.COMPLETED
+        assert instance.data.get("order") == {"id": 9}
+        # the next activity is offered after refresh
+        assert any(i.activity_id == "collect_data" for i in worklists.open_items())
+
+    def test_claim_requires_role(self, engine, worklists, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        worklists.register_instance(instance)
+        item = worklists.open_items()[0]
+        with pytest.raises(EngineError):
+            worklists.claim(item.item_id, "bob")
+
+    def test_complete_requires_claim(self, engine, worklists, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        worklists.register_instance(instance)
+        item = worklists.open_items()[0]
+        with pytest.raises(EngineError):
+            worklists.complete(item.item_id)
+
+    def test_unknown_item_rejected(self, worklists):
+        with pytest.raises(EngineError):
+            worklists.claim("wi-missing", "alice")
+
+    def test_items_withdrawn_when_activity_deleted(self, engine, worklists, order_schema):
+        instance = engine.create_instance(order_schema, "i1")
+        engine.complete_activity(instance, "get_order")
+        engine.complete_activity(instance, "collect_data")
+        worklists.register_instance(instance)
+        open_before = {item.activity_id for item in worklists.open_items()}
+        assert "confirm_order" in open_before
+        AdHocChanger(engine).apply(
+            instance,
+            [DeleteActivity(activity_id="confirm_order", supply_values={"confirmation": True})],
+        )
+        worklists.refresh()
+        withdrawn = [
+            item
+            for item in worklists.items_for_instance("i1")
+            if item.activity_id == "confirm_order"
+        ]
+        assert withdrawn and withdrawn[0].state is WorkItemState.WITHDRAWN
+
+    def test_user_without_org_model_can_do_anything(self, engine, order_schema):
+        worklists = WorklistManager(engine)  # no org model
+        instance = engine.create_instance(order_schema, "i1")
+        worklists.register_instance(instance)
+        assert worklists.worklist_for("whoever")
+
+    def test_multiple_instances_tracked(self, engine, worklists, order_schema, sequence_schema):
+        first = engine.create_instance(order_schema, "i1")
+        second = engine.create_instance(sequence_schema, "i2")
+        worklists.register_instance(first)
+        worklists.register_instance(second)
+        assert len(worklists.open_items()) == 2
+        assert len(worklists.items_for_instance("i2")) == 1
+
+
+class TestEventLog:
+    def test_append_and_query(self):
+        log = EventLog()
+        log.append(EngineEvent(event_type=EventType.INSTANCE_CREATED, instance_id="i1"))
+        log.append(EngineEvent(event_type=EventType.ACTIVITY_COMPLETED, instance_id="i1", node_id="a"))
+        assert len(log) == 2
+        assert log.count(EventType.ACTIVITY_COMPLETED) == 1
+        assert log.events_of(EventType.ACTIVITY_COMPLETED, instance_id="i1")
+        assert not log.events_of(EventType.ACTIVITY_COMPLETED, instance_id="other")
+
+    def test_listeners_notified(self):
+        log = EventLog()
+        received = []
+        log.subscribe(received.append)
+        event = EngineEvent(event_type=EventType.INSTANCE_COMPLETED, instance_id="i1")
+        log.append(event)
+        assert received == [event]
+
+    def test_clear(self):
+        log = EventLog()
+        log.append(EngineEvent(event_type=EventType.INSTANCE_CREATED))
+        log.clear()
+        assert len(log) == 0
+
+    def test_event_string_rendering(self):
+        event = EngineEvent(
+            event_type=EventType.ACTIVITY_COMPLETED,
+            instance_id="i1",
+            node_id="a",
+            user="alice",
+            details="done",
+        )
+        rendered = str(event)
+        assert "activity_completed" in rendered and "alice" in rendered

@@ -1,0 +1,138 @@
+"""Unit tests for block-structure analysis."""
+
+import pytest
+
+from repro.schema.blocks import (
+    BlockKind,
+    BlockStructureError,
+    BlockTree,
+    block_inner_nodes,
+    branch_containing,
+    branch_roots,
+    dominators,
+    matching_join,
+    matching_split,
+    post_dominators,
+)
+from repro.schema.nodes import NodeType
+
+
+def split_of(schema, node_type):
+    return next(n.node_id for n in schema.nodes.values() if n.node_type is node_type)
+
+
+class TestMatchingJoin:
+    def test_and_split_matches_and_join(self, order_schema):
+        split = split_of(order_schema, NodeType.AND_SPLIT)
+        join = matching_join(order_schema, split)
+        assert order_schema.node(join).node_type is NodeType.AND_JOIN
+
+    def test_xor_split_matches_xor_join(self, credit_schema):
+        split = split_of(credit_schema, NodeType.XOR_SPLIT)
+        join = matching_join(credit_schema, split)
+        assert credit_schema.node(join).node_type is NodeType.XOR_JOIN
+
+    def test_matching_split_is_inverse(self, credit_schema):
+        split = split_of(credit_schema, NodeType.XOR_SPLIT)
+        join = matching_join(credit_schema, split)
+        assert matching_split(credit_schema, join) == split
+
+    def test_non_split_rejected(self, order_schema):
+        with pytest.raises(BlockStructureError):
+            matching_join(order_schema, "get_order")
+
+    def test_non_join_rejected(self, order_schema):
+        with pytest.raises(BlockStructureError):
+            matching_split(order_schema, "get_order")
+
+
+class TestDominators:
+    def test_start_dominates_everything(self, order_schema):
+        start = order_schema.start_node().node_id
+        dom = dominators(order_schema)
+        for node_id in order_schema.node_ids():
+            assert start in dom[node_id]
+
+    def test_end_postdominates_everything(self, order_schema):
+        end = order_schema.end_node().node_id
+        postdom = post_dominators(order_schema)
+        for node_id in order_schema.node_ids():
+            assert end in postdom[node_id]
+
+    def test_branch_node_does_not_dominate_join(self, order_schema):
+        split = split_of(order_schema, NodeType.AND_SPLIT)
+        join = matching_join(order_schema, split)
+        dom = dominators(order_schema)
+        assert "confirm_order" not in dom[join]
+        assert split in dom[join]
+
+
+class TestBlockQueries:
+    def test_block_inner_nodes(self, order_schema):
+        split = split_of(order_schema, NodeType.AND_SPLIT)
+        join = matching_join(order_schema, split)
+        inner = block_inner_nodes(order_schema, split, join)
+        assert inner == {"confirm_order", "compose_order", "pack_goods"}
+
+    def test_branch_roots(self, order_schema):
+        split = split_of(order_schema, NodeType.AND_SPLIT)
+        roots = branch_roots(order_schema, split)
+        assert set(roots) == {"confirm_order", "compose_order"}
+
+    def test_branch_containing(self, order_schema):
+        split = split_of(order_schema, NodeType.AND_SPLIT)
+        assert branch_containing(order_schema, split, "pack_goods") == "compose_order"
+        assert branch_containing(order_schema, split, "confirm_order") == "confirm_order"
+
+    def test_branch_containing_outside_block(self, order_schema):
+        split = split_of(order_schema, NodeType.AND_SPLIT)
+        assert branch_containing(order_schema, split, "get_order") is None
+
+
+class TestBlockTree:
+    def test_root_spans_whole_process(self, order_schema):
+        tree = BlockTree.build(order_schema)
+        assert tree.root.kind is BlockKind.PROCESS
+        assert tree.root.contains("deliver_goods")
+
+    def test_parallel_block_found(self, order_schema):
+        tree = BlockTree.build(order_schema)
+        parallel = tree.parallel_blocks()
+        assert len(parallel) == 1
+        assert parallel[0].contains("pack_goods")
+
+    def test_loop_block_found(self, treatment_schema):
+        tree = BlockTree.build(treatment_schema)
+        loops = tree.loop_blocks()
+        assert len(loops) == 1
+        assert loops[0].contains("examine_patient")
+
+    def test_innermost_block(self, order_schema):
+        tree = BlockTree.build(order_schema)
+        block = tree.innermost_block("pack_goods")
+        assert block.kind is BlockKind.PARALLEL
+
+    def test_innermost_block_for_top_level_activity(self, order_schema):
+        tree = BlockTree.build(order_schema)
+        assert tree.innermost_block("get_order").kind is BlockKind.PROCESS
+
+    def test_minimal_block_containing(self, order_schema):
+        tree = BlockTree.build(order_schema)
+        block = tree.minimal_block_containing({"confirm_order", "pack_goods"})
+        assert block.kind is BlockKind.PARALLEL
+        block = tree.minimal_block_containing({"get_order", "pack_goods"})
+        assert block.kind is BlockKind.PROCESS
+
+    def test_minimal_block_containing_empty_set(self, order_schema):
+        tree = BlockTree.build(order_schema)
+        assert tree.minimal_block_containing(set()) is tree.root
+
+    def test_every_node_contained_somewhere(self, any_template):
+        tree = BlockTree.build(any_template)
+        for node_id in any_template.node_ids():
+            assert tree.enclosing_blocks(node_id), node_id
+
+    def test_tree_size_counts_blocks(self, credit_schema):
+        tree = BlockTree.build(credit_schema)
+        # process block + one AND block + one XOR block
+        assert len(tree) == 3

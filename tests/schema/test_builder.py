@@ -1,0 +1,170 @@
+"""Unit tests for the fluent schema builder."""
+
+import pytest
+
+from repro.schema.builder import BuilderError, SchemaBuilder
+from repro.schema.data import DataType
+from repro.schema.edges import EdgeType
+from repro.schema.nodes import NodeType
+from repro.verification import verify_schema
+
+
+class TestSequences:
+    def test_simple_sequence(self):
+        builder = SchemaBuilder("seq")
+        builder.activity("a").activity("b").activity("c")
+        schema = builder.build()
+        assert schema.activity_ids() == ["a", "b", "c"]
+        assert schema.has_edge("start", "a")
+        assert schema.has_edge("a", "b")
+        assert schema.has_edge("c", "end")
+
+    def test_build_runs_verification(self):
+        builder = SchemaBuilder("seq")
+        builder.activity("a")
+        schema = builder.build()
+        assert verify_schema(schema).is_correct
+
+    def test_build_twice_rejected(self):
+        builder = SchemaBuilder("seq")
+        builder.activity("a")
+        builder.build()
+        with pytest.raises(BuilderError):
+            builder.build()
+
+    def test_duplicate_activity_id_rejected(self):
+        builder = SchemaBuilder("seq")
+        builder.activity("a")
+        with pytest.raises(Exception):
+            builder.activity("a")
+
+    def test_data_edges_created(self):
+        builder = SchemaBuilder("seq")
+        builder.data("payload", DataType.DOCUMENT)
+        builder.activity("producer", writes=["payload"])
+        builder.activity("consumer", reads=["payload"], optional_reads=["extra"])
+        schema = builder.build()
+        assert schema.writers_of("payload") == ["producer"]
+        assert schema.readers_of("payload") == ["consumer"]
+        optional = [d for d in schema.reads_of("consumer") if not d.mandatory]
+        assert [d.element for d in optional] == ["extra"]
+
+    def test_undeclared_data_elements_autocreated(self):
+        builder = SchemaBuilder("seq")
+        builder.activity("producer", writes=["implicit"])
+        schema = builder.build()
+        assert schema.has_data_element("implicit")
+
+
+class TestParallelBlocks:
+    def test_parallel_block_structure(self):
+        builder = SchemaBuilder("par")
+        builder.activity("first")
+        builder.parallel(
+            [lambda s: s.activity("left"), lambda s: s.activity("right")],
+            label="work",
+        )
+        builder.activity("last")
+        schema = builder.build()
+        splits = [n for n in schema.nodes.values() if n.node_type is NodeType.AND_SPLIT]
+        joins = [n for n in schema.nodes.values() if n.node_type is NodeType.AND_JOIN]
+        assert len(splits) == 1 and len(joins) == 1
+        assert schema.are_parallel("left", "right")
+
+    def test_parallel_requires_two_branches(self):
+        builder = SchemaBuilder("par")
+        with pytest.raises(BuilderError):
+            builder.parallel([lambda s: s.activity("only")])
+
+    def test_empty_branch_rejected(self):
+        builder = SchemaBuilder("par")
+        with pytest.raises(BuilderError):
+            builder.parallel([lambda s: s.activity("a"), lambda s: None])
+
+    def test_nested_blocks(self):
+        builder = SchemaBuilder("nested")
+        builder.parallel(
+            [
+                lambda s: s.parallel(
+                    [lambda inner: inner.activity("a"), lambda inner: inner.activity("b")]
+                ),
+                lambda s: s.activity("c"),
+            ]
+        )
+        schema = builder.build()
+        assert verify_schema(schema).is_correct
+        assert schema.are_parallel("a", "c")
+
+
+class TestConditionalBlocks:
+    def test_guards_attached_to_branch_entries(self):
+        builder = SchemaBuilder("cond")
+        builder.data("ok", DataType.BOOLEAN, default=False)
+        builder.conditional(
+            [("ok", lambda s: s.activity("yes")), (None, lambda s: s.activity("no"))],
+            label="decision",
+        )
+        schema = builder.build()
+        split = next(n.node_id for n in schema.nodes.values() if n.node_type is NodeType.XOR_SPLIT)
+        guards = {e.target: e.guard for e in schema.edges_from(split, EdgeType.CONTROL)}
+        assert guards["yes"] == "ok"
+        assert guards["no"] is None
+
+    def test_two_defaults_rejected(self):
+        builder = SchemaBuilder("cond")
+        with pytest.raises(BuilderError):
+            builder.conditional(
+                [(None, lambda s: s.activity("a")), (None, lambda s: s.activity("b"))]
+            )
+
+    def test_conditional_requires_two_branches(self):
+        builder = SchemaBuilder("cond")
+        with pytest.raises(BuilderError):
+            builder.conditional([("x", lambda s: s.activity("a"))])
+
+
+class TestLoops:
+    def test_loop_creates_loop_edge(self):
+        builder = SchemaBuilder("loop")
+        builder.data("done", DataType.BOOLEAN, default=False)
+        builder.loop(lambda s: s.activity("work", writes=["done"]), condition="not done")
+        schema = builder.build()
+        loop_edges = schema.loop_edges()
+        assert len(loop_edges) == 1
+        assert loop_edges[0].loop_condition == "not done"
+        assert schema.node(loop_edges[0].target).node_type is NodeType.LOOP_START
+
+    def test_empty_loop_body_rejected(self):
+        builder = SchemaBuilder("loop")
+        with pytest.raises(BuilderError):
+            builder.loop(lambda s: None, condition="False")
+
+    def test_max_iterations_recorded(self):
+        builder = SchemaBuilder("loop")
+        builder.data("done", DataType.BOOLEAN, default=False)
+        builder.loop(lambda s: s.activity("work", writes=["done"]), condition="not done", max_iterations=7)
+        schema = builder.build()
+        loop_start = schema.loop_edges()[0].target
+        assert schema.node(loop_start).properties["max_iterations"] == 7
+
+
+class TestSyncEdges:
+    def test_sync_edge_added(self):
+        builder = SchemaBuilder("sync")
+        builder.parallel(
+            [lambda s: s.activity("a1").activity("a2"), lambda s: s.activity("b1")]
+        )
+        builder.sync("a1", "b1")
+        schema = builder.build()
+        assert schema.has_edge("a1", "b1", EdgeType.SYNC)
+        assert verify_schema(schema).is_correct
+
+    def test_deadlocking_sync_edges_fail_verification(self):
+        builder = SchemaBuilder("sync")
+        builder.parallel(
+            [lambda s: s.activity("a1").activity("a2"), lambda s: s.activity("b1").activity("b2")]
+        )
+        builder.sync("a2", "b1")
+        builder.sync("b2", "a1")
+        with pytest.raises(BuilderError):
+            builder.build()

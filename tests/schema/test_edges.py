@@ -1,0 +1,98 @@
+"""Unit tests for the edge and data-flow models."""
+
+import pytest
+
+from repro.schema.data import DataAccess, DataEdge, DataElement, DataType, read_edge, write_edge
+from repro.schema.edges import Edge, EdgeType, control_edge, loop_edge, sync_edge
+
+
+class TestEdge:
+    def test_default_is_control(self):
+        edge = Edge(source="a", target="b")
+        assert edge.edge_type is EdgeType.CONTROL
+        assert edge.is_control and not edge.is_sync and not edge.is_loop
+
+    def test_key_includes_type(self):
+        control = Edge(source="a", target="b")
+        sync = Edge(source="a", target="b", edge_type=EdgeType.SYNC)
+        assert control.key != sync.key
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Edge(source="a", target="a")
+
+    def test_empty_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            Edge(source="", target="b")
+
+    def test_loop_condition_only_on_loop_edges(self):
+        with pytest.raises(ValueError):
+            Edge(source="a", target="b", loop_condition="x < 3")
+        edge = Edge(source="a", target="b", edge_type=EdgeType.LOOP, loop_condition="x < 3")
+        assert edge.loop_condition == "x < 3"
+
+    def test_with_guard(self):
+        edge = Edge(source="a", target="b")
+        guarded = edge.with_guard("approved")
+        assert guarded.guard == "approved"
+        assert edge.guard is None
+
+    def test_roundtrip_serialization(self):
+        edge = Edge(source="a", target="b", guard="score >= 10", properties={"weight": 2})
+        assert Edge.from_dict(edge.to_dict()) == edge
+
+    def test_loop_edge_roundtrip(self):
+        edge = loop_edge("loop_end", "loop_start", condition="not done")
+        restored = Edge.from_dict(edge.to_dict())
+        assert restored.loop_condition == "not done"
+        assert restored.is_loop
+
+    def test_convenience_constructors(self):
+        assert control_edge("a", "b", guard="x").guard == "x"
+        assert sync_edge("a", "b").is_sync
+        assert loop_edge("a", "b").is_loop
+
+
+class TestDataElement:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            DataElement(name="")
+
+    def test_initial_value_from_default(self):
+        element = DataElement(name="count", data_type=DataType.INTEGER, default=3)
+        assert element.initial_value() == 3
+
+    def test_initial_value_without_default_is_none(self):
+        assert DataElement(name="x").initial_value() is None
+
+    def test_type_defaults(self):
+        assert DataType.BOOLEAN.default_value() is False
+        assert DataType.INTEGER.default_value() == 0
+        assert DataType.STRING.default_value() == ""
+        assert DataType.DOCUMENT.default_value() == {}
+
+    def test_roundtrip_serialization(self):
+        element = DataElement(name="order", data_type=DataType.DOCUMENT, description="the order")
+        assert DataElement.from_dict(element.to_dict()) == element
+
+
+class TestDataEdge:
+    def test_read_write_flags(self):
+        assert read_edge("a", "x").is_read
+        assert write_edge("a", "x").is_write
+        assert not write_edge("a", "x").is_read
+
+    def test_key_distinguishes_access(self):
+        assert read_edge("a", "x").key != write_edge("a", "x").key
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError):
+            DataEdge(activity="", element="x", access=DataAccess.READ)
+        with pytest.raises(ValueError):
+            DataEdge(activity="a", element="", access=DataAccess.READ)
+
+    def test_roundtrip_serialization(self):
+        edge = DataEdge(activity="a", element="x", access=DataAccess.READ, mandatory=False)
+        restored = DataEdge.from_dict(edge.to_dict())
+        assert restored == edge
+        assert restored.mandatory is False

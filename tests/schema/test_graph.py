@@ -1,0 +1,215 @@
+"""Unit tests for the ProcessSchema graph."""
+
+import pytest
+
+from repro.schema.data import DataAccess, DataEdge, DataElement
+from repro.schema.edges import Edge, EdgeType
+from repro.schema.graph import ProcessSchema, SchemaError
+from repro.schema.nodes import Node, NodeType
+
+
+def simple_schema() -> ProcessSchema:
+    """start -> a -> b -> end with one data element written by a, read by b."""
+    schema = ProcessSchema("s1", name="simple")
+    schema.add_node(Node(node_id="start", node_type=NodeType.START))
+    schema.add_node(Node(node_id="a"))
+    schema.add_node(Node(node_id="b"))
+    schema.add_node(Node(node_id="end", node_type=NodeType.END))
+    schema.add_edge(Edge(source="start", target="a"))
+    schema.add_edge(Edge(source="a", target="b"))
+    schema.add_edge(Edge(source="b", target="end"))
+    schema.add_data_element(DataElement(name="x"))
+    schema.add_data_edge(DataEdge(activity="a", element="x", access=DataAccess.WRITE))
+    schema.add_data_edge(DataEdge(activity="b", element="x", access=DataAccess.READ))
+    return schema
+
+
+class TestConstruction:
+    def test_requires_schema_id(self):
+        with pytest.raises(SchemaError):
+            ProcessSchema("")
+
+    def test_version_must_be_positive(self):
+        with pytest.raises(SchemaError):
+            ProcessSchema("s", version=0)
+
+    def test_duplicate_node_rejected(self):
+        schema = simple_schema()
+        with pytest.raises(SchemaError):
+            schema.add_node(Node(node_id="a"))
+
+    def test_edge_requires_existing_endpoints(self):
+        schema = simple_schema()
+        with pytest.raises(SchemaError):
+            schema.add_edge(Edge(source="a", target="missing"))
+
+    def test_duplicate_edge_rejected(self):
+        schema = simple_schema()
+        with pytest.raises(SchemaError):
+            schema.add_edge(Edge(source="a", target="b"))
+
+    def test_data_edge_requires_element(self):
+        schema = simple_schema()
+        with pytest.raises(SchemaError):
+            schema.add_data_edge(DataEdge(activity="a", element="missing", access=DataAccess.READ))
+
+    def test_data_edge_requires_activity(self):
+        schema = simple_schema()
+        with pytest.raises(SchemaError):
+            schema.add_data_edge(DataEdge(activity="missing", element="x", access=DataAccess.READ))
+
+
+class TestRemoval:
+    def test_remove_node_drops_incident_edges(self):
+        schema = simple_schema()
+        schema.remove_node("b")
+        assert not schema.has_node("b")
+        assert not schema.has_edge("a", "b")
+        assert not schema.has_edge("b", "end")
+        assert all(d.activity != "b" for d in schema.data_edges)
+
+    def test_remove_unknown_node_raises(self):
+        with pytest.raises(SchemaError):
+            simple_schema().remove_node("nope")
+
+    def test_remove_data_element_drops_data_edges(self):
+        schema = simple_schema()
+        schema.remove_data_element("x")
+        assert not schema.data_edges
+        assert not schema.has_data_element("x")
+
+    def test_remove_edge(self):
+        schema = simple_schema()
+        schema.remove_edge("a", "b")
+        assert not schema.has_edge("a", "b")
+
+
+class TestQueries:
+    def test_start_and_end_node(self):
+        schema = simple_schema()
+        assert schema.start_node().node_id == "start"
+        assert schema.end_node().node_id == "end"
+
+    def test_missing_start_raises(self):
+        schema = simple_schema()
+        schema.remove_node("start")
+        with pytest.raises(SchemaError):
+            schema.start_node()
+
+    def test_successors_and_predecessors(self):
+        schema = simple_schema()
+        assert schema.successors("a") == ["b"]
+        assert schema.predecessors("b") == ["a"]
+
+    def test_transitive_successors(self):
+        schema = simple_schema()
+        assert schema.transitive_successors("start") == {"a", "b", "end"}
+        assert schema.transitive_predecessors("end") == {"start", "a", "b"}
+
+    def test_is_predecessor(self):
+        schema = simple_schema()
+        assert schema.is_predecessor("a", "end")
+        assert not schema.is_predecessor("end", "a")
+
+    def test_are_parallel_in_sequence_is_false(self):
+        schema = simple_schema()
+        assert not schema.are_parallel("a", "b")
+        assert not schema.are_parallel("a", "a")
+
+    def test_topological_order(self):
+        schema = simple_schema()
+        order = schema.topological_order()
+        assert order.index("start") < order.index("a") < order.index("b") < order.index("end")
+
+    def test_topological_order_detects_cycle(self):
+        schema = simple_schema()
+        schema.add_edge(Edge(source="b", target="a", edge_type=EdgeType.SYNC))
+        with pytest.raises(SchemaError):
+            schema.topological_order()
+
+    def test_activity_ids_excludes_structural(self):
+        schema = simple_schema()
+        assert set(schema.activity_ids()) == {"a", "b"}
+
+    def test_writers_and_readers(self):
+        schema = simple_schema()
+        assert schema.writers_of("x") == ["a"]
+        assert schema.readers_of("x") == ["b"]
+        assert [d.element for d in schema.writes_of("a")] == ["x"]
+        assert [d.element for d in schema.reads_of("b")] == ["x"]
+
+    def test_contains_and_len(self):
+        schema = simple_schema()
+        assert "a" in schema
+        assert "zzz" not in schema
+        assert len(schema) == 4
+
+    def test_unknown_node_access_raises(self):
+        with pytest.raises(SchemaError):
+            simple_schema().node("missing")
+
+    def test_unknown_edge_access_raises(self):
+        with pytest.raises(SchemaError):
+            simple_schema().edge("a", "end")
+
+
+class TestParallelism:
+    def test_parallel_branches_detected(self, order_schema):
+        assert order_schema.are_parallel("confirm_order", "compose_order")
+        assert order_schema.are_parallel("confirm_order", "pack_goods")
+
+    def test_sequential_activities_not_parallel(self, order_schema):
+        assert not order_schema.are_parallel("get_order", "pack_goods")
+
+    def test_sync_edge_counts_for_ordering(self, order_schema):
+        order_schema.add_edge(Edge(source="confirm_order", target="compose_order", edge_type=EdgeType.SYNC))
+        assert not order_schema.are_parallel("confirm_order", "compose_order")
+
+
+class TestLoops:
+    def test_loop_body(self, loop_schema):
+        loop_starts = [e.target for e in loop_schema.loop_edges()]
+        body = loop_schema.loop_body(loop_starts[0])
+        assert "body_1" in body and "body_2" in body
+        assert "prepare" not in body and "finish" not in body
+
+    def test_matching_loop_end_and_start(self, loop_schema):
+        loop_edge = loop_schema.loop_edges()[0]
+        assert loop_schema.matching_loop_end(loop_edge.target) == loop_edge.source
+        assert loop_schema.matching_loop_start(loop_edge.source) == loop_edge.target
+
+    def test_loop_body_requires_loop_start(self, loop_schema):
+        with pytest.raises(SchemaError):
+            loop_schema.loop_body("prepare")
+
+
+class TestCopyCompareSerialize:
+    def test_copy_is_independent(self):
+        schema = simple_schema()
+        clone = schema.copy()
+        clone.remove_node("b")
+        assert schema.has_node("b")
+        assert not clone.has_node("b")
+
+    def test_copy_can_reversion(self):
+        clone = simple_schema().copy(schema_id="s2", version=5)
+        assert clone.schema_id == "s2"
+        assert clone.version == 5
+
+    def test_structural_equality(self):
+        assert simple_schema().structurally_equals(simple_schema())
+
+    def test_structural_equality_detects_differences(self):
+        left, right = simple_schema(), simple_schema()
+        right.remove_edge("a", "b")
+        assert not left.structurally_equals(right)
+
+    def test_roundtrip_serialization(self, any_template):
+        restored = ProcessSchema.from_dict(any_template.to_dict())
+        assert restored.structurally_equals(any_template)
+        assert restored.version == any_template.version
+        assert restored.name == any_template.name
+
+    def test_size(self):
+        nodes, edges, elements, data_edges = simple_schema().size()
+        assert (nodes, edges, elements, data_edges) == (4, 3, 1, 2)

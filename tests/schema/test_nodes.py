@@ -1,0 +1,106 @@
+"""Unit tests for the node model."""
+
+import pytest
+
+from repro.schema.nodes import Node, NodeType, activity, structural
+
+
+class TestNodeType:
+    def test_split_types(self):
+        assert NodeType.AND_SPLIT.is_split
+        assert NodeType.XOR_SPLIT.is_split
+        assert not NodeType.AND_JOIN.is_split
+        assert not NodeType.ACTIVITY.is_split
+
+    def test_join_types(self):
+        assert NodeType.AND_JOIN.is_join
+        assert NodeType.XOR_JOIN.is_join
+        assert not NodeType.XOR_SPLIT.is_join
+
+    def test_structural_flag(self):
+        assert not NodeType.ACTIVITY.is_structural
+        for node_type in NodeType:
+            if node_type is not NodeType.ACTIVITY:
+                assert node_type.is_structural
+
+    def test_counterparts_are_symmetric(self):
+        for node_type in NodeType:
+            counterpart = node_type.counterpart
+            if counterpart is not None:
+                assert counterpart.counterpart is node_type
+
+    def test_activity_has_no_counterpart(self):
+        assert NodeType.ACTIVITY.counterpart is None
+
+
+class TestNode:
+    def test_name_defaults_to_id(self):
+        node = Node(node_id="check_stock")
+        assert node.name == "check_stock"
+
+    def test_explicit_name_preserved(self):
+        node = Node(node_id="a1", name="Check stock")
+        assert node.name == "Check stock"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Node(node_id="")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Node(node_id="a", duration=-1.0)
+
+    def test_is_activity(self):
+        assert Node(node_id="a").is_activity
+        assert not Node(node_id="s", node_type=NodeType.AND_SPLIT).is_activity
+
+    def test_renamed_returns_copy(self):
+        node = Node(node_id="a", name="old")
+        renamed = node.renamed("new")
+        assert renamed.name == "new"
+        assert node.name == "old"
+        assert renamed.node_id == node.node_id
+
+    def test_with_assignment(self):
+        node = Node(node_id="a")
+        assigned = node.with_assignment("clerk")
+        assert assigned.staff_assignment == "clerk"
+        assert node.staff_assignment is None
+
+    def test_roundtrip_serialization(self):
+        node = Node(
+            node_id="a",
+            name="Approve",
+            staff_assignment="manager",
+            duration=2.5,
+            application="erp.approve",
+            properties={"critical": True},
+        )
+        restored = Node.from_dict(node.to_dict())
+        assert restored == node
+
+    def test_minimal_serialization_omits_optionals(self):
+        payload = Node(node_id="a").to_dict()
+        assert "staff_assignment" not in payload
+        assert "application" not in payload
+        assert "properties" not in payload
+
+    def test_nodes_are_frozen(self):
+        node = Node(node_id="a")
+        with pytest.raises(Exception):
+            node.name = "other"  # type: ignore[misc]
+
+
+class TestConvenienceConstructors:
+    def test_activity_constructor(self):
+        node = activity("a1", "do work", staff_assignment="clerk")
+        assert node.node_type is NodeType.ACTIVITY
+        assert node.staff_assignment == "clerk"
+
+    def test_structural_constructor(self):
+        node = structural("s1", NodeType.AND_SPLIT)
+        assert node.node_type is NodeType.AND_SPLIT
+
+    def test_structural_constructor_rejects_activity(self):
+        with pytest.raises(ValueError):
+            structural("s1", NodeType.ACTIVITY)

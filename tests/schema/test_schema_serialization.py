@@ -1,0 +1,46 @@
+"""Tests for schema JSON serialisation helpers."""
+
+import json
+
+import pytest
+
+from repro.schema import templates
+from repro.schema.serialization import (
+    load_schema,
+    save_schema,
+    schema_from_json,
+    schema_to_json,
+)
+
+
+class TestJsonText:
+    def test_roundtrip(self, order_schema):
+        text = schema_to_json(order_schema)
+        restored = schema_from_json(text)
+        assert restored.structurally_equals(order_schema)
+
+    def test_output_is_valid_json(self, order_schema):
+        parsed = json.loads(schema_to_json(order_schema))
+        assert parsed["schema_id"] == order_schema.schema_id
+
+    def test_output_is_deterministic(self, order_schema):
+        assert schema_to_json(order_schema) == schema_to_json(order_schema)
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, treatment_schema):
+        path = save_schema(treatment_schema, tmp_path / "schemas" / "treatment.json")
+        assert path.exists()
+        restored = load_schema(path)
+        assert restored.structurally_equals(treatment_schema)
+        assert restored.version == treatment_schema.version
+
+    def test_save_creates_directories(self, tmp_path, order_schema):
+        nested = tmp_path / "a" / "b" / "c" / "order.json"
+        save_schema(order_schema, nested)
+        assert nested.exists()
+
+    def test_every_template_file_roundtrips(self, tmp_path):
+        for schema in templates.all_templates():
+            path = save_schema(schema, tmp_path / f"{schema.schema_id}.json")
+            assert load_schema(path).structurally_equals(schema)

@@ -1,0 +1,93 @@
+"""Tests of the bundled process templates."""
+
+import pytest
+
+from repro.schema import templates
+from repro.schema.edges import EdgeType
+from repro.schema.nodes import NodeType
+from repro.verification import verify_schema
+
+
+class TestAllTemplates:
+    def test_every_template_verifies(self, any_template):
+        report = verify_schema(any_template, check_soundness=True)
+        assert report.is_correct, report.summary()
+
+    def test_every_template_has_start_and_end(self, any_template):
+        assert any_template.start_node().node_type is NodeType.START
+        assert any_template.end_node().node_type is NodeType.END
+
+    def test_every_template_has_activities_with_roles(self, any_template):
+        activities = [any_template.node(a) for a in any_template.activity_ids()]
+        assert activities
+        assert all(a.staff_assignment for a in activities)
+
+    def test_all_templates_helper_returns_everything(self):
+        schemas = templates.all_templates()
+        assert len(schemas) == 6
+        assert len({s.schema_id for s in schemas}) == 6
+
+
+class TestOnlineOrder:
+    def test_structure_matches_paper(self, order_schema):
+        assert set(order_schema.activity_ids()) == {
+            "get_order",
+            "collect_data",
+            "confirm_order",
+            "compose_order",
+            "pack_goods",
+            "deliver_goods",
+        }
+        assert order_schema.are_parallel("confirm_order", "compose_order")
+        assert order_schema.is_predecessor("compose_order", "pack_goods")
+        assert order_schema.is_predecessor("pack_goods", "deliver_goods")
+
+    def test_data_flow(self, order_schema):
+        assert "order" in order_schema.data_elements
+        assert order_schema.writers_of("order") == ["get_order"]
+        assert "deliver_goods" in order_schema.readers_of("shipment")
+
+
+class TestPatientTreatment:
+    def test_contains_loop_and_decision(self, treatment_schema):
+        assert len(treatment_schema.loop_edges()) == 1
+        xor_splits = [
+            n for n in treatment_schema.nodes.values() if n.node_type is NodeType.XOR_SPLIT
+        ]
+        assert len(xor_splits) == 1
+
+    def test_loop_body_contains_examination(self, treatment_schema):
+        loop_start = treatment_schema.loop_edges()[0].target
+        body = treatment_schema.loop_body(loop_start)
+        assert "examine_patient" in body and "perform_treatment" in body
+
+
+class TestContainerTransport:
+    def test_parallel_preparation(self):
+        schema = templates.container_transport_process()
+        assert schema.are_parallel("clear_customs", "plan_route")
+
+    def test_journey_loop(self):
+        schema = templates.container_transport_process()
+        loop_start = schema.loop_edges()[0].target
+        assert "transport_leg" in schema.loop_body(loop_start)
+
+
+class TestParametricTemplates:
+    def test_sequential_length(self):
+        schema = templates.sequential_process(length=8)
+        assert len(schema.activity_ids()) == 8
+
+    def test_sequential_rejects_zero(self):
+        with pytest.raises(ValueError):
+            templates.sequential_process(length=0)
+
+    def test_loop_process_body_length(self):
+        schema = templates.loop_process(body_length=4)
+        loop_start = schema.loop_edges()[0].target
+        body_activities = [n for n in schema.loop_body(loop_start) if schema.node(n).is_activity]
+        assert len(body_activities) == 4
+
+    def test_loop_process_rejects_zero_body(self):
+        with pytest.raises(ValueError):
+            templates.loop_process(body_length=0)

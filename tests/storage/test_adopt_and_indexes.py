@@ -1,0 +1,70 @@
+"""Extra storage tests: adopting evolved process types and index queries."""
+
+import pytest
+
+from repro.core.evolution import EvolutionError, ProcessType
+from repro.schema import templates
+from repro.storage.indexes import InstanceIndex
+from repro.storage.instance_store import InstanceStore
+from repro.storage.repository import SchemaRepository
+from repro.workloads.order_process import order_type_change_v2, paper_fig3_population
+
+
+class TestAdoptType:
+    def test_adopt_registers_all_versions(self):
+        process_type = ProcessType("online_order", templates.online_order_process())
+        process_type.release_new_version(order_type_change_v2())
+        repository = SchemaRepository()
+        repository.adopt_type(process_type)
+        assert repository.versions_of("online_order") == [1, 2]
+        assert repository.schema("online_order", 2).has_node("send_questions")
+
+    def test_adopt_rejects_duplicates(self, order_schema):
+        repository = SchemaRepository()
+        repository.register_type(order_schema)
+        with pytest.raises(EvolutionError):
+            repository.adopt_type(ProcessType("online_order", templates.online_order_process()))
+
+    def test_adopted_type_supports_instance_store(self):
+        process_type, engine, instances = paper_fig3_population(instance_count=20, seed=12)
+        repository = SchemaRepository()
+        repository.adopt_type(process_type)
+        store = InstanceStore(repository)
+        store.save_all(instances)
+        assert len(store) == 20
+
+
+class TestInstanceIndex:
+    def record(self, instance_id, version=1, status="running", biased=False):
+        return {
+            "instance_id": instance_id,
+            "process_type": "online_order",
+            "schema_version": version,
+            "status": status,
+            "biased": biased,
+        }
+
+    def test_counts_by_version(self):
+        index = InstanceIndex()
+        index.add("a", self.record("a", version=1))
+        index.add("b", self.record("b", version=2))
+        index.add("c", self.record("c", version=2))
+        assert index.counts_by_version("online_order") == {1: 1, 2: 2}
+
+    def test_reindexing_replaces_old_entries(self):
+        index = InstanceIndex()
+        index.add("a", self.record("a", version=1, status="running"))
+        index.add("a", self.record("a", version=2, status="completed"))
+        assert index.by_version("online_order", 1) == []
+        assert index.by_version("online_order", 2) == ["a"]
+        assert index.by_status("completed") == ["a"]
+
+    def test_biased_tracking_and_clear(self):
+        index = InstanceIndex()
+        index.add("a", self.record("a", biased=True))
+        index.add("b", self.record("b"))
+        assert index.biased_instances() == ["a"]
+        index.remove("a")
+        assert index.biased_instances() == []
+        index.clear()
+        assert index.by_type("online_order") == []

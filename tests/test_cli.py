@@ -1,0 +1,72 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.schema import templates
+from repro.schema.serialization import save_schema
+
+
+class TestTemplatesAndVerify:
+    def test_templates_command_lists_all(self, capsys):
+        assert main(["templates"]) == 0
+        output = capsys.readouterr().out
+        assert "online_order" in output and "patient_treatment" in output
+
+    def test_verify_bundled_template(self, capsys):
+        assert main(["verify", "online_order"]) == 0
+        assert "correct" in capsys.readouterr().out
+
+    def test_verify_schema_file(self, tmp_path, capsys):
+        path = save_schema(templates.credit_application_process(), tmp_path / "credit.json")
+        assert main(["verify", str(path), "--soundness"]) == 0
+
+    def test_verify_broken_schema_returns_nonzero(self, tmp_path, capsys):
+        schema = templates.online_order_process()
+        schema.remove_node("deliver_goods")
+        path = save_schema(schema, tmp_path / "broken.json")
+        assert main(["verify", str(path)]) == 1
+        assert "error" in capsys.readouterr().out.lower()
+
+
+class TestRenderAndSimulate:
+    def test_render_ascii(self, capsys):
+        assert main(["render", "online_order"]) == 0
+        assert "get_order" in capsys.readouterr().out
+
+    def test_render_dot(self, capsys):
+        assert main(["render", "online_order", "--format", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "credit_application", "--instances", "3", "--show-history"]) == 0
+        output = capsys.readouterr().out
+        assert "simulated 3 instance(s)" in output
+        assert "history of" in output
+
+
+class TestDemos:
+    def test_demo_fig1(self, capsys):
+        assert main(["demo-fig1"]) == 0
+        output = capsys.readouterr().out
+        assert "structural_conflict" in output and "state_conflict" in output
+
+    def test_demo_fig3(self, capsys):
+        assert main(["demo-fig3", "--instances", "60", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "Migration report" in output
+        assert "instances checked:        60" in output
+
+    def test_demo_fig3_with_rollback(self, capsys):
+        assert main(["demo-fig3", "--instances", "60", "--seed", "3", "--rollback"]) == 0
+        assert "after rollback" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_template_falls_back_to_file_and_fails(self):
+        with pytest.raises(FileNotFoundError):
+            main(["verify", "no_such_template_or_file.json"])

@@ -1,0 +1,67 @@
+"""Sanity checks on the public package surface (`import repro`)."""
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} is exported but missing"
+
+    def test_core_workflow_through_top_level_names_only(self):
+        """The README quickstart works using only top-level imports."""
+        builder = repro.SchemaBuilder("api_check", name="api_check")
+        builder.data("order", repro.DataType.DOCUMENT)
+        builder.activity("receive", role="clerk", writes=["order"])
+        builder.activity("ship", role="logistics", reads=["order"])
+        schema = builder.build()
+        assert repro.verify_schema(schema).is_correct
+
+        engine = repro.ProcessEngine()
+        case = engine.create_instance(schema, "api-case")
+        engine.complete_activity(case, "receive", outputs={"order": {"id": 1}})
+
+        repro.AdHocChanger(engine).apply(
+            case,
+            [
+                repro.SerialInsertActivity(
+                    activity=repro.Node(node_id="approve", staff_assignment="manager"),
+                    pred="receive",
+                    succ="ship",
+                )
+            ],
+        )
+        process_type = repro.ProcessType("api_check", schema)
+        change = repro.TypeChange.of(
+            1,
+            [
+                repro.SerialInsertActivity(
+                    activity=repro.Node(node_id="invoice", staff_assignment="clerk"),
+                    pred="ship",
+                    succ=schema.successors("ship")[0],
+                )
+            ],
+        )
+        report = repro.MigrationManager(engine).migrate_type(process_type, change, [case])
+        assert report.migrated_count == 1
+        engine.run_to_completion(case)
+        assert case.status is repro.InstanceStatus.COMPLETED
+        assert set(case.completed_activities()) == {"receive", "approve", "ship", "invoice"}
+
+    def test_monitoring_helpers_exposed(self, order_schema):
+        text = repro.render_schema_ascii(order_schema)
+        assert "get_order" in text
+
+    def test_storage_types_exposed(self, order_schema):
+        repository = repro.SchemaRepository()
+        repository.register_type(order_schema)
+        store = repro.InstanceStore(repository, strategy=repro.HybridSubstitutionRepresentation())
+        engine = repro.ProcessEngine()
+        instance = engine.create_instance(order_schema, "api-store")
+        store.save(instance)
+        assert store.load("api-store").instance_id == "api-store"

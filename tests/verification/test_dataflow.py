@@ -1,0 +1,141 @@
+"""Unit tests for data-flow verification."""
+
+import pytest
+
+from repro.schema.builder import SchemaBuilder
+from repro.schema.data import DataAccess, DataEdge, DataElement, DataType
+from repro.verification.dataflow import DataFlowVerifier, expression_identifiers, written_before
+from repro.verification.report import IssueCode
+
+
+def verify(schema):
+    return DataFlowVerifier().verify(schema)
+
+
+class TestExpressionIdentifiers:
+    def test_simple_names(self):
+        assert expression_identifiers("score >= 50 and not rejected") == {"score", "rejected"}
+
+    def test_constants_excluded(self):
+        assert expression_identifiers("True") == set()
+
+    def test_malformed_expression_yields_empty(self):
+        assert expression_identifiers("score >=") == set()
+
+
+class TestWrittenBefore:
+    def test_sequence(self, order_schema):
+        available = written_before(order_schema)
+        assert "order" in available["collect_data"]
+        assert "order" in available["deliver_goods"]
+
+    def test_write_not_visible_to_writer_itself(self, order_schema):
+        available = written_before(order_schema)
+        assert "order" not in available["get_order"]
+
+    def test_and_join_unions_branches(self, order_schema):
+        available = written_before(order_schema)
+        assert "confirmation" in available["deliver_goods"]
+        assert "shipment" in available["deliver_goods"]
+
+    def test_xor_branches_not_assumed(self, credit_schema):
+        available = written_before(credit_schema)
+        # "approved" is written inside the XOR branches, so it is not guaranteed
+        # before the XOR join... but it IS guaranteed after (either branch writes it)
+        assert "score" in available["notify_customer"]
+
+
+class TestMissingInput:
+    def test_correct_templates_pass(self, any_template):
+        assert verify(any_template).is_correct
+
+    def test_missing_writer_detected(self):
+        builder = SchemaBuilder("broken")
+        builder.activity("consumer", reads=["never_written"])
+        schema = builder.build(validate=False)
+        report = verify(schema)
+        assert report.has_issue(IssueCode.MISSING_INPUT_DATA)
+
+    def test_optional_read_not_flagged(self):
+        builder = SchemaBuilder("ok")
+        builder.activity("consumer", optional_reads=["never_written"])
+        schema = builder.build(validate=False)
+        report = verify(schema)
+        assert not report.has_issue(IssueCode.MISSING_INPUT_DATA)
+
+    def test_default_value_satisfies_read(self):
+        builder = SchemaBuilder("ok")
+        builder.data("config", DataType.STRING, default="standard")
+        builder.activity("consumer", reads=["config"])
+        schema = builder.build(validate=False)
+        assert not verify(schema).has_issue(IssueCode.MISSING_INPUT_DATA)
+
+    def test_write_only_on_one_xor_branch_is_not_enough(self):
+        builder = SchemaBuilder("xor")
+        builder.data("go_left", DataType.BOOLEAN, default=True)
+        builder.conditional(
+            [
+                ("go_left", lambda s: s.activity("left", writes=["result"])),
+                (None, lambda s: s.activity("right")),
+            ]
+        )
+        builder.activity("consumer", reads=["result"])
+        schema = builder.build(validate=False)
+        assert verify(schema).has_issue(IssueCode.MISSING_INPUT_DATA)
+
+    def test_write_on_every_xor_branch_is_enough(self):
+        builder = SchemaBuilder("xor")
+        builder.data("go_left", DataType.BOOLEAN, default=True)
+        builder.conditional(
+            [
+                ("go_left", lambda s: s.activity("left", writes=["result"])),
+                (None, lambda s: s.activity("right", writes=["result"])),
+            ]
+        )
+        builder.activity("consumer", reads=["result"])
+        schema = builder.build(validate=False)
+        assert not verify(schema).has_issue(IssueCode.MISSING_INPUT_DATA)
+
+
+class TestGuards:
+    def test_unknown_guard_element(self):
+        builder = SchemaBuilder("guards")
+        builder.data("flag", DataType.BOOLEAN, default=False)
+        builder.conditional(
+            [("unknown_thing", lambda s: s.activity("a")), (None, lambda s: s.activity("b"))]
+        )
+        schema = builder.build(validate=False)
+        assert verify(schema).has_issue(IssueCode.UNKNOWN_GUARD_ELEMENT)
+
+    def test_guard_over_unwritten_element(self):
+        builder = SchemaBuilder("guards")
+        builder.data("decision", DataType.BOOLEAN)  # no default, never written
+        builder.conditional(
+            [("decision", lambda s: s.activity("a")), (None, lambda s: s.activity("b"))]
+        )
+        schema = builder.build(validate=False)
+        assert verify(schema).has_issue(IssueCode.MISSING_INPUT_DATA)
+
+    def test_guard_over_written_element_ok(self, credit_schema):
+        assert not verify(credit_schema).has_issue(IssueCode.MISSING_INPUT_DATA)
+
+
+class TestWarnings:
+    def test_unused_element_warns(self, order_schema):
+        order_schema.add_data_element(DataElement(name="lonely"))
+        report = verify(order_schema)
+        assert report.has_issue(IssueCode.UNUSED_ELEMENT)
+        assert report.is_correct
+
+    def test_parallel_write_conflict_warns(self, order_schema):
+        order_schema.add_data_edge(
+            DataEdge(activity="confirm_order", element="shipment", access=DataAccess.WRITE)
+        )
+        report = verify(order_schema)
+        assert report.has_issue(IssueCode.PARALLEL_WRITE_CONFLICT)
+        assert report.is_correct
+
+    def test_exclusive_branch_writers_do_not_warn(self, credit_schema):
+        # approve_credit / reject_credit both write "approved" but are exclusive
+        report = verify(credit_schema)
+        assert not report.has_issue(IssueCode.PARALLEL_WRITE_CONFLICT)

@@ -1,0 +1,88 @@
+"""Unit tests for deadlock (cycle) detection."""
+
+import pytest
+
+from repro.schema.edges import Edge, EdgeType
+from repro.verification.deadlock import DeadlockVerifier, find_cycle
+from repro.verification.report import IssueCode
+
+
+def verify(schema):
+    return DeadlockVerifier().verify(schema)
+
+
+class TestFindCycle:
+    def test_acyclic_schema_has_no_cycle(self, order_schema):
+        assert find_cycle(order_schema) is None
+
+    def test_loop_edges_do_not_count_as_cycles(self, loop_schema):
+        assert find_cycle(loop_schema) is None
+
+    def test_sync_cycle_found(self, order_schema):
+        order_schema.add_edge(Edge(source="confirm_order", target="compose_order", edge_type=EdgeType.SYNC))
+        order_schema.add_edge(Edge(source="pack_goods", target="confirm_order", edge_type=EdgeType.SYNC))
+        cycle = find_cycle(order_schema)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+
+    def test_cycle_ignoring_sync_edges(self, order_schema):
+        order_schema.add_edge(Edge(source="confirm_order", target="compose_order", edge_type=EdgeType.SYNC))
+        order_schema.add_edge(Edge(source="pack_goods", target="confirm_order", edge_type=EdgeType.SYNC))
+        assert find_cycle(order_schema, include_sync=False) is None
+
+
+class TestDeadlockVerifier:
+    def test_templates_are_deadlock_free(self, any_template):
+        report = verify(any_template)
+        assert report.is_correct, report.summary()
+
+    def test_paper_i2_situation_detected(self, order_schema):
+        """The combination that rejects instance I2 in the paper's Fig. 1."""
+        from repro.core.operations import InsertSyncEdge, SerialInsertActivity
+        from repro.schema.nodes import Node
+
+        # the instance's ad-hoc sync edge
+        order_schema.add_edge(Edge(source="confirm_order", target="compose_order", edge_type=EdgeType.SYNC))
+        # the type change: send_questions between compose_order and pack_goods + sync edge
+        SerialInsertActivity(
+            activity=Node(node_id="send_questions"), pred="compose_order", succ="pack_goods"
+        ).apply(order_schema)
+        InsertSyncEdge(source="send_questions", target="confirm_order").apply(order_schema)
+        report = verify(order_schema)
+        assert report.has_issue(IssueCode.SYNC_CYCLE)
+        assert not report.is_correct
+
+    def test_control_cycle_reported_first(self, order_schema):
+        order_schema.add_edge(Edge(source="deliver_goods", target="get_order"))
+        report = verify(order_schema)
+        assert report.has_issue(IssueCode.CONTROL_CYCLE)
+
+    def test_redundant_sync_edge_warns(self, order_schema):
+        order_schema.add_edge(Edge(source="get_order", target="deliver_goods", edge_type=EdgeType.SYNC))
+        report = verify(order_schema)
+        assert report.has_issue(IssueCode.SYNC_WITHIN_BRANCH)
+        assert report.is_correct  # warning only
+
+    def test_sync_edge_crossing_loop_boundary(self, treatment_schema):
+        report_before = verify(treatment_schema)
+        assert report_before.is_correct
+        treatment_schema.add_edge(
+            Edge(source="admit_patient", target="examine_patient", edge_type=EdgeType.SYNC)
+        )
+        report = verify(treatment_schema)
+        assert report.has_issue(IssueCode.SYNC_CROSSES_LOOP)
+
+    def test_sync_edge_between_parallel_branches_is_fine(self, order_schema):
+        order_schema.add_edge(Edge(source="compose_order", target="confirm_order", edge_type=EdgeType.SYNC))
+        report = verify(order_schema)
+        assert report.is_correct
+
+    def test_sync_from_conditional_branch_warns(self, credit_schema):
+        credit_schema.add_edge(
+            Edge(source="approve_credit", target="check_identity", edge_type=EdgeType.SYNC)
+        )
+        report = verify(credit_schema)
+        # approve_credit lies inside the XOR block -> warning (not an error)
+        assert report.has_issue(IssueCode.SYNC_FROM_CONDITIONAL) or report.has_issue(
+            IssueCode.SYNC_WITHIN_BRANCH
+        )

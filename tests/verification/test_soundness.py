@@ -1,0 +1,60 @@
+"""Unit tests for the soundness verifier (bounded state-space exploration)."""
+
+import pytest
+
+from repro.schema.edges import Edge, EdgeType
+from repro.verification.report import IssueCode
+from repro.verification.soundness import SoundnessVerifier
+
+
+def verify(schema, max_states: int = 20000):
+    return SoundnessVerifier(max_states=max_states).verify(schema)
+
+
+class TestSoundTemplates:
+    def test_every_template_is_sound(self, any_template):
+        report = verify(any_template)
+        assert report.is_correct, report.summary()
+
+    def test_no_dead_activities_in_templates(self, any_template):
+        report = verify(any_template)
+        assert not report.has_issue(IssueCode.DEAD_ACTIVITY), report.summary()
+
+
+class TestDeadlockDetection:
+    def test_and_join_closing_xor_split_deadlocks(self):
+        """An AND join waiting for both branches of an XOR split never fires."""
+        from repro.schema.graph import ProcessSchema
+        from repro.schema.nodes import Node, NodeType
+
+        schema = ProcessSchema("broken_blocks")
+        schema.add_node(Node(node_id="start", node_type=NodeType.START))
+        schema.add_node(Node(node_id="split", node_type=NodeType.XOR_SPLIT))
+        schema.add_node(Node(node_id="a"))
+        schema.add_node(Node(node_id="b"))
+        schema.add_node(Node(node_id="join", node_type=NodeType.AND_JOIN))
+        schema.add_node(Node(node_id="end", node_type=NodeType.END))
+        schema.add_edge(Edge(source="start", target="split"))
+        schema.add_edge(Edge(source="split", target="a", guard="True"))
+        schema.add_edge(Edge(source="split", target="b"))
+        schema.add_edge(Edge(source="a", target="join"))
+        schema.add_edge(Edge(source="b", target="join"))
+        schema.add_edge(Edge(source="join", target="end"))
+        report = verify(schema)
+        assert report.has_issue(IssueCode.NOT_SOUND)
+
+    def test_single_sync_edge_keeps_soundness(self, order_schema):
+        order_schema.add_edge(Edge(source="confirm_order", target="compose_order", edge_type=EdgeType.SYNC))
+        assert verify(order_schema).is_correct
+
+
+class TestStateCap:
+    def test_truncation_reports_warning(self, order_schema):
+        report = verify(order_schema, max_states=3)
+        assert report.is_correct  # warnings only
+        assert any("state space" in issue.message for issue in report.warnings)
+
+    def test_generated_schemas_are_sound(self, small_random_schemas):
+        for schema in small_random_schemas:
+            report = verify(schema)
+            assert report.is_correct, report.summary()

@@ -1,0 +1,162 @@
+"""Unit tests for the structural verifier."""
+
+import pytest
+
+from repro.schema.edges import Edge, EdgeType
+from repro.schema.graph import ProcessSchema
+from repro.schema.nodes import Node, NodeType
+from repro.verification.report import IssueCode
+from repro.verification.structural import StructuralVerifier
+
+
+def minimal_schema() -> ProcessSchema:
+    schema = ProcessSchema("m")
+    schema.add_node(Node(node_id="start", node_type=NodeType.START))
+    schema.add_node(Node(node_id="a"))
+    schema.add_node(Node(node_id="end", node_type=NodeType.END))
+    schema.add_edge(Edge(source="start", target="a"))
+    schema.add_edge(Edge(source="a", target="end"))
+    return schema
+
+
+def verify(schema):
+    return StructuralVerifier().verify(schema)
+
+
+class TestEndpoints:
+    def test_correct_minimal_schema(self):
+        assert verify(minimal_schema()).is_correct
+
+    def test_missing_start(self):
+        schema = minimal_schema()
+        schema.remove_node("start")
+        report = verify(schema)
+        assert report.has_issue(IssueCode.MISSING_START)
+
+    def test_missing_end(self):
+        schema = minimal_schema()
+        schema.remove_node("end")
+        assert verify(schema).has_issue(IssueCode.MISSING_END)
+
+    def test_multiple_start_nodes(self):
+        schema = minimal_schema()
+        schema.add_node(Node(node_id="start2", node_type=NodeType.START))
+        schema.add_edge(Edge(source="start2", target="a"))
+        report = verify(schema)
+        assert report.has_issue(IssueCode.MULTIPLE_START)
+
+    def test_multiple_end_nodes(self):
+        schema = minimal_schema()
+        schema.add_node(Node(node_id="end2", node_type=NodeType.END))
+        schema.add_edge(Edge(source="a", target="end2"))
+        report = verify(schema)
+        assert report.has_issue(IssueCode.MULTIPLE_END)
+
+
+class TestDegrees:
+    def test_activity_with_two_outgoing_edges(self):
+        schema = minimal_schema()
+        schema.add_node(Node(node_id="b"))
+        schema.add_edge(Edge(source="a", target="b"))
+        schema.add_edge(Edge(source="b", target="end"))
+        report = verify(schema)
+        assert report.has_issue(IssueCode.BAD_DEGREE)
+
+    def test_split_with_single_branch(self):
+        schema = ProcessSchema("s")
+        schema.add_node(Node(node_id="start", node_type=NodeType.START))
+        schema.add_node(Node(node_id="split", node_type=NodeType.AND_SPLIT))
+        schema.add_node(Node(node_id="a"))
+        schema.add_node(Node(node_id="end", node_type=NodeType.END))
+        schema.add_edge(Edge(source="start", target="split"))
+        schema.add_edge(Edge(source="split", target="a"))
+        schema.add_edge(Edge(source="a", target="end"))
+        report = verify(schema)
+        assert report.has_issue(IssueCode.BAD_DEGREE)
+
+    def test_templates_have_valid_degrees(self, any_template):
+        report = verify(any_template)
+        assert not report.has_issue(IssueCode.BAD_DEGREE), report.summary()
+
+
+class TestReachability:
+    def test_unreachable_node(self):
+        schema = minimal_schema()
+        schema.add_node(Node(node_id="orphan"))
+        schema.add_node(Node(node_id="orphan2"))
+        schema.add_edge(Edge(source="orphan", target="orphan2"))
+        report = verify(schema)
+        assert report.has_issue(IssueCode.UNREACHABLE_NODE)
+        assert report.has_issue(IssueCode.NO_PATH_TO_END)
+
+    def test_dead_end_node(self):
+        schema = minimal_schema()
+        schema.add_node(Node(node_id="sink", node_type=NodeType.ACTIVITY))
+        schema.add_edge(Edge(source="a", target="sink"))
+        report = verify(schema)
+        assert report.has_issue(IssueCode.NO_PATH_TO_END)
+
+
+class TestLoopsAndGuards:
+    def test_loop_edge_must_connect_loop_nodes(self):
+        schema = minimal_schema()
+        schema.add_node(Node(node_id="b"))
+        # replace a->end with a->b->end so both have proper degree
+        schema.remove_edge("a", "end")
+        schema.add_edge(Edge(source="a", target="b"))
+        schema.add_edge(Edge(source="b", target="end"))
+        schema.add_edge(Edge(source="b", target="a", edge_type=EdgeType.LOOP, loop_condition="True"))
+        report = verify(schema)
+        assert report.has_issue(IssueCode.BAD_LOOP_EDGE)
+
+    def test_unmatched_loop_start(self, loop_schema):
+        loop_edge = loop_schema.loop_edges()[0]
+        loop_schema.remove_edge(loop_edge.source, loop_edge.target, EdgeType.LOOP)
+        report = verify(loop_schema)
+        assert report.has_issue(IssueCode.UNMATCHED_BLOCK)
+
+    def test_xor_with_two_default_branches(self, credit_schema):
+        split = next(
+            n.node_id for n in credit_schema.nodes.values() if n.node_type is NodeType.XOR_SPLIT
+        )
+        for edge in credit_schema.edges_from(split, EdgeType.CONTROL):
+            if edge.guard is not None:
+                credit_schema.replace_edge(edge.with_guard(None))
+        report = verify(credit_schema)
+        assert report.has_issue(IssueCode.DUPLICATE_GUARD_DEFAULT)
+
+    def test_xor_without_default_branch_warns(self, credit_schema):
+        split = next(
+            n.node_id for n in credit_schema.nodes.values() if n.node_type is NodeType.XOR_SPLIT
+        )
+        for edge in credit_schema.edges_from(split, EdgeType.CONTROL):
+            if edge.guard is None:
+                credit_schema.replace_edge(edge.with_guard("score < 50"))
+        report = verify(credit_schema)
+        assert report.has_issue(IssueCode.MISSING_GUARD)
+        assert report.is_correct  # warning only
+
+
+class TestBlocks:
+    def test_unmatched_split(self):
+        schema = ProcessSchema("s")
+        schema.add_node(Node(node_id="start", node_type=NodeType.START))
+        schema.add_node(Node(node_id="split", node_type=NodeType.AND_SPLIT))
+        schema.add_node(Node(node_id="a"))
+        schema.add_node(Node(node_id="b"))
+        schema.add_node(Node(node_id="join", node_type=NodeType.XOR_JOIN))
+        schema.add_node(Node(node_id="end", node_type=NodeType.END))
+        schema.add_edge(Edge(source="start", target="split"))
+        schema.add_edge(Edge(source="split", target="a"))
+        schema.add_edge(Edge(source="split", target="b"))
+        schema.add_edge(Edge(source="a", target="join"))
+        schema.add_edge(Edge(source="b", target="join"))
+        schema.add_edge(Edge(source="join", target="end"))
+        report = verify(schema)
+        # AND split closed by an XOR join -> unmatched block
+        assert report.has_issue(IssueCode.UNMATCHED_BLOCK)
+
+    def test_templates_have_no_block_findings(self, any_template):
+        report = verify(any_template)
+        assert not report.has_issue(IssueCode.UNMATCHED_BLOCK)
+        assert not report.has_issue(IssueCode.BLOCK_OVERLAP)

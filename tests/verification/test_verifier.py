@@ -1,0 +1,86 @@
+"""Tests of the combined verifier and the report object."""
+
+import pytest
+
+from repro.schema.edges import Edge, EdgeType
+from repro.verification import SchemaVerifier, verify_schema
+from repro.verification.report import (
+    IssueCode,
+    Severity,
+    VerificationIssue,
+    VerificationReport,
+    error,
+    warning,
+)
+
+
+class TestVerificationReport:
+    def test_empty_report_is_correct(self):
+        report = VerificationReport(schema_id="s")
+        assert report.is_correct
+        assert "correct" in report.summary()
+
+    def test_errors_and_warnings_separated(self):
+        report = VerificationReport(schema_id="s")
+        report.add(error(IssueCode.MISSING_START, "no start"))
+        report.add(warning(IssueCode.UNUSED_ELEMENT, "unused", element="x"))
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert not report.is_correct
+
+    def test_merge(self):
+        first = VerificationReport(schema_id="s")
+        first.add(error(IssueCode.MISSING_START, "no start"))
+        second = VerificationReport(schema_id="s")
+        second.add(warning(IssueCode.UNUSED_ELEMENT, "unused"))
+        first.merge(second)
+        assert len(first) == 2
+
+    def test_issues_with(self):
+        report = VerificationReport(schema_id="s")
+        report.add(error(IssueCode.MISSING_START, "no start"))
+        assert len(report.issues_with(IssueCode.MISSING_START)) == 1
+        assert report.issues_with(IssueCode.MISSING_END) == []
+
+    def test_issue_string_rendering(self):
+        issue = VerificationIssue(
+            code=IssueCode.SYNC_CYCLE,
+            severity=Severity.ERROR,
+            message="cycle",
+            nodes=("a", "b"),
+        )
+        rendered = str(issue)
+        assert "sync_cycle" in rendered and "a" in rendered
+
+    def test_summary_lists_issues(self):
+        report = VerificationReport(schema_id="s")
+        report.add(error(IssueCode.MISSING_START, "no start node present"))
+        assert "no start node present" in report.summary()
+
+
+class TestSchemaVerifier:
+    def test_templates_pass_all_checks(self, any_template):
+        report = SchemaVerifier(check_soundness=True).verify(any_template)
+        assert report.is_correct, report.summary()
+
+    def test_convenience_function(self, order_schema):
+        assert verify_schema(order_schema).is_correct
+
+    def test_soundness_skipped_when_structurally_broken(self, order_schema):
+        order_schema.add_edge(Edge(source="deliver_goods", target="get_order"))
+        report = SchemaVerifier(check_soundness=True).verify(order_schema)
+        assert not report.is_correct
+        # soundness not reported because it only runs on structurally correct schemas
+        assert not report.has_issue(IssueCode.NOT_SOUND)
+
+    def test_all_checks_merged(self, order_schema):
+        from repro.schema.data import DataElement
+
+        order_schema.add_data_element(DataElement(name="unused_thing"))
+        order_schema.add_edge(
+            Edge(source="get_order", target="deliver_goods", edge_type=EdgeType.SYNC)
+        )
+        report = SchemaVerifier().verify(order_schema)
+        assert report.has_issue(IssueCode.UNUSED_ELEMENT)
+        assert report.has_issue(IssueCode.SYNC_WITHIN_BRANCH)
+        assert report.is_correct  # both are warnings
