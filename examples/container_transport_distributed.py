@@ -3,22 +3,27 @@
 
 Models the container-transport application the paper cites (Bassil et
 al., BPM'04): the process is partitioned over a dispatcher server, a
-customs server and a carrier server.  The example executes cases under
-distributed control (counting control hand-overs), applies an ad-hoc
-change on one case, and finally evolves the process type — demonstrating
-that compliance checking and migration work unchanged when control is
-distributed, with the communication cost made explicit.
+customs server and a carrier server.  The schema is deployed into one
+:class:`AdeptSystem`; the distributed coordinator runs on the system's
+engine, so every execution and migration event also flows through the
+system event bus.  The example executes cases under distributed control
+(counting control hand-overs), applies an ad-hoc change on one case, and
+finally evolves the process type — demonstrating that compliance
+checking and migration work unchanged when control is distributed, with
+the communication cost made explicit.
 
 Run with ``python examples/container_transport_distributed.py``.
 """
 
-from repro import Node, ProcessType, SerialInsertActivity, TypeChange
+from repro import AdeptSystem, Node, SerialInsertActivity, TypeChange
 from repro.distributed import DistributedCoordinator, SchemaPartitioning
 from repro.schema import templates
 
 
 def main() -> None:
-    schema = templates.container_transport_process()
+    system = AdeptSystem()
+    transport = system.deploy(templates.container_transport_process())
+    schema = transport.schema()
     partitioning = SchemaPartitioning.by_role(
         schema,
         role_to_server={
@@ -28,7 +33,7 @@ def main() -> None:
         },
         default_server="dispatch-server",
     )
-    coordinator = DistributedCoordinator(partitioning)
+    coordinator = DistributedCoordinator(partitioning, engine=system.engine)
 
     print("=== partitioning ===")
     for server_id in partitioning.servers():
@@ -38,6 +43,8 @@ def main() -> None:
 
     print("=== distributed execution of three cases ===")
     cases = [coordinator.create_instance(f"container-{index}") for index in range(3)]
+    for case in cases:
+        system.adopt_instance(case)  # cases stay addressable by handle
     for case in cases[:2]:
         coordinator.run_to_completion(case)
     # the third case stays in flight so it can be changed and migrated
@@ -55,12 +62,11 @@ def main() -> None:
                               succ=cases[2].execution_schema.successors("clear_customs")[0])],
         comment="random customs inspection",
     )
-    print("case container-2 biased:", cases[2].is_biased)
+    print("case container-2 biased:", system.instance("container-2").is_biased)
     print(coordinator.costs.summary())
     print()
 
     print("=== schema evolution under distributed control ===")
-    process_type = ProcessType("container_transport", schema)
     notify = Node(node_id="notify_consignee", name="notify consignee", staff_assignment="dispatcher")
     type_change = TypeChange.of(
         1,
@@ -68,7 +74,7 @@ def main() -> None:
                               succ="deliver_container")],
         comment="V2: consignee notification required by new regulation",
     )
-    report = coordinator.migrate_instances(process_type, type_change, cases)
+    report = coordinator.migrate_instances(transport.raw, type_change, cases)
     print(report.summary())
     print()
     print(coordinator.costs.summary())
@@ -76,8 +82,11 @@ def main() -> None:
 
     print("=== the migrated in-flight case finishes on V2 ===")
     coordinator.run_to_completion(cases[2])
-    print(f"container-2 finished on V{cases[2].schema_version}: "
-          f"{', '.join(cases[2].completed_activities())}")
+    handle = system.instance("container-2")
+    print(f"container-2 finished on V{handle.version}: "
+          f"{', '.join(handle.completed_activities())}")
+    print()
+    print("events on the system bus:", system.feed.category_counts())
 
 
 if __name__ == "__main__":

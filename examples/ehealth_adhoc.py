@@ -5,93 +5,73 @@ The paper cites e-health as one of the domains its research partners used
 ADEPT2 for.  Clinical pathways are the classic motivation for ad-hoc
 changes: an individual patient needs an extra examination, a planned step
 must be skipped, or an additional safety check has to happen before an
-intervention.  This example shows all three on a running treatment case,
-with worklists resolved through the organisational model — and shows the
-system rejecting an unsafe deviation (deleting an activity whose data a
-later step still needs).
+intervention.  This example shows all three on a running treatment case
+driven through one :class:`AdeptSystem` — worklists resolved through the
+organisational model, changes applied as transactional ChangeSets — and
+shows the system rejecting an unsafe deviation (deleting an activity
+whose data a later step still needs).
 
 Run with ``python examples/ehealth_adhoc.py``.
 """
 
-from repro import (
-    AdHocChangeError,
-    AdHocChanger,
-    DeleteActivity,
-    InsertSyncEdge,
-    Node,
-    ProcessEngine,
-    SerialInsertActivity,
-    WorklistManager,
-)
-from repro.monitoring import InstanceMonitor
+from repro import AdeptSystem, AdHocChangeError
 from repro.org.model import example_org_model
 from repro.schema import templates
 
 
 def main() -> None:
-    schema = templates.patient_treatment_process()
-    org_model = example_org_model()
-    engine = ProcessEngine()
-    worklists = WorklistManager(engine, org_model=org_model)
-    changer = AdHocChanger(engine)
-
-    case = engine.create_instance(schema, "patient-4711")
-    worklists.register_instance(case)
+    system = AdeptSystem(org_model=example_org_model())
+    treatment = system.deploy(templates.patient_treatment_process())
+    case = treatment.start(case_id="patient-4711")
 
     print("=== admission through the worklist ===")
-    nurse_items = worklists.worklist_for("erik")  # erik is a nurse
+    nurse_items = system.worklist("erik")  # erik is a nurse
     print("erik's worklist:", [str(item) for item in nurse_items])
-    item = worklists.claim(nurse_items[0].item_id, "erik")
-    worklists.complete(item.item_id, outputs={"patient": {"name": "Jane Doe", "age": 54}})
+    item = system.claim(nurse_items[0].item_id, "erik")
+    system.complete_item(item.item_id, outputs={"patient": {"name": "Jane Doe", "age": 54}})
 
     print()
     print("=== ad-hoc change 1: an extra lab test before treatment ===")
-    lab_test = Node(node_id="order_lab_test", name="order lab test", staff_assignment="physician")
-    changer.apply(
-        case,
-        [SerialInsertActivity(activity=lab_test, pred="examine_patient", succ="perform_treatment")],
-        comment="suspicious blood values",
-    )
-    print(InstanceMonitor(case).bias_view())
+    case.change(comment="suspicious blood values") \
+        .serial_insert("order_lab_test", pred="examine_patient", succ="perform_treatment",
+                       name="order lab test", role="physician") \
+        .apply()
+    print(case.monitor().bias_view())
 
     print()
     print("=== execute the treatment cycle (one iteration) ===")
-    engine.complete_activity(case, "examine_patient", outputs={"diagnosis": "appendicitis"})
-    engine.complete_activity(case, "order_lab_test")
-    engine.complete_activity(case, "perform_treatment", outputs={"cured": True})
+    case.complete("examine_patient", outputs={"diagnosis": "appendicitis"})
+    case.complete("order_lab_test")
+    case.complete("perform_treatment", outputs={"cured": True})
 
     print()
     print("=== ad-hoc change 2: a safety check that must precede surgery scheduling ===")
-    safety = Node(node_id="anesthesia_check", name="anesthesia consultation", staff_assignment="physician")
-    xor_join = case.execution_schema.successors("schedule_surgery")[0]
-    changer.apply(
-        case,
-        [
-            SerialInsertActivity(activity=safety, pred="schedule_surgery", succ=xor_join),
-        ],
-        comment="patient has a known anesthesia risk",
-    )
-    print(InstanceMonitor(case).bias_view())
+    xor_join = case.raw.execution_schema.successors("schedule_surgery")[0]
+    case.change(comment="patient has a known anesthesia risk") \
+        .serial_insert("anesthesia_check", pred="schedule_surgery", succ=xor_join,
+                       name="anesthesia consultation", role="physician") \
+        .apply()
+    print(case.monitor().bias_view())
 
     print()
-    print("=== unsafe deviation is rejected ===")
+    print("=== unsafe deviations are rejected atomically ===")
     try:
-        changer.apply(case, [DeleteActivity(activity_id="discharge_patient")])
+        case.change().delete("discharge_patient").apply()
     except AdHocChangeError as error:
         print("rejected as expected:", error)
 
     try:
         # examine_patient already completed -> deleting it would rewrite history
-        changer.apply(case, [DeleteActivity(activity_id="examine_patient")])
+        case.change().delete("examine_patient").apply()
     except AdHocChangeError as error:
         print("rejected as expected:", "; ".join(str(c) for c in error.conflicts))
 
     print()
     print("=== drive the case to completion ===")
-    engine.run_to_completion(case)
-    print(InstanceMonitor(case).progress_line())
+    case.run()
+    print(case.monitor().progress_line())
     print()
-    print(InstanceMonitor(case).history_view(reduced=True))
+    print(case.monitor().history_view(reduced=True))
 
 
 if __name__ == "__main__":

@@ -1,83 +1,82 @@
 #!/usr/bin/env python3
 """The paper's demo: evolving the online order process from V1 to V2.
 
-Recreates Figures 1 and 3 of "Adaptive Process Management with ADEPT2":
+Recreates Figures 1 and 3 of "Adaptive Process Management with ADEPT2",
+entirely through the :class:`AdeptSystem` service façade:
 
-* three hand-picked instances I1 (compliant), I2 (ad-hoc modified,
+* three hand-picked cases I1 (compliant), I2 (ad-hoc modified,
   structurally conflicting) and I3 (state conflicting), migrated exactly
-  as in Fig. 1;
-* a larger population of running order instances, a schema evolution to
+  as in Fig. 1 by one ``evolve()`` call;
+* a larger population of running order cases, a schema evolution to
   version V2, and the resulting migration report as in Fig. 3;
-* proof that non-migrated instances simply keep running on V1.
+* proof that non-migrated cases simply keep running on V1.
 
 Run with ``python examples/order_migration_demo.py``.
 """
 
-from repro import MigrationManager, ProcessEngine
-from repro.monitoring import InstanceMonitor, render_migration_report
-from repro.monitoring.statistics import PopulationStatistics
-from repro.workloads import order_type_change_v2, paper_fig1_scenario, paper_fig3_population
+from repro.monitoring import render_migration_report
+from repro.workloads import order_type_change_v2, paper_fig1_system, paper_fig3_system
 
 
 def fig1_demo() -> None:
     print("=" * 72)
     print("Fig. 1 — migration of I1, I2 (ad-hoc modified) and I3")
     print("=" * 72)
-    scenario = paper_fig1_scenario()
+    scenario = paper_fig1_system()
     print("type change:")
     print(scenario.type_change.describe())
     print()
     print("before migration:")
-    for instance in scenario.instances:
-        print(" ", InstanceMonitor(instance).progress_line())
+    for case in scenario.instances:
+        print(" ", case.monitor().progress_line())
     print()
 
-    manager = MigrationManager(scenario.engine)
-    report = manager.migrate_type(scenario.process_type, scenario.type_change, scenario.instances)
+    report = scenario.migrate()
     print(render_migration_report(report))
     print()
 
     print("after migration, I1 runs on V2 with adapted marking:")
-    print("  send_questions:", scenario.i1.node_state("send_questions").value)
-    print("  pack_goods:    ", scenario.i1.node_state("pack_goods").value)
+    print("  send_questions:", scenario.i1.raw.node_state("send_questions").value)
+    print("  pack_goods:    ", scenario.i1.raw.node_state("pack_goods").value)
     print()
 
-    # every instance still completes, whichever version it runs on
-    for instance in scenario.instances:
-        scenario.engine.run_to_completion(instance)
+    # every case still completes, whichever version it runs on
+    for case in scenario.instances:
+        case.run()
         print(
-            f"  {instance.instance_id} finished on V{instance.schema_version}: "
-            f"{', '.join(instance.completed_activities())}"
+            f"  {case.instance_id} finished on V{case.version}: "
+            f"{', '.join(case.completed_activities())}"
         )
     print()
 
 
 def fig3_demo(instance_count: int = 500) -> None:
     print("=" * 72)
-    print(f"Fig. 3 — evolving the online order type with {instance_count} running instances")
+    print(f"Fig. 3 — evolving the online order type with {instance_count} running cases")
     print("=" * 72)
-    process_type, engine, instances = paper_fig3_population(instance_count=instance_count)
+    system, orders, cases = paper_fig3_system(instance_count=instance_count)
     print("population before the type change:")
-    print(PopulationStatistics.collect(instances).summary())
+    print(system.statistics().summary())
     print()
 
-    manager = MigrationManager(engine)
-    report = manager.migrate_type(process_type, order_type_change_v2(), instances)
+    report = orders.evolve(order_type_change_v2())
     print(report.summary())
     print()
     print(f"throughput: {report.total / report.duration_seconds:.0f} instances/second")
     print()
 
     print("population after the migration:")
-    print(PopulationStatistics.collect(instances).summary())
+    print(system.statistics().summary())
     print()
 
-    # instances that stayed on V1 (state/structural conflicts) keep running
-    survivors = [i for i in instances if i.schema_version == 1 and i.status.is_active]
-    for instance in survivors[:3]:
-        engine.run_to_completion(instance)
-    print(f"checked: {len(survivors)} non-migrated instances keep running on V1 "
+    # cases that stayed on V1 (state/structural conflicts) keep running
+    survivors = [c for c in cases if c.version == 1 and c.status.is_active]
+    for case in survivors[:3]:
+        case.run()
+    print(f"checked: {len(survivors)} non-migrated cases keep running on V1 "
           f"(first {min(3, len(survivors))} driven to completion)")
+    print()
+    print("migration events on the bus:", system.feed.category_counts().get("migration", 0))
 
 
 def main() -> None:

@@ -4,23 +4,16 @@
 Covers the basic public API surface in a couple of minutes of reading:
 
 1. build and verify a block-structured process schema,
-2. execute an instance through the engine and the worklist,
-3. apply a correctness-preserving ad-hoc change to the running instance,
-4. inspect the instance with the monitoring component.
+2. deploy it into one :class:`AdeptSystem` and execute a case through
+   handle-based sessions,
+3. apply a correctness-preserving ad-hoc change to the running case as a
+   transactional ChangeSet,
+4. inspect the case with the monitoring component and the event feed.
 
 Run with ``python examples/quickstart.py``.
 """
 
-from repro import (
-    AdHocChanger,
-    DataType,
-    InstanceMonitor,
-    Node,
-    ProcessEngine,
-    SchemaBuilder,
-    SerialInsertActivity,
-    verify_schema,
-)
+from repro import AdeptSystem, DataType, SchemaBuilder, verify_schema
 
 
 def build_schema():
@@ -43,47 +36,50 @@ def build_schema():
 def main() -> None:
     schema = build_schema()
 
-    # 1. buildtime verification (the builder already verified; show the report)
+    # 1. buildtime verification (deploy() verifies too; show the report)
     report = verify_schema(schema, check_soundness=True)
     print("=== verification ===")
     print(report.summary())
     print()
 
-    # 2. execute an instance
-    engine = ProcessEngine()
-    instance = engine.create_instance(schema, "order-0001")
+    # 2. one system, one deployed type, one running case — all by handle
+    system = AdeptSystem()
+    orders = system.deploy(schema)
+    case = orders.start(case_id="order-0001")
     print("=== execution ===")
-    print("activated after creation:", instance.activated_activities())
-    engine.complete_activity(instance, "receive_order", outputs={"order": {"item": "chair", "qty": 2}})
-    print("activated after receive_order:", instance.activated_activities())
-    engine.complete_activity(instance, "check_stock")
+    print("activated after creation:", case.activated())
+    case.complete("receive_order", outputs={"order": {"item": "chair", "qty": 2}})
+    print("activated after receive_order:", case.activated())
+    case.complete("check_stock")
 
     # 3. ad-hoc change: this one order additionally needs a manager approval
-    #    before shipping — inserted into the running instance only.
+    #    before shipping — a transactional ChangeSet on the running case only.
     print()
-    print("=== ad-hoc change ===")
-    approval = Node(node_id="manager_approval", name="manager approval", staff_assignment="manager")
-    changer = AdHocChanger(engine)
-    result = changer.apply(
-        instance,
-        [SerialInsertActivity(activity=approval, pred="check_credit", succ=instance.execution_schema.successors("check_credit")[0])],
-        comment="large order needs manager sign-off",
+    print("=== ad-hoc change (transactional ChangeSet) ===")
+    succ = case.raw.execution_schema.successors("check_credit")[0]
+    result = (
+        case.change(comment="large order needs manager sign-off")
+        .serial_insert("manager_approval", pred="check_credit", succ=succ,
+                       name="manager approval", role="manager")
+        .apply()
     )
-    print(f"applied {result.operation_count} operation(s); instance is now biased:", instance.is_biased)
+    print(f"applied {result.operations} operation(s); case is now biased:", case.is_biased)
 
-    # 4. finish the instance and inspect it
-    engine.complete_activity(instance, "check_credit", outputs={"approved": True})
-    engine.complete_activity(instance, "manager_approval")
-    engine.complete_activity(instance, "ship_order")
+    # 4. finish the case and inspect it
+    case.complete("check_credit", outputs={"approved": True})
+    case.complete("manager_approval")
+    case.complete("ship_order")
 
     print()
     print("=== monitoring ===")
-    monitor = InstanceMonitor(instance)
+    monitor = case.monitor()
     print(monitor.progress_line())
     print()
     print(monitor.bias_view())
     print()
     print(monitor.history_view())
+    print()
+    print(system.feed.render(limit=8))
 
 
 if __name__ == "__main__":

@@ -1,19 +1,18 @@
 #!/usr/bin/env python3
 """Storage representations for schema and instance data (paper Fig. 2).
 
-Generates a population of online-order instances (a fraction of them
-ad-hoc modified), stores it under the three representations discussed in
-the paper — full schema copy per instance, materialise-on-access, and the
-ADEPT2 hybrid substitution block — and prints the resulting footprint and
-access-latency table.  Also demonstrates write-ahead-log recovery of the
-instance store.
+Generates a population of online-order cases inside one
+:class:`AdeptSystem` (a fraction of them ad-hoc modified), compares the
+three representations discussed in the paper — full schema copy per
+instance, materialise-on-access, and the ADEPT2 hybrid substitution
+block — and prints the resulting footprint and access-latency table.
+Also demonstrates write-ahead-log crash recovery through the façade.
 
 Run with ``python examples/storage_representations.py``.
 """
 
-from repro import HybridSubstitutionRepresentation, InstanceStore, SchemaRepository
+from repro import AdeptSystem
 from repro.baselines import compare_representations
-from repro.monitoring.statistics import PopulationStatistics
 from repro.schema import templates
 from repro.storage.wal import WriteAheadLog
 from repro.workloads import PopulationConfig, PopulationGenerator
@@ -21,20 +20,22 @@ from repro.workloads import PopulationConfig, PopulationGenerator
 
 def main() -> None:
     schema = templates.online_order_process()
-    repository = SchemaRepository()
-    repository.register_type(schema)
+    wal = WriteAheadLog()
+    system = AdeptSystem(representation="hybrid_substitution", wal=wal)
+    system.deploy(schema)
 
     print("=== generating the instance population ===")
     generator = PopulationGenerator(
         schema,
         config=PopulationConfig(instance_count=300, biased_fraction=0.2, seed=11),
+        system=system,
     )
     population = generator.generate()
-    print(PopulationStatistics.collect(population).summary())
+    print(system.statistics().summary())
     print()
 
     print("=== representation comparison (paper Fig. 2) ===")
-    comparisons = compare_representations(repository, population, load_rounds=3)
+    comparisons = compare_representations(system.repository, population, load_rounds=3)
     header = ("strategy", "instances", "total_kb", "schema_payload_kb", "bytes_per_instance", "load_seconds")
     print("  ".join(f"{column:>22}" for column in header))
     for comparison in comparisons:
@@ -48,15 +49,12 @@ def main() -> None:
     print()
 
     print("=== crash recovery through the write-ahead log ===")
-    wal = WriteAheadLog()
-    store = InstanceStore(repository, strategy=HybridSubstitutionRepresentation(), wal=wal)
     for instance in population[:25]:
-        store.save(instance)
-    # simulate a crash: a fresh store sees an empty namespace but the same WAL
-    recovered_store = InstanceStore(repository, strategy=HybridSubstitutionRepresentation(), wal=wal)
-    replayed = recovered_store.recover_from_wal()
-    print(f"replayed {replayed} WAL record(s); store now holds {len(recovered_store)} instance(s)")
-    reloaded = recovered_store.load(population[0].instance_id)
+        system.save(instance.instance_id)
+    # simulate a crash: the store namespace is lost but the WAL survives
+    replayed = system.simulate_crash_recovery()
+    print(f"replayed {replayed} WAL record(s); store now holds {len(system.store)} instance(s)")
+    reloaded = system.store.load(population[0].instance_id)
     print("first recovered instance:", reloaded.summary())
 
 

@@ -8,23 +8,47 @@ on-the-fly instance migration, hybrid instance storage (substitution
 blocks), an organisational model, a simulated distributed runtime and a
 monitoring component.
 
+Everything is served by **one** service façade, the
+:class:`~repro.system.AdeptSystem` — as in the paper, where a single
+process-management service owns schema versioning, execution, ad-hoc
+change and migration behind one interface.
+
 Quickstart::
 
-    from repro import (
-        SchemaBuilder, ProcessEngine, ProcessType, TypeChange,
-        SerialInsertActivity, MigrationManager,
-    )
+    from repro import AdeptSystem, ChangeSet, DataType, SchemaBuilder
 
     builder = SchemaBuilder("orders", name="orders")
-    builder.activity("receive").activity("ship")
+    builder.data("order", DataType.DOCUMENT)
+    builder.activity("receive", role="clerk", writes=["order"])
+    builder.activity("ship", role="logistics", reads=["order"])
     schema = builder.build()
 
-    engine = ProcessEngine()
-    instance = engine.create_instance(schema, "case-1")
-    engine.complete_activity(instance, "receive")
+    system = AdeptSystem()
+    orders = system.deploy(schema)              # -> TypeHandle (verified)
+    case = orders.start(customer="jane")        # -> InstanceHandle
+    case.complete("receive", outputs={"order": {"item": "chair"}})
 
-See ``examples/`` for complete scenarios, including the paper's Fig. 1
-and Fig. 3 migration demonstrations.
+    # transactional ad-hoc change: all-or-nothing, one changelog entry
+    case.change(comment="needs approval") \\
+        .serial_insert("approve", pred="receive", succ="ship", role="manager") \\
+        .apply()
+
+    # schema evolution with compliance-checked instance migration
+    delta = ChangeSet().serial_insert("invoice", pred="ship", succ="end")
+    report = orders.evolve(delta, migrate="compliant")   # -> MigrationReport
+
+    system.bus.subscribe(print)                 # pluggable EventBus
+    case.run()                                  # drive to completion
+
+Errors raised by the library share one base class, :class:`ReproError`
+(``SchemaError``, ``EngineError``, ``OperationError``,
+``AdHocChangeError``, ``MigrationError`` ... are subclasses).
+
+The flat component-level API (``ProcessEngine``, ``MigrationManager``,
+``AdHocChanger``, ``InstanceStore``, ...) remains exported for advanced
+use and backwards compatibility.  See ``docs/api.md`` for the façade
+tour and ``examples/`` for complete scenarios, including the paper's
+Fig. 1 and Fig. 3 migration demonstrations.
 """
 
 from repro.schema import (
@@ -94,11 +118,38 @@ from repro.storage import (
     SchemaRepository,
 )
 from repro.org import OrgModel, OrgUnit, Role, StaffAssignmentResolver, User
-from repro.monitoring import InstanceMonitor, render_migration_report, render_schema_ascii
+from repro.monitoring import EventFeed, InstanceMonitor, render_migration_report, render_schema_ascii
+from repro.errors import MigrationError, ReproError
+from repro.system import (
+    AdeptSystem,
+    ChangeResult,
+    ChangeSet,
+    DeployResult,
+    EventBus,
+    InstanceHandle,
+    RunResult,
+    StepResult,
+    SystemEvent,
+    TypeHandle,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # service façade
+    "AdeptSystem",
+    "ChangeSet",
+    "EventBus",
+    "SystemEvent",
+    "TypeHandle",
+    "InstanceHandle",
+    "StepResult",
+    "RunResult",
+    "ChangeResult",
+    "DeployResult",
+    # error hierarchy
+    "ReproError",
+    "MigrationError",
     # schema
     "Node",
     "NodeType",
@@ -171,6 +222,7 @@ __all__ = [
     "User",
     "StaffAssignmentResolver",
     # monitoring
+    "EventFeed",
     "InstanceMonitor",
     "render_schema_ascii",
     "render_migration_report",

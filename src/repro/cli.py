@@ -1,14 +1,17 @@
 """Command line interface of the ADEPT2 reproduction.
 
 Installed as ``adept2-repro`` (see ``pyproject.toml``); also runnable via
-``python -m repro.cli``.  The CLI exposes the library's most useful
-entry points without writing any code:
+``python -m repro.cli``.  Every command that executes or migrates
+instances drives exactly one :class:`repro.system.AdeptSystem` — the CLI
+is the thinnest possible shell around the service façade:
 
 * ``templates`` — list the bundled process templates;
 * ``verify`` — run buildtime verification over a schema JSON file or a
   bundled template;
 * ``render`` — print a schema as ASCII or Graphviz DOT;
 * ``simulate`` — create and execute instances of a template;
+* ``run`` — drive a named scenario through the façade, optionally with
+  machine-readable ``--json`` output;
 * ``demo-fig1`` — rerun the paper's Fig. 1 migration example;
 * ``demo-fig3`` — evolve the online-order type against a population of
   running instances and print the migration report.
@@ -17,22 +20,21 @@ entry points without writing any code:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.migration import MigrationManager
 from repro.monitoring.render import render_schema_ascii, render_schema_dot
 from repro.monitoring.report import render_migration_report
-from repro.monitoring.statistics import PopulationStatistics
-from repro.runtime.engine import ProcessEngine
 from repro.schema import templates
 from repro.schema.graph import ProcessSchema
 from repro.schema.serialization import load_schema
+from repro.system import AdeptSystem
 from repro.verification.verifier import SchemaVerifier
 from repro.workloads.order_process import (
     order_type_change_v2,
-    paper_fig1_scenario,
-    paper_fig3_population,
+    paper_fig1_system,
+    paper_fig3_system,
 )
 
 _TEMPLATE_FACTORIES = {
@@ -88,46 +90,124 @@ def _cmd_render(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     schema = _resolve_schema(args.schema)
-    engine = ProcessEngine()
-    instances = []
+    system = AdeptSystem()
+    process_type = system.deploy(schema)
+    cases = []
     for index in range(args.instances):
-        instance = engine.create_instance(schema, f"sim-{index:04d}")
-        engine.run_to_completion(instance)
-        instances.append(instance)
-    stats = PopulationStatistics.collect(instances)
+        case = process_type.start(case_id=f"sim-{index:04d}")
+        case.run()
+        cases.append(case)
     print(f"simulated {args.instances} instance(s) of {schema.name!r}")
-    print(stats.summary())
-    if instances and args.show_history:
-        from repro.monitoring.monitor import InstanceMonitor
-
+    print(system.statistics().summary())
+    if cases and args.show_history:
         print()
-        print(InstanceMonitor(instances[0]).history_view(reduced=True))
+        print(cases[0].monitor().history_view(reduced=True))
     return 0
 
 
 def _cmd_demo_fig1(args: argparse.Namespace) -> int:
-    scenario = paper_fig1_scenario()
+    scenario = paper_fig1_system()
     print(scenario.type_change.describe())
     print()
-    report = MigrationManager(scenario.engine).migrate_type(
-        scenario.process_type, scenario.type_change, scenario.instances
-    )
+    report = scenario.migrate()
     print(render_migration_report(report))
     return 0
 
 
 def _cmd_demo_fig3(args: argparse.Namespace) -> int:
-    process_type, engine, instances = paper_fig3_population(
-        instance_count=args.instances, biased_fraction=args.biased_fraction, seed=args.seed
+    system = AdeptSystem(rollback_on_state_conflict=args.rollback)
+    system, orders, cases = paper_fig3_system(
+        instance_count=args.instances,
+        biased_fraction=args.biased_fraction,
+        seed=args.seed,
+        system=system,
     )
     print("population before the type change:")
-    print(PopulationStatistics.collect(instances).summary())
+    print(system.statistics().summary())
     print()
-    manager = MigrationManager(engine, rollback_on_state_conflict=args.rollback)
-    report = manager.migrate_type(process_type, order_type_change_v2(), instances)
+    report = orders.evolve(order_type_change_v2())
     print(report.summary())
     if report.duration_seconds:
         print(f"throughput: {report.total / report.duration_seconds:.0f} instances/second")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# the ``run`` scenario driver
+# --------------------------------------------------------------------------- #
+
+
+def _run_lifecycle(args: argparse.Namespace) -> Dict[str, Any]:
+    """Deploy a template, execute N cases, report stats and event counts."""
+    schema = _resolve_schema(args.schema)
+    system = AdeptSystem()
+    process_type = system.deploy(schema)
+    completed = 0
+    for _ in range(args.instances):
+        case = process_type.start()
+        result = case.run()
+        completed += int(result.ok)
+    stats = system.statistics()
+    return {
+        "scenario": "lifecycle",
+        "type": process_type.type_id,
+        "instances": args.instances,
+        "completed": completed,
+        "statistics": stats.to_dict(),
+        "events": system.feed.counts(),
+    }
+
+
+def _run_fig1(args: argparse.Namespace) -> Dict[str, Any]:
+    scenario = paper_fig1_system()
+    report = scenario.migrate()
+    return {
+        "scenario": "fig1",
+        "report": report.to_dict(),
+        "events": scenario.system.feed.category_counts(),
+    }
+
+
+def _run_fig3(args: argparse.Namespace) -> Dict[str, Any]:
+    system, orders, cases = paper_fig3_system(
+        instance_count=args.instances, seed=args.seed
+    )
+    report = orders.evolve(order_type_change_v2())
+    return {
+        "scenario": "fig3",
+        "report": report.to_dict(),
+        "events": system.feed.category_counts(),
+    }
+
+
+_RUN_SCENARIOS = {
+    "lifecycle": _run_lifecycle,
+    "fig1": _run_fig1,
+    "fig3": _run_fig3,
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    payload = _RUN_SCENARIOS[args.scenario](args)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"scenario: {payload['scenario']}")
+    report = payload.get("report")
+    if report is not None:
+        print(
+            f"migration {report['process_type']} "
+            f"v{report['from_version']} -> v{report['to_version']}"
+        )
+        for outcome, count in sorted(report["outcomes"].items()):
+            if count:
+                print(f"  {outcome:<24} {count}")
+    else:
+        print(f"type: {payload['type']}")
+        print(f"completed: {payload['completed']}/{payload['instances']}")
+    print("events:")
+    for name, count in sorted(payload["events"].items()):
+        print(f"  {name:<28} {count}")
     return 0
 
 
@@ -161,6 +241,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--instances", type=int, default=5)
     sub.add_argument("--show-history", action="store_true", help="print the history of the first instance")
     sub.set_defaults(handler=_cmd_simulate)
+
+    sub = subparsers.add_parser(
+        "run", help="drive a scenario through the AdeptSystem façade"
+    )
+    sub.add_argument("scenario", choices=sorted(_RUN_SCENARIOS))
+    sub.add_argument("--schema", default="online_order",
+                     help="template name or schema JSON file (lifecycle scenario)")
+    sub.add_argument("--instances", type=int, default=25)
+    sub.add_argument("--seed", type=int, default=7)
+    sub.add_argument("--json", action="store_true", help="machine-readable output")
+    sub.set_defaults(handler=_cmd_run)
 
     sub = subparsers.add_parser("demo-fig1", help="rerun the paper's Fig. 1 migration example")
     sub.set_defaults(handler=_cmd_demo_fig1)

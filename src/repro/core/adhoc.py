@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
 from repro.core.changelog import ChangeLog
+from repro.errors import ReproError
 from repro.core.compliance import ComplianceChecker
 from repro.core.conflicts import Conflict, structural_conflict
 from repro.core.operations import ChangeOperation, OperationError
@@ -35,7 +36,7 @@ from repro.schema.graph import ProcessSchema, SchemaError
 from repro.verification.verifier import SchemaVerifier
 
 
-class AdHocChangeError(Exception):
+class AdHocChangeError(ReproError):
     """Raised when an ad-hoc change cannot be applied safely."""
 
     def __init__(self, message: str, conflicts: Optional[Sequence[Conflict]] = None) -> None:
@@ -68,7 +69,7 @@ class AdHocChanger:
         authorization: Optional[object] = None,
     ) -> None:
         self.engine = engine or ProcessEngine()
-        self.event_log = event_log or self.engine.event_log
+        self.event_log = event_log if event_log is not None else self.engine.event_log
         self.compliance_method = compliance_method
         self.checker = ComplianceChecker(engine=ProcessEngine())
         self.adapter = StateAdapter(engine=ProcessEngine())

@@ -14,12 +14,13 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.changelog import ChangeLog
+from repro.errors import ReproError
 from repro.core.operations import ChangeOperation, OperationError
 from repro.schema.graph import ProcessSchema
 from repro.verification.verifier import SchemaVerifier
 
 
-class EvolutionError(Exception):
+class EvolutionError(ReproError):
     """Raised when a schema version cannot be derived or released."""
 
 

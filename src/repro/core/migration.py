@@ -187,7 +187,7 @@ class MigrationManager:
     ) -> None:
         self.engine = engine or ProcessEngine()
         self.compliance_method = compliance_method
-        self.event_log = event_log or self.engine.event_log
+        self.event_log = event_log if event_log is not None else self.engine.event_log
         self.checker = ComplianceChecker(engine=ProcessEngine())
         self.adapter = StateAdapter(engine=ProcessEngine())
         self.verifier = SchemaVerifier()

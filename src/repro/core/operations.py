@@ -32,6 +32,7 @@ from repro.core.primitives import (
     remove_activity_and_bridge,
     wrap_in_parallel_block,
 )
+from repro.errors import ReproError
 from repro.runtime.instance import ProcessInstance
 from repro.runtime.states import NodeState
 from repro.schema.data import DataAccess, DataEdge, DataElement
@@ -40,7 +41,7 @@ from repro.schema.graph import ProcessSchema, SchemaError
 from repro.schema.nodes import Node, NodeType
 
 
-class OperationError(Exception):
+class OperationError(ReproError):
     """Raised when an operation is applied although its preconditions fail."""
 
 

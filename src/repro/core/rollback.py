@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Set, Union
 
 from repro.core.changelog import ChangeLog
+from repro.errors import ReproError
 from repro.core.compliance import ComplianceChecker
 from repro.core.conflicts import ConflictKind
 from repro.core.operations import ChangeOperation
@@ -32,7 +33,7 @@ from repro.runtime.instance import ProcessInstance
 from repro.runtime.states import EdgeState, NodeState
 
 
-class RollbackError(Exception):
+class RollbackError(ReproError):
     """Raised when a requested rollback cannot be performed."""
 
 

@@ -12,11 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
+from repro.errors import ReproError
 from repro.schema.edges import EdgeType
 from repro.schema.graph import ProcessSchema
 
 
-class PartitioningError(Exception):
+class PartitioningError(ReproError):
     """Raised when a partitioning does not cover the schema correctly."""
 
 

@@ -8,6 +8,7 @@ text — the library equivalent of the GUI shown in the paper's Fig. 3.
 """
 
 from repro.monitoring.render import render_schema_ascii, render_schema_dot
+from repro.monitoring.feed import EventFeed
 from repro.monitoring.monitor import InstanceMonitor
 from repro.monitoring.report import render_migration_report, migration_report_table
 from repro.monitoring.statistics import PopulationStatistics
@@ -21,6 +22,7 @@ from repro.monitoring.export import (
 __all__ = [
     "render_schema_ascii",
     "render_schema_dot",
+    "EventFeed",
     "InstanceMonitor",
     "render_migration_report",
     "migration_report_table",

@@ -1,0 +1,85 @@
+"""The monitoring event feed — first subscriber of the system event bus.
+
+The paper's monitoring component visualises the effects of ad-hoc
+changes and type changes.  The :class:`EventFeed` is its live-feed
+counterpart: subscribed to the :class:`repro.system.EventBus`, it
+retains every published :class:`repro.system.SystemEvent` in delivery
+order and renders them as text — the library equivalent of the activity
+stream in the prototype's GUI.
+
+The feed deliberately avoids importing :mod:`repro.system` (monitoring
+must stay importable on its own); it only relies on the event's
+``seq`` / ``category`` / ``name`` attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class EventFeed:
+    """Collects system events for inspection and rendering.
+
+    The feed is a plain callable, so it can be handed directly to
+    :meth:`repro.system.EventBus.subscribe`::
+
+        feed = EventFeed()
+        system.bus.subscribe(feed, categories=["migration"])
+    """
+
+    def __init__(self, max_events: int = 50000) -> None:
+        self.max_events = max_events
+        self._events: List[Any] = []
+
+    def __call__(self, event: Any) -> None:
+        """Bus subscriber entry point."""
+        self._events.append(event)
+        if len(self._events) > self.max_events:
+            del self._events[: len(self._events) - self.max_events]
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def events(self) -> List[Any]:
+        """All retained events in delivery order."""
+        return list(self._events)
+
+    def names(self) -> List[str]:
+        """The event names in delivery order (handy for behavioural asserts)."""
+        return [event.name for event in self._events]
+
+    def counts(self) -> Dict[str, int]:
+        """Event count per event name."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.name] = counts.get(event.name, 0) + 1
+        return counts
+
+    def category_counts(self) -> Dict[str, int]:
+        """Event count per category."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return counts
+
+    def tail(self, count: int = 10, category: Optional[str] = None) -> List[Any]:
+        """The most recent ``count`` events (optionally of one category)."""
+        events = (
+            self._events
+            if category is None
+            else [event for event in self._events if event.category == category]
+        )
+        return events[-count:]
+
+    def render(self, limit: int = 20) -> str:
+        """The most recent events as a text block."""
+        lines = [f"event feed ({len(self._events)} event(s), showing last {limit}):"]
+        for event in self._events[-limit:]:
+            lines.append(f"  {event}")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)

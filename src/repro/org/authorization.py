@@ -13,10 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Set
 
+from repro.errors import ReproError
 from repro.org.model import OrgModel
 
 
-class AuthorizationError(Exception):
+class AuthorizationError(ReproError):
     """Raised when a user attempts a change they are not authorised for."""
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.errors import ReproError
 from repro.runtime.data_context import DataContext
 from repro.runtime.events import EngineEvent, EventLog, EventType
 from repro.runtime.expressions import ExpressionError, evaluate_condition
@@ -30,7 +31,7 @@ from repro.schema.graph import ProcessSchema
 from repro.schema.nodes import Node, NodeType
 
 
-class EngineError(Exception):
+class EngineError(ReproError):
     """Raised when an instance is driven in an illegal way."""
 
 
@@ -56,7 +57,8 @@ class ProcessEngine:
     """Executes process instances on (verified) process schemas."""
 
     def __init__(self, event_log: Optional[EventLog] = None, max_propagation_rounds: int = 10000) -> None:
-        self.event_log = event_log or EventLog()
+        # an empty EventLog is falsy (it has __len__), so test for None explicitly
+        self.event_log = event_log if event_log is not None else EventLog()
         self.max_propagation_rounds = max_propagation_rounds
         self._loop_body_cache: Dict[Tuple[int, str], Set[str]] = {}
 

@@ -13,8 +13,10 @@ import ast
 import operator
 from typing import Any, Mapping
 
+from repro.errors import ReproError
 
-class ExpressionError(Exception):
+
+class ExpressionError(ReproError):
     """Raised when an expression is malformed or references unknown names."""
 
 

@@ -16,12 +16,13 @@ from __future__ import annotations
 import copy as _copy
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.errors import ReproError
 from repro.schema.data import DataEdge, DataElement
 from repro.schema.edges import Edge, EdgeType
 from repro.schema.nodes import Node, NodeType
 
 
-class SchemaError(Exception):
+class SchemaError(ReproError):
     """Raised when a schema is manipulated in a structurally invalid way."""
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
+from repro.errors import ReproError
 from repro.runtime.instance import ProcessInstance
 from repro.storage.indexes import InstanceIndex
 from repro.storage.kv import KeyValueStore
@@ -22,7 +23,7 @@ from repro.storage.wal import WriteAheadLog
 _NAMESPACE = "instances"
 
 
-class StorageError(Exception):
+class StorageError(ReproError):
     """Raised when an instance cannot be stored or loaded."""
 
 

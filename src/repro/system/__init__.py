@@ -1,0 +1,48 @@
+"""The service façade layer — one system, one interface.
+
+This package composes the repro's loose components (schema repository,
+instance store, execution engine, worklist manager, ad-hoc changer,
+migration manager, organisational model, monitoring) into a single
+:class:`AdeptSystem` service with:
+
+* **handle-based sessions** — :class:`TypeHandle` / :class:`InstanceHandle`
+  address everything by ID instead of passing live objects around;
+* **transactional ChangeSets** — :class:`ChangeSet` batches change
+  operations fluently and applies them all-or-nothing as one changelog
+  entry;
+* **a pluggable EventBus** — :class:`EventBus` delivers every engine,
+  change, schema and migration event to subscribers in order
+  (:class:`repro.monitoring.EventFeed` is the first subscriber);
+* **structured results** — :class:`StepResult`, :class:`RunResult`,
+  :class:`ChangeResult`, :class:`DeployResult`.
+
+See ``docs/api.md`` for the full tour.
+"""
+
+from repro.system.changes import ChangeSet
+from repro.system.events import ALL_CATEGORIES, EventBus, SystemEvent
+from repro.system.facade import (
+    MIGRATE_COMPLIANT,
+    MIGRATE_NONE,
+    MIGRATE_STRICT,
+    AdeptSystem,
+)
+from repro.system.handles import InstanceHandle, TypeHandle
+from repro.system.results import ChangeResult, DeployResult, RunResult, StepResult
+
+__all__ = [
+    "AdeptSystem",
+    "ChangeSet",
+    "EventBus",
+    "SystemEvent",
+    "ALL_CATEGORIES",
+    "TypeHandle",
+    "InstanceHandle",
+    "StepResult",
+    "RunResult",
+    "ChangeResult",
+    "DeployResult",
+    "MIGRATE_COMPLIANT",
+    "MIGRATE_NONE",
+    "MIGRATE_STRICT",
+]

@@ -1,0 +1,209 @@
+"""The pluggable event bus of the :class:`~repro.system.AdeptSystem` façade.
+
+Every observable state change of the system — engine steps, ad-hoc
+change sets, schema deployments and migration runs — is published as a
+:class:`SystemEvent` on one :class:`EventBus`.  Subscribers receive the
+events in publication order (each event carries a monotonically
+increasing sequence number); they can subscribe to everything or to a
+set of categories only.
+
+The bus is *pluggable*: the façade accepts any bus-compatible object at
+construction time, so deployments can substitute an implementation that
+forwards events to an external queue.  The monitoring package is the
+first built-in subscriber (:class:`repro.monitoring.EventFeed`).
+
+Subscriber exceptions never interrupt the publishing component (a broken
+dashboard must not abort a migration run); they are recorded on
+:attr:`EventBus.delivery_errors` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.runtime.events import EngineEvent, EventType
+
+#: Event categories published by the façade.
+CATEGORY_ENGINE = "engine"
+CATEGORY_CHANGE = "change"
+CATEGORY_MIGRATION = "migration"
+CATEGORY_SCHEMA = "schema"
+CATEGORY_SYSTEM = "system"
+
+ALL_CATEGORIES: Tuple[str, ...] = (
+    CATEGORY_ENGINE,
+    CATEGORY_CHANGE,
+    CATEGORY_MIGRATION,
+    CATEGORY_SCHEMA,
+    CATEGORY_SYSTEM,
+)
+
+#: How engine-log event types map onto bus categories.
+_ENGINE_EVENT_CATEGORIES: Dict[EventType, str] = {
+    EventType.ADHOC_CHANGE_APPLIED: CATEGORY_CHANGE,
+    EventType.ADHOC_CHANGE_REJECTED: CATEGORY_CHANGE,
+    EventType.INSTANCE_MIGRATED: CATEGORY_MIGRATION,
+    EventType.MIGRATION_REJECTED: CATEGORY_MIGRATION,
+    EventType.SCHEMA_VERSION_RELEASED: CATEGORY_SCHEMA,
+}
+
+
+@dataclass(frozen=True)
+class SystemEvent:
+    """One published event.
+
+    Attributes:
+        seq: Monotonically increasing sequence number (per bus) — two
+            events delivered to the same subscriber always arrive in
+            ascending ``seq`` order.
+        category: One of :data:`ALL_CATEGORIES`.
+        name: Event name, e.g. ``"activity_completed"`` or
+            ``"migration_completed"``.
+        instance_id: The affected instance, when the event concerns one.
+        type_id: The affected process type, when known.
+        payload: Structured event details (node ids, counts, comments).
+    """
+
+    seq: int
+    category: str
+    name: str
+    instance_id: Optional[str] = None
+    type_id: Optional[str] = None
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = [f"#{self.seq}", f"[{self.category}]", self.name]
+        if self.instance_id:
+            parts.append(f"instance={self.instance_id}")
+        if self.type_id:
+            parts.append(f"type={self.type_id}")
+        for key, value in self.payload.items():
+            parts.append(f"{key}={value}")
+        return " ".join(parts)
+
+
+Subscriber = Callable[[SystemEvent], None]
+
+
+@dataclass
+class _Subscription:
+    token: int
+    handler: Subscriber
+    categories: Optional[FrozenSet[str]]
+
+    def wants(self, event: SystemEvent) -> bool:
+        return self.categories is None or event.category in self.categories
+
+
+class EventBus:
+    """In-process publish/subscribe hub for :class:`SystemEvent` objects."""
+
+    def __init__(self, max_history: int = 10000) -> None:
+        self._subscriptions: List[_Subscription] = []
+        self._seq = 0
+        self._token = 0
+        self._history: List[SystemEvent] = []
+        self.max_history = max_history
+        #: ``(subscriber, event, exception)`` triples of failed deliveries.
+        self.delivery_errors: List[Tuple[Subscriber, SystemEvent, Exception]] = []
+
+    # ------------------------------------------------------------------ #
+    # subscription management
+    # ------------------------------------------------------------------ #
+
+    def subscribe(
+        self, handler: Subscriber, categories: Optional[Sequence[str]] = None
+    ) -> int:
+        """Register ``handler`` for all events (or the given categories).
+
+        Returns an opaque token accepted by :meth:`unsubscribe`.
+        """
+        self._token += 1
+        wanted = frozenset(categories) if categories is not None else None
+        self._subscriptions.append(_Subscription(self._token, handler, wanted))
+        return self._token
+
+    def unsubscribe(self, token: int) -> bool:
+        """Remove a subscription; returns True when it existed."""
+        before = len(self._subscriptions)
+        self._subscriptions = [s for s in self._subscriptions if s.token != token]
+        return len(self._subscriptions) < before
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscriptions)
+
+    # ------------------------------------------------------------------ #
+    # publishing
+    # ------------------------------------------------------------------ #
+
+    def publish(
+        self,
+        category: str,
+        name: str,
+        instance_id: Optional[str] = None,
+        type_id: Optional[str] = None,
+        **payload: Any,
+    ) -> SystemEvent:
+        """Create a :class:`SystemEvent` and deliver it to all subscribers."""
+        self._seq += 1
+        event = SystemEvent(
+            seq=self._seq,
+            category=category,
+            name=name,
+            instance_id=instance_id,
+            type_id=type_id,
+            payload=payload,
+        )
+        self._history.append(event)
+        if len(self._history) > self.max_history:
+            del self._history[: len(self._history) - self.max_history]
+        for subscription in list(self._subscriptions):
+            if not subscription.wants(event):
+                continue
+            try:
+                subscription.handler(event)
+            except Exception as exc:  # noqa: BLE001 - subscriber isolation
+                self.delivery_errors.append((subscription.handler, event, exc))
+        return event
+
+    def publish_engine_event(self, event: EngineEvent) -> SystemEvent:
+        """Bridge one :class:`repro.runtime.EngineEvent` onto the bus."""
+        category = _ENGINE_EVENT_CATEGORIES.get(event.event_type, CATEGORY_ENGINE)
+        payload: Dict[str, Any] = {}
+        if event.node_id:
+            payload["node"] = event.node_id
+        if event.user:
+            payload["user"] = event.user
+        if event.details:
+            payload["details"] = event.details
+        return self.publish(
+            category,
+            event.event_type.value,
+            instance_id=event.instance_id,
+            **payload,
+        )
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def events(self) -> List[SystemEvent]:
+        """The retained event history (bounded by ``max_history``)."""
+        return list(self._history)
+
+    def events_of(
+        self, category: Optional[str] = None, name: Optional[str] = None
+    ) -> List[SystemEvent]:
+        """Retained events filtered by category and/or name."""
+        return [
+            event
+            for event in self._history
+            if (category is None or event.category == category)
+            and (name is None or event.name == name)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._history)

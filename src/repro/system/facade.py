@@ -1,0 +1,611 @@
+"""The :class:`AdeptSystem` service façade.
+
+The ADEPT2 paper describes one process-management *system* that owns
+schema versioning, instance execution, ad-hoc change and compliance-
+checked migration behind a single service interface.  This module is
+that interface for the reproduction: one object composing the schema
+repository, the instance store, the execution engine, the worklist
+manager, the ad-hoc changer, the migration manager, the organisational
+model and the monitoring feed — wired once, correctly, with every state
+change flowing through one :class:`~repro.system.events.EventBus`.
+
+Typical use::
+
+    from repro import AdeptSystem
+
+    system = AdeptSystem()
+    orders = system.deploy(schema)                  # -> TypeHandle
+    case = orders.start(customer="jane")            # -> InstanceHandle
+    case.complete("get_order")
+    case.change(comment="rush order") \
+        .serial_insert("call_customer", pred="confirm_order", succ="compose_order") \
+        .apply()                                    # transactional ChangeSet
+    report = orders.evolve(change_set, migrate="compliant")
+
+Everything is addressed by ID — handles are thin references that stay
+valid across save/load cycles and migrations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.core.adhoc import AdHocChanger
+from repro.core.changelog import ChangeLog
+from repro.core.evolution import ProcessType, TypeChange
+from repro.core.migration import MigrationManager, MigrationOutcome, MigrationReport
+from repro.core.operations import ChangeOperation
+from repro.errors import MigrationError
+from repro.monitoring.feed import EventFeed
+from repro.monitoring.monitor import InstanceMonitor
+from repro.monitoring.statistics import PopulationStatistics
+from repro.runtime.engine import EngineError, ProcessEngine, Worker
+from repro.runtime.events import EventLog
+from repro.runtime.instance import ProcessInstance
+from repro.runtime.worklist import WorkItem, WorklistManager
+from repro.schema.graph import ProcessSchema, SchemaError
+from repro.storage.instance_store import InstanceStore, StoredInstance
+from repro.storage.kv import KeyValueStore
+from repro.storage.repository import SchemaRepository
+from repro.storage.representations import RepresentationStrategy, strategy_by_name
+from repro.storage.serialization import instance_from_dict, instance_to_dict
+from repro.storage.wal import WriteAheadLog
+from repro.system.changes import ChangeSet
+from repro.system.events import (
+    CATEGORY_MIGRATION,
+    CATEGORY_SCHEMA,
+    CATEGORY_SYSTEM,
+    EventBus,
+)
+from repro.system.handles import InstanceHandle, TypeHandle
+from repro.system.results import ChangeResult, DeployResult, RunResult, StepResult
+from repro.verification.verifier import SchemaVerifier
+
+#: Migration policies accepted by :meth:`AdeptSystem.evolve`.
+MIGRATE_COMPLIANT = "compliant"
+MIGRATE_NONE = "none"
+MIGRATE_STRICT = "strict"
+
+_CONFLICT_OUTCOMES = (
+    MigrationOutcome.STATE_CONFLICT,
+    MigrationOutcome.STRUCTURAL_CONFLICT,
+    MigrationOutcome.SEMANTIC_CONFLICT,
+    MigrationOutcome.DATA_CONFLICT,
+)
+
+ChangeLike = Union[TypeChange, ChangeSet, ChangeLog, Sequence[ChangeOperation]]
+
+
+class AdeptSystem:
+    """One process-management service composing all components of the repro.
+
+    Args:
+        org_model: Optional organisational model for worklist resolution.
+        bus: A pluggable :class:`EventBus`; a fresh one is created when
+            omitted.  All engine, change, schema and migration events are
+            published on it.
+        compliance_method: Compliance checking method handed to the
+            ad-hoc changer and the migration manager (``"conditions"`` or
+            ``"replay"``).
+        rollback_on_state_conflict: Migration policy — compensate the
+            blocking activities of state-conflicting unbiased instances
+            and migrate them anyway.
+        representation: Instance-store representation strategy (a
+            :class:`RepresentationStrategy` or its name, e.g.
+            ``"hybrid_substitution"``).
+        wal: Optional write-ahead log for the instance store.
+        kv_store: Optional shared key-value store backing repository and
+            instance store.
+        monitor: When True (default), a :class:`repro.monitoring.EventFeed`
+            is attached as the first bus subscriber and exposed as
+            :attr:`feed`.
+    """
+
+    def __init__(
+        self,
+        org_model: Optional[Any] = None,
+        bus: Optional[EventBus] = None,
+        compliance_method: str = "conditions",
+        rollback_on_state_conflict: bool = False,
+        representation: Optional[Union[str, RepresentationStrategy]] = None,
+        wal: Optional[WriteAheadLog] = None,
+        kv_store: Optional[KeyValueStore] = None,
+        monitor: bool = True,
+    ) -> None:
+        # an empty EventBus is falsy (it has __len__), so test for None explicitly
+        self.bus = bus if bus is not None else EventBus()
+        self.feed: Optional[EventFeed] = None
+        if monitor:
+            # the monitoring package is the first subscriber on the bus
+            self.feed = EventFeed()
+            self.bus.subscribe(self.feed)
+        self.event_log = EventLog()
+        self.event_log.subscribe(self.bus.publish_engine_event)
+
+        if isinstance(representation, str):
+            representation = strategy_by_name(representation)
+
+        self.org_model = org_model
+        self.engine = ProcessEngine(event_log=self.event_log)
+        self.repository = SchemaRepository(store=kv_store)
+        self._kv_store = kv_store
+        self._wal = wal
+        self.store = InstanceStore(
+            self.repository, strategy=representation, store=kv_store, wal=wal
+        )
+        self.worklists = WorklistManager(self.engine, org_model=org_model)
+        self.verifier = SchemaVerifier()
+        self.compliance_method = compliance_method
+        self.rollback_on_state_conflict = rollback_on_state_conflict
+        self._changer = AdHocChanger(
+            self.engine, compliance_method=compliance_method, event_log=self.event_log
+        )
+        self._migrator = MigrationManager(
+            self.engine,
+            compliance_method=compliance_method,
+            event_log=self.event_log,
+            rollback_on_state_conflict=rollback_on_state_conflict,
+        )
+        self._instances: Dict[str, ProcessInstance] = {}
+        self._case_counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # schema deployment and type access
+    # ------------------------------------------------------------------ #
+
+    def deploy(self, schema: ProcessSchema, verify: bool = True) -> TypeHandle:
+        """Register ``schema`` as a new process type (version 1).
+
+        Raises :class:`SchemaError` when buildtime verification rejects the
+        schema, :class:`repro.core.EvolutionError` when the type name is
+        already taken.
+        """
+        if verify:
+            report = self.verifier.verify(schema)
+            if not report.is_correct:
+                raise SchemaError(
+                    f"schema {schema.name!r} fails buildtime verification:\n" + report.summary()
+                )
+        self.repository.register_type(schema)
+        self.bus.publish(
+            CATEGORY_SCHEMA,
+            "type_deployed",
+            type_id=schema.name,
+            version=schema.version,
+            activities=len(schema.activity_ids()),
+        )
+        return TypeHandle(self, schema.name)
+
+    def adopt(self, process_type: ProcessType) -> TypeHandle:
+        """Adopt an externally built :class:`ProcessType` (all versions)."""
+        self.repository.adopt_type(process_type)
+        self.bus.publish(
+            CATEGORY_SCHEMA,
+            "type_deployed",
+            type_id=process_type.name,
+            version=process_type.latest_version,
+        )
+        return TypeHandle(self, process_type.name)
+
+    def deploy_result(self, handle: TypeHandle) -> DeployResult:
+        """Structured summary of a deployed type (CLI ``--json`` helper)."""
+        schema = handle.schema()
+        return DeployResult(
+            type_id=handle.type_id,
+            version=schema.version,
+            activities=len(schema.activity_ids()),
+        )
+
+    def type(self, type_id: str) -> TypeHandle:
+        """Handle of a deployed process type (raises for unknown names)."""
+        self.repository.process_type(type_id)  # raises EvolutionError when unknown
+        return TypeHandle(self, type_id)
+
+    #: Alias for :meth:`type` for callers that shy away from the name.
+    type_handle = type
+
+    def types(self) -> List[TypeHandle]:
+        """Handles of all deployed process types."""
+        return [TypeHandle(self, name) for name in self.repository.type_names()]
+
+    # ------------------------------------------------------------------ #
+    # instance lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(
+        self,
+        type_id: str,
+        case_id: Optional[str] = None,
+        version: Optional[int] = None,
+        **data: Any,
+    ) -> InstanceHandle:
+        """Start a new case of ``type_id`` and return its handle.
+
+        ``case_id`` is generated (``<type>-00001``-style) when omitted;
+        ``version`` selects a released schema version (default: latest);
+        keyword arguments become initial data-element values.
+        """
+        process_type = self.repository.process_type(type_id)
+        schema = (
+            process_type.latest_schema if version is None else process_type.schema_for(version)
+        )
+        if case_id is None:
+            case_id = self._next_case_id(type_id)
+        elif case_id in self._instances or self.store.contains(case_id):
+            raise EngineError(f"instance id {case_id!r} is already in use")
+        instance = self.engine.create_instance(schema, case_id, initial_data=data or None)
+        self._instances[case_id] = instance
+        self.worklists.register_instance(instance)
+        return InstanceHandle(self, case_id)
+
+    def _next_case_id(self, type_id: str) -> str:
+        while True:
+            self._case_counters[type_id] = self._case_counters.get(type_id, 0) + 1
+            case_id = f"{type_id}-{self._case_counters[type_id]:05d}"
+            if case_id not in self._instances and not self.store.contains(case_id):
+                return case_id
+
+    def instance(self, instance_id: str) -> InstanceHandle:
+        """Handle of a live or stored case (raises for unknown ids)."""
+        self.get_instance(instance_id)
+        return InstanceHandle(self, instance_id)
+
+    def adopt_instance(self, instance: ProcessInstance) -> InstanceHandle:
+        """Track an externally created :class:`ProcessInstance`.
+
+        The instance's process type must already be deployed.  Workload
+        generators use this to hand their populations to the system.
+        """
+        self.repository.process_type(instance.process_type)  # raises when unknown
+        if instance.instance_id in self._instances:
+            raise EngineError(f"instance id {instance.instance_id!r} is already in use")
+        self._instances[instance.instance_id] = instance
+        self.worklists.register_instance(instance)
+        return InstanceHandle(self, instance.instance_id)
+
+    def get_instance(self, instance_id: str) -> ProcessInstance:
+        """The live :class:`ProcessInstance` behind an id.
+
+        Cases known only to the instance store are loaded (and registered
+        with the worklist manager) transparently.
+        """
+        if instance_id in self._instances:
+            return self._instances[instance_id]
+        if self.store.contains(instance_id):
+            instance = self.store.load(instance_id)
+            self._instances[instance_id] = instance
+            self.worklists.register_instance(instance)
+            self.bus.publish(CATEGORY_SYSTEM, "instance_loaded", instance_id=instance_id)
+            return instance
+        raise EngineError(f"unknown instance {instance_id!r}")
+
+    def instances_of(
+        self, type_id: str, version: Optional[int] = None
+    ) -> List[InstanceHandle]:
+        """Handles of all live instances of one type (optionally one version)."""
+        return [
+            InstanceHandle(self, instance.instance_id)
+            for instance in self._instances.values()
+            if instance.process_type == type_id
+            and (version is None or instance.schema_version == version)
+        ]
+
+    def live_instance_ids(self) -> List[str]:
+        return sorted(self._instances)
+
+    # ------------------------------------------------------------------ #
+    # execution (addressed by id)
+    # ------------------------------------------------------------------ #
+
+    def activated(self, instance_id: str) -> List[str]:
+        """Activity ids of a case that could be started right now."""
+        return self.get_instance(instance_id).activated_activities()
+
+    def start_activity(
+        self, instance_id: str, activity_id: str, user: Optional[str] = None
+    ) -> StepResult:
+        instance = self.get_instance(instance_id)
+        self.engine.start_activity(instance, activity_id, user=user)
+        return StepResult(
+            instance_id=instance_id,
+            activity_id=activity_id,
+            status=instance.status,
+            activated=instance.activated_activities(),
+        )
+
+    def complete(
+        self,
+        instance_id: str,
+        activity_id: str,
+        outputs: Optional[Mapping[str, Any]] = None,
+        user: Optional[str] = None,
+    ) -> StepResult:
+        """Complete one activity of a case and return the resulting state."""
+        instance = self.get_instance(instance_id)
+        self.engine.complete_activity(instance, activity_id, outputs=outputs, user=user)
+        self.worklists.refresh()
+        return StepResult(
+            instance_id=instance_id,
+            activity_id=activity_id,
+            status=instance.status,
+            activated=instance.activated_activities(),
+        )
+
+    def run(
+        self, instance_id: str, worker: Optional[Worker] = None, max_steps: int = 10000
+    ) -> RunResult:
+        """Drive a case until it completes (or no activity is activated)."""
+        instance = self.get_instance(instance_id)
+        steps = self.engine.run_to_completion(instance, worker=worker, max_steps=max_steps)
+        self.worklists.refresh()
+        return RunResult(instance_id=instance_id, steps=steps, status=instance.status)
+
+    def abort(self, instance_id: str) -> None:
+        """Abort a case (the baseline policy of non-adaptive systems)."""
+        self.engine.abort_instance(self.get_instance(instance_id))
+        self.worklists.refresh()
+
+    # ------------------------------------------------------------------ #
+    # worklists
+    # ------------------------------------------------------------------ #
+
+    def worklist(self, user: str) -> List[WorkItem]:
+        """Open work items ``user`` is authorised to perform."""
+        self.worklists.refresh()
+        return self.worklists.worklist_for(user)
+
+    def claim(self, item_id: str, user: str) -> WorkItem:
+        """Claim an offered work item (starts the activity)."""
+        return self.worklists.claim(item_id, user)
+
+    def complete_item(
+        self, item_id: str, outputs: Optional[Mapping[str, Any]] = None
+    ) -> WorkItem:
+        """Complete a claimed work item through the engine."""
+        return self.worklists.complete(item_id, outputs=outputs)
+
+    # ------------------------------------------------------------------ #
+    # ad-hoc change (transactional ChangeSets)
+    # ------------------------------------------------------------------ #
+
+    def change(self, instance_id: str, comment: str = "") -> ChangeSet:
+        """A fluent, transactional :class:`ChangeSet` bound to one case."""
+        self.get_instance(instance_id)  # fail fast for unknown ids
+        return ChangeSet(self, instance_id, comment=comment)
+
+    def apply_changeset(self, changeset: ChangeSet, user: Optional[str] = None) -> ChangeResult:
+        """Validate and commit a change set atomically.
+
+        All operations are checked together; on success they are committed
+        as one change-log entry with a single adapted marking.  On failure
+        a :class:`repro.core.AdHocChangeError` is raised and the instance
+        is untouched.
+        """
+        instance = self.get_instance(changeset.instance_id)
+        change_log = changeset.to_change_log()
+        result = self._changer.apply(instance, change_log, comment=change_log.comment, user=user)
+        self.worklists.refresh()
+        return ChangeResult(
+            ok=True,
+            instance_id=instance.instance_id,
+            operations=result.operation_count,
+            comment=change_log.comment,
+        )
+
+    def try_apply_changeset(
+        self, changeset: ChangeSet, user: Optional[str] = None
+    ) -> ChangeResult:
+        """Like :meth:`apply_changeset` but returns a failed result instead of raising."""
+        from repro.core.adhoc import AdHocChangeError
+
+        try:
+            return self.apply_changeset(changeset, user=user)
+        except AdHocChangeError as exc:
+            return ChangeResult(
+                ok=False,
+                instance_id=changeset.instance_id or "",
+                operations=len(changeset),
+                comment=changeset.to_change_log().comment,
+                conflicts=list(exc.conflicts),
+                error=str(exc),
+            )
+
+    # ------------------------------------------------------------------ #
+    # schema evolution and migration
+    # ------------------------------------------------------------------ #
+
+    def evolve(
+        self,
+        type_id: str,
+        change: ChangeLike,
+        migrate: str = MIGRATE_COMPLIANT,
+    ) -> MigrationReport:
+        """Release a new schema version and migrate running instances.
+
+        ``migrate`` selects the policy:
+
+        * ``"compliant"`` (default) — migrate every compliant instance,
+          leave conflicting ones running on their old version (the
+          paper's behaviour);
+        * ``"none"`` — release the version only, migrate nobody;
+        * ``"strict"`` — all-or-nothing: a dry run on cloned instances
+          checks that *every* active instance can migrate; if any cannot,
+          :class:`MigrationError` is raised and neither the repository nor
+          any instance is modified.
+        """
+        if migrate not in (MIGRATE_COMPLIANT, MIGRATE_NONE, MIGRATE_STRICT):
+            raise ValueError(
+                f"unknown migration policy {migrate!r}; "
+                f"expected one of 'compliant', 'none', 'strict'"
+            )
+        process_type = self.repository.process_type(type_id)
+        type_change = self._as_type_change(process_type, change)
+        instances = [
+            instance
+            for instance in self._instances.values()
+            if instance.process_type == type_id
+        ]
+
+        if migrate == MIGRATE_NONE:
+            new_schema = self.repository.release_version(type_id, type_change)
+            self.bus.publish(
+                CATEGORY_SCHEMA,
+                "schema_version_released",
+                type_id=type_id,
+                version=new_schema.version,
+            )
+            return MigrationReport(
+                process_type=type_id,
+                from_version=type_change.from_version,
+                to_version=new_schema.version,
+            )
+
+        if migrate == MIGRATE_STRICT:
+            dry_report = self._dry_run(process_type, type_change, instances)
+            blocked = [
+                result
+                for result in dry_report.results
+                if result.outcome in _CONFLICT_OUTCOMES
+            ]
+            if blocked:
+                raise MigrationError(
+                    f"strict migration of {type_id!r} refused: "
+                    f"{len(blocked)} of {dry_report.total} instance(s) cannot migrate "
+                    f"({', '.join(sorted(r.instance_id for r in blocked))})",
+                    report=dry_report,
+                )
+
+        new_schema = self.repository.release_version(type_id, type_change)
+        self.bus.publish(
+            CATEGORY_SCHEMA,
+            "schema_version_released",
+            type_id=type_id,
+            version=new_schema.version,
+        )
+        report = self._migrator.migrate_type(
+            process_type, type_change, instances, release=False
+        )
+        self.worklists.refresh()
+        self.bus.publish(
+            CATEGORY_MIGRATION,
+            "migration_completed",
+            type_id=type_id,
+            from_version=report.from_version,
+            to_version=report.to_version,
+            migrated=report.migrated_count,
+            total=report.total,
+        )
+        return report
+
+    def _as_type_change(self, process_type: ProcessType, change: ChangeLike) -> TypeChange:
+        """Normalise the accepted change flavours onto a :class:`TypeChange`."""
+        if isinstance(change, TypeChange):
+            return change
+        if isinstance(change, ChangeSet):
+            return TypeChange(
+                from_version=process_type.latest_version,
+                operations=change.to_change_log(),
+                comment=change.to_change_log().comment,
+            )
+        if isinstance(change, ChangeLog):
+            return TypeChange(
+                from_version=process_type.latest_version,
+                operations=change,
+                comment=change.comment,
+            )
+        return TypeChange.of(process_type.latest_version, list(change))
+
+    def _dry_run(
+        self,
+        process_type: ProcessType,
+        type_change: TypeChange,
+        instances: Sequence[ProcessInstance],
+    ) -> MigrationReport:
+        """Run the migration against cloned instances and a scratch type."""
+        scratch_type = ProcessType(process_type.name)
+        for version in process_type.versions:
+            scratch_type.add_version(process_type.schema_for(version))
+        clones = [self._clone_instance(instance) for instance in instances]
+        scratch_migrator = MigrationManager(
+            ProcessEngine(),
+            compliance_method=self.compliance_method,
+            rollback_on_state_conflict=self.rollback_on_state_conflict,
+        )
+        return scratch_migrator.migrate_type(scratch_type, type_change, clones, release=True)
+
+    def _clone_instance(self, instance: ProcessInstance) -> ProcessInstance:
+        """A deep copy of an instance via the canonical serialisation."""
+        return instance_from_dict(instance_to_dict(instance), self.repository.resolve)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, instance_id: str) -> StoredInstance:
+        """Persist one case through the instance store."""
+        stored = self.store.save(self.get_instance(instance_id))
+        self.bus.publish(CATEGORY_SYSTEM, "instance_saved", instance_id=instance_id)
+        return stored
+
+    def save_all(self) -> List[StoredInstance]:
+        """Persist every live case."""
+        return [self.save(instance_id) for instance_id in sorted(self._instances)]
+
+    def load(self, instance_id: str) -> InstanceHandle:
+        """Load a stored case into the live set and return its handle."""
+        return self.instance(instance_id)
+
+    def stored_instance_ids(self) -> List[str]:
+        return self.store.instance_ids()
+
+    def checkpoint(self) -> None:
+        """Flush the instance store and truncate its write-ahead log."""
+        self.store.checkpoint()
+
+    def recover_from_wal(self) -> int:
+        """Replay WAL records into the instance store (crash recovery)."""
+        replayed = self.store.recover_from_wal()
+        self.bus.publish(CATEGORY_SYSTEM, "wal_recovered", records=replayed)
+        return replayed
+
+    def simulate_crash_recovery(self) -> int:
+        """Drop the in-memory store content and recover it from the WAL.
+
+        Swaps in a fresh instance store wired exactly like the original
+        (same repository, representation strategy, key-value backing and
+        write-ahead log), then replays the log — the storage example and
+        the recovery tests use this to demonstrate that the WAL alone
+        reconstructs the persisted population.  With the default in-memory
+        key-value store the swap genuinely loses the namespace content;
+        with an externally provided ``kv_store`` the content is durable
+        and the replay is an idempotent re-application.  Live in-memory
+        instances are unaffected.  Returns the number of replayed records.
+        """
+        self.store = InstanceStore(
+            self.repository,
+            strategy=self.store.strategy,
+            store=self._kv_store,
+            wal=self._wal,
+        )
+        return self.recover_from_wal()
+
+    # ------------------------------------------------------------------ #
+    # monitoring
+    # ------------------------------------------------------------------ #
+
+    def monitor(self, instance_id: str) -> InstanceMonitor:
+        """A monitoring view of one case."""
+        return InstanceMonitor(self.get_instance(instance_id))
+
+    def statistics(self, type_id: Optional[str] = None) -> PopulationStatistics:
+        """Population statistics over the live cases (optionally one type)."""
+        instances: Iterable[ProcessInstance] = self._instances.values()
+        if type_id is not None:
+            instances = [i for i in instances if i.process_type == type_id]
+        return PopulationStatistics.collect(instances)
+
+    def __repr__(self) -> str:
+        return (
+            f"AdeptSystem(types={len(self.repository)}, "
+            f"live_instances={len(self._instances)}, stored={len(self.store)})"
+        )

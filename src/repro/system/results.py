@@ -1,0 +1,112 @@
+"""Structured result objects returned by the façade.
+
+The loose components return a mix of ad-hoc types (bare ints, tuples,
+``AdHocChangeResult`` objects, ...).  The façade normalises the common
+operations onto small dataclasses with a uniform shape: every result has
+an ``ok`` flag and a ``to_dict()`` export for scripting (the CLI's
+``--json`` mode serialises these directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.conflicts import Conflict
+from repro.runtime.states import InstanceStatus
+
+
+@dataclass
+class StepResult:
+    """Outcome of completing (or starting) one activity of an instance."""
+
+    instance_id: str
+    activity_id: str
+    status: InstanceStatus
+    activated: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    @property
+    def instance_completed(self) -> bool:
+        return self.status is InstanceStatus.COMPLETED
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "instance_id": self.instance_id,
+            "activity_id": self.activity_id,
+            "status": self.status.value,
+            "activated": list(self.activated),
+        }
+
+
+@dataclass
+class RunResult:
+    """Outcome of driving an instance with :meth:`AdeptSystem.run`."""
+
+    instance_id: str
+    steps: int
+    status: InstanceStatus
+
+    @property
+    def ok(self) -> bool:
+        return self.status is InstanceStatus.COMPLETED
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "instance_id": self.instance_id,
+            "steps": self.steps,
+            "status": self.status.value,
+        }
+
+
+@dataclass
+class ChangeResult:
+    """Outcome of applying (or failing to apply) a :class:`ChangeSet`.
+
+    A successful application covers the *whole* change set: all operations
+    were validated together and committed as one bias entry.  A failed one
+    left the instance completely untouched.
+    """
+
+    ok: bool
+    instance_id: str
+    operations: int
+    comment: str = ""
+    conflicts: List[Conflict] = field(default_factory=list)
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "instance_id": self.instance_id,
+            "operations": self.operations,
+            "comment": self.comment,
+            "conflicts": [str(conflict) for conflict in self.conflicts],
+            "error": self.error,
+        }
+
+
+@dataclass
+class DeployResult:
+    """Outcome of deploying a schema as a new process type."""
+
+    type_id: str
+    version: int
+    activities: int
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "type_id": self.type_id,
+            "version": self.version,
+            "activities": self.activities,
+        }

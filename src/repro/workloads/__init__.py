@@ -10,9 +10,12 @@ from repro.workloads.schema_generator import RandomSchemaGenerator, SchemaGenera
 from repro.workloads.population import PopulationConfig, PopulationGenerator
 from repro.workloads.change_generator import ChangeScenarioGenerator
 from repro.workloads.order_process import (
+    Fig1SystemScenario,
     order_type_change_v2,
     paper_fig1_scenario,
+    paper_fig1_system,
     paper_fig3_population,
+    paper_fig3_system,
 )
 
 __all__ = [
@@ -21,7 +24,10 @@ __all__ = [
     "PopulationGenerator",
     "PopulationConfig",
     "ChangeScenarioGenerator",
+    "Fig1SystemScenario",
     "order_type_change_v2",
     "paper_fig1_scenario",
+    "paper_fig1_system",
     "paper_fig3_population",
+    "paper_fig3_system",
 ]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.adhoc import AdHocChanger
 from repro.core.changelog import ChangeLog
@@ -35,6 +35,9 @@ from repro.schema.edges import EdgeType
 from repro.schema.graph import ProcessSchema
 from repro.schema.nodes import Node
 from repro.schema.templates import online_order_process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import AdeptSystem, InstanceHandle, TypeHandle
 
 #: Activities of the online order process in one valid execution order.
 ORDER_EXECUTION_SEQUENCE: Tuple[str, ...] = (
@@ -133,6 +136,95 @@ def paper_fig1_scenario(engine: Optional[ProcessEngine] = None) -> Fig1Scenario:
         i2=i2,
         i3=i3,
     )
+
+
+@dataclass
+class Fig1SystemScenario:
+    """The Fig. 1 situation, hosted inside one :class:`AdeptSystem`."""
+
+    system: "AdeptSystem"
+    orders: "TypeHandle"
+    type_change: TypeChange
+    i1: "InstanceHandle"
+    i2: "InstanceHandle"
+    i3: "InstanceHandle"
+
+    @property
+    def instances(self) -> List["InstanceHandle"]:
+        return [self.i1, self.i2, self.i3]
+
+    def migrate(self):
+        """Run the paper's migration through the façade."""
+        return self.orders.evolve(self.type_change, migrate="compliant")
+
+
+def paper_fig1_system(system: Optional["AdeptSystem"] = None) -> Fig1SystemScenario:
+    """The Fig. 1 scenario built entirely through the service façade.
+
+    Deploys the online-order schema into one :class:`AdeptSystem`, starts
+    I1–I3 as handle-addressed cases, and applies I2's ad-hoc bias as a
+    transactional change set.  ``scenario.migrate()`` reruns the paper's
+    migration.
+    """
+    from repro.system import AdeptSystem
+
+    system = system or AdeptSystem()
+    orders = system.deploy(online_order_process())
+
+    i1 = orders.start(case_id="I1")
+    for activity in ("get_order", "collect_data", "compose_order"):
+        i1.complete(activity)
+
+    i2 = orders.start(case_id="I2")
+    for activity in ("get_order", "collect_data"):
+        i2.complete(activity)
+    i2.change(comment="customer asked for brochure first").add(*i2_adhoc_bias()).apply()
+
+    i3 = orders.start(case_id="I3")
+    for activity in ("get_order", "collect_data", "compose_order", "pack_goods"):
+        i3.complete(activity)
+
+    return Fig1SystemScenario(
+        system=system,
+        orders=orders,
+        type_change=order_type_change_v2(),
+        i1=i1,
+        i2=i2,
+        i3=i3,
+    )
+
+
+def paper_fig3_system(
+    instance_count: int = 100,
+    biased_fraction: float = 0.1,
+    seed: int = 7,
+    system: Optional["AdeptSystem"] = None,
+) -> Tuple["AdeptSystem", "TypeHandle", List["InstanceHandle"]]:
+    """A Fig. 3-style population driven through the service façade.
+
+    Produces exactly the population of :func:`paper_fig3_population` (same
+    seed, same RNG sequence) but hosted inside one :class:`AdeptSystem`:
+    cases are started and advanced by ID and the I2-style bias is applied
+    as a transactional change set.  Evolving the type afterwards is one
+    call: ``system.evolve("online_order", order_type_change_v2())``.
+    """
+    from repro.system import AdeptSystem
+
+    system = system or AdeptSystem()
+    rng = random.Random(seed)
+    orders = system.deploy(online_order_process())
+    cases: List["InstanceHandle"] = []
+    for index in range(instance_count):
+        case = orders.start(case_id=f"order-{index:05d}")
+        progress = rng.randint(0, len(ORDER_EXECUTION_SEQUENCE))
+        for activity in ORDER_EXECUTION_SEQUENCE[:progress]:
+            case.complete(activity)
+        if progress <= 2 and rng.random() < biased_fraction * 2:
+            # only instances that have not composed the order yet can receive
+            # the I2-style bias (its compliance condition requires that)
+            case.change(comment="ad-hoc deviation").add(*i2_adhoc_bias()).try_apply()
+        cases.append(case)
+    return system, orders, cases
 
 
 def paper_fig3_population(

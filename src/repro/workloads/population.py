@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.core.adhoc import AdHocChanger
 from repro.core.operations import ChangeOperation
@@ -53,8 +53,19 @@ class PopulationGenerator:
         engine: Optional[ProcessEngine] = None,
         config: Optional[PopulationConfig] = None,
         worker: Optional[Worker] = None,
+        system: Optional[Any] = None,
     ) -> None:
+        """``system`` routes generation through an :class:`repro.system.AdeptSystem`:
+
+        the population is executed on the system's engine (so its events
+        reach the event bus) and every generated instance is adopted by the
+        system, i.e. becomes addressable through an instance handle.  The
+        schema must already be deployed on the system in that case.
+        """
         self.schema = schema
+        self.system = system
+        if system is not None:
+            engine = system.engine
         self.engine = engine or ProcessEngine()
         self.config = config or PopulationConfig()
         self.worker = worker
@@ -80,6 +91,8 @@ class PopulationGenerator:
             self.engine.advance_instance(instance, steps, worker=self.worker)
             if self._rng.random() < self.config.biased_fraction:
                 self._apply_random_bias(instance)
+            if self.system is not None:
+                self.system.adopt_instance(instance)
             instances.append(instance)
         return instances
 

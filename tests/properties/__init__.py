@@ -1,0 +1,1 @@
+"""Property-based tests (package marker so relative imports resolve)."""

@@ -1,0 +1,120 @@
+"""Tests for the EventBus: ordered delivery, categories, subscriber isolation."""
+
+import pytest
+
+from repro import AdeptSystem, EventBus, EventFeed
+from repro.schema import templates
+from repro.workloads.order_process import order_type_change_v2
+
+
+class TestOrderedDelivery:
+    def test_engine_and_migration_events_arrive_in_order(self):
+        """The acceptance scenario: one subscriber sees the whole story, ordered."""
+        system = AdeptSystem()
+        received = []
+        system.bus.subscribe(received.append)
+
+        orders = system.deploy(templates.online_order_process())
+        case = orders.start(case_id="c1")
+        case.complete("get_order")
+        case.complete("collect_data")
+        orders.evolve(order_type_change_v2())
+
+        # strictly increasing sequence numbers == in-order delivery
+        seqs = [event.seq for event in received]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+        names = [event.name for event in received]
+        # engine events and migration events are interleaved in causal order
+        expected_subsequence = [
+            "type_deployed",
+            "instance_created",
+            "activity_completed",  # get_order
+            "activity_completed",  # collect_data
+            "schema_version_released",
+            "instance_migrated",
+            "migration_completed",
+        ]
+        positions = []
+        cursor = 0
+        for wanted in expected_subsequence:
+            cursor = names.index(wanted, cursor)
+            positions.append(cursor)
+            cursor += 1
+        assert positions == sorted(positions)
+
+        # engine events carry the instance id, migration summary the counts
+        completed = [e for e in received if e.name == "activity_completed"]
+        assert all(e.instance_id == "c1" for e in completed)
+        summary = [e for e in received if e.name == "migration_completed"][0]
+        assert summary.payload["migrated"] == 1
+        assert summary.payload["total"] == 1
+
+    def test_monitoring_feed_is_first_subscriber(self):
+        system = AdeptSystem()
+        assert isinstance(system.feed, EventFeed)
+        system.deploy(templates.online_order_process())
+        assert system.feed.names() == ["type_deployed"]
+        assert len(system.feed) == len(system.bus)
+
+    def test_feed_can_be_disabled(self):
+        system = AdeptSystem(monitor=False)
+        assert system.feed is None
+        assert system.bus.subscriber_count == 0
+
+
+class TestSubscriptionApi:
+    def test_category_filtering(self):
+        system = AdeptSystem()
+        migrations = []
+        system.bus.subscribe(migrations.append, categories=["migration", "schema"])
+        orders = system.deploy(templates.online_order_process())
+        orders.start().complete("get_order")
+        orders.evolve(order_type_change_v2())
+        assert {event.category for event in migrations} <= {"migration", "schema"}
+        assert "migration_completed" in [event.name for event in migrations]
+        assert "activity_completed" not in [event.name for event in migrations]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        token = bus.subscribe(seen.append)
+        bus.publish("system", "one")
+        assert bus.unsubscribe(token)
+        bus.publish("system", "two")
+        assert [event.name for event in seen] == ["one"]
+        assert not bus.unsubscribe(token)
+
+    def test_pluggable_bus(self):
+        """The façade accepts an externally owned bus."""
+        bus = EventBus()
+        external = []
+        bus.subscribe(external.append)
+        system = AdeptSystem(bus=bus)
+        system.deploy(templates.online_order_process())
+        assert [event.name for event in external] == ["type_deployed"]
+        assert system.bus is bus
+
+    def test_broken_subscriber_does_not_break_execution(self):
+        system = AdeptSystem()
+
+        def broken(event):
+            raise RuntimeError("dashboard down")
+
+        system.bus.subscribe(broken)
+        orders = system.deploy(templates.online_order_process())
+        case = orders.start()
+        assert case.run().ok  # execution unaffected
+        assert system.bus.delivery_errors
+        handler, event, error = system.bus.delivery_errors[0]
+        assert handler is broken
+        assert isinstance(error, RuntimeError)
+
+    def test_history_is_bounded(self):
+        bus = EventBus(max_history=5)
+        for index in range(12):
+            bus.publish("system", f"e{index}")
+        assert len(bus) == 5
+        assert [event.name for event in bus.events] == ["e7", "e8", "e9", "e10", "e11"]
+        assert bus.events_of(name="e11")

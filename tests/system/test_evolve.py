@@ -1,0 +1,122 @@
+"""Tests for AdeptSystem.evolve(): migration policies and parity with the manager."""
+
+import pytest
+
+from repro import AdeptSystem, MigrationError, MigrationManager, ReproError
+from repro.schema import templates
+from repro.workloads.order_process import (
+    ORDER_EXECUTION_SEQUENCE,
+    order_type_change_v2,
+    paper_fig3_population,
+    paper_fig3_system,
+)
+
+
+class TestCompliantPolicy:
+    def test_counts_match_direct_migration_manager_usage(self):
+        """The façade's evolve() and hand-wired MigrationManager agree exactly."""
+        process_type, engine, instances = paper_fig3_population(instance_count=50, seed=5)
+        direct = MigrationManager(engine).migrate_type(
+            process_type, order_type_change_v2(), instances
+        )
+
+        system, orders, cases = paper_fig3_system(instance_count=50, seed=5)
+        facade = orders.evolve(order_type_change_v2(), migrate="compliant")
+
+        assert facade.outcome_counts() == direct.outcome_counts()
+        assert facade.migrated_count == direct.migrated_count
+        assert sorted(facade.migrated_instances) == sorted(direct.migrated_instances)
+        assert sorted(facade.non_compliant_instances) == sorted(
+            direct.non_compliant_instances
+        )
+
+    def test_evolve_accepts_changeset_and_operation_list(self):
+        from repro import ChangeSet
+
+        system = AdeptSystem()
+        orders = system.deploy(templates.online_order_process())
+        delta = ChangeSet(comment="V2").serial_insert(
+            "send_questions", pred="compose_order", succ="pack_goods", role="sales"
+        )
+        report = orders.evolve(delta)
+        assert report.to_version == 2
+        assert orders.versions == [1, 2]
+
+        # a plain operation sequence also works (released as V3)
+        ops = order_type_change_v2(from_version=2).operations.operations
+        ops = [op for op in ops if op.operation_name == "insert_sync_edge"]
+        report = orders.evolve(ops)
+        assert report.to_version == 3
+
+    def test_new_cases_start_on_latest_version(self):
+        system = AdeptSystem()
+        orders = system.deploy(templates.online_order_process())
+        orders.evolve(order_type_change_v2(), migrate="none")
+        case = orders.start()
+        assert case.version == 2
+        old_case = system.start("online_order", version=1)
+        assert old_case.version == 1
+
+    def test_unknown_policy_rejected(self):
+        system = AdeptSystem()
+        orders = system.deploy(templates.online_order_process())
+        with pytest.raises(ValueError):
+            orders.evolve(order_type_change_v2(), migrate="yolo")
+
+
+class TestNonePolicy:
+    def test_releases_version_without_migrating(self):
+        system = AdeptSystem()
+        orders = system.deploy(templates.online_order_process())
+        case = orders.start()
+        report = orders.evolve(order_type_change_v2(), migrate="none")
+        assert orders.versions == [1, 2]
+        assert report.total == 0
+        assert case.version == 1  # nobody migrated
+
+
+class TestStrictPolicy:
+    def test_strict_succeeds_when_every_instance_is_compliant(self):
+        system = AdeptSystem()
+        orders = system.deploy(templates.online_order_process())
+        early = orders.start(case_id="early")
+        early.complete("get_order")
+        report = orders.evolve(order_type_change_v2(), migrate="strict")
+        assert report.migrated_count == 1
+        assert early.version == 2
+
+    def test_strict_is_all_or_nothing(self):
+        """One non-compliant instance aborts the run; nothing is modified."""
+        system = AdeptSystem()
+        orders = system.deploy(templates.online_order_process())
+        early = orders.start(case_id="early")
+        late = orders.start(case_id="late")
+        for activity in ORDER_EXECUTION_SEQUENCE[:5]:  # past pack_goods
+            late.complete(activity)
+
+        with pytest.raises(MigrationError) as excinfo:
+            orders.evolve(order_type_change_v2(), migrate="strict")
+        assert isinstance(excinfo.value, ReproError)
+        assert "late" in str(excinfo.value)
+        # the dry-run report names the blocker
+        assert excinfo.value.report is not None
+        assert "late" in excinfo.value.report.non_compliant_instances
+
+        # neither the repository nor any instance changed
+        assert orders.versions == [1]
+        assert early.version == 1
+        assert late.version == 1
+        # both instances still run to completion on V1
+        assert early.run().ok
+        assert late.run().ok
+
+    def test_strict_ignores_finished_instances(self):
+        system = AdeptSystem()
+        orders = system.deploy(templates.online_order_process())
+        done = orders.start(case_id="done")
+        done.run()
+        live = orders.start(case_id="live")
+        report = orders.evolve(order_type_change_v2(), migrate="strict")
+        assert report.migrated_count == 1
+        assert live.version == 2
+        assert done.version == 1  # finished cases stay where they are
