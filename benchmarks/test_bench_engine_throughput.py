@@ -1,0 +1,203 @@
+"""Engine throughput benchmark: compiled SchemaIndex vs edge-list scans.
+
+Measures what the SchemaIndex layer was built for:
+
+* **stepping throughput** — activities completed per second when driving
+  a population of instances of a large (50+ node) schema, with the
+  compiled index versus the pre-index linear edge scans
+  (``without_index()``);
+* **batch stepping** — the façade's ``step_many()`` API against
+  per-activity ``complete()`` calls;
+* **bulk migration wall time** — checking and migrating the paper's
+  Fig. 3 population, indexed versus scanned, with identical outcomes
+  asserted.
+
+Rows land in ``benchmarks/results/BENCH_engine_throughput.txt`` so the
+BENCH trajectory tracks runtime speed next to figure fidelity.
+
+Smoke mode (``BENCH_SMOKE=1``): one tiny iteration per case and no
+timing assertions — CI uses it to keep the benchmark code importable and
+runnable without paying for (or flaking on) real measurements.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import write_rows
+from repro.core.migration import MigrationManager
+from repro.runtime.engine import ProcessEngine
+from repro.schema.index import without_index
+from repro.system import AdeptSystem
+from repro.workloads.order_process import order_type_change_v2, paper_fig3_population
+from repro.workloads.schema_generator import RandomSchemaGenerator, SchemaGeneratorConfig
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+EXPERIMENT = "BENCH_engine_throughput"
+
+STEPPING_INSTANCES = 3 if SMOKE else 40
+STEPPING_ROUNDS = 1 if SMOKE else 3
+MIGRATION_INSTANCES = 20 if SMOKE else 600
+BATCH_INSTANCES = 3 if SMOKE else 20
+
+#: Acceptance floor: indexed stepping must beat the edge-scan baseline
+#: by at least this factor on a 50+-node schema population.
+REQUIRED_STEPPING_SPEEDUP = 3.0
+
+
+def _large_schema(seed: int = 3):
+    config = SchemaGeneratorConfig(target_activities=60, loop_probability=0.05)
+    schema = RandomSchemaGenerator(config, seed=seed).generate("throughput_large")
+    assert len(schema) >= 50, f"benchmark schema too small: {len(schema)} nodes"
+    return schema
+
+
+def _best_of(callable_, rounds):
+    """Best wall time over ``rounds`` runs (returns time, last result)."""
+    best = None
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = callable_()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def test_stepping_throughput_indexed_vs_scan():
+    """Steps/sec on a 50+-node schema population, indexed vs pre-index."""
+    schema = _large_schema()
+
+    def drive_population():
+        engine = ProcessEngine()
+        steps = 0
+        for k in range(STEPPING_INSTANCES):
+            instance = engine.create_instance(schema, f"case-{k}")
+            steps += engine.run_to_completion(instance)
+        return steps
+
+    drive_population()  # warm both the index and the interpreter
+    indexed_time, indexed_steps = _best_of(drive_population, STEPPING_ROUNDS)
+    with without_index():
+        drive_population()
+        scan_time, scan_steps = _best_of(drive_population, STEPPING_ROUNDS)
+
+    assert indexed_steps == scan_steps, "modes executed different step counts"
+    speedup = scan_time / indexed_time
+    rows = [
+        {
+            "mode": "indexed",
+            "nodes": len(schema),
+            "instances": STEPPING_INSTANCES,
+            "steps": indexed_steps,
+            "wall_s": round(indexed_time, 4),
+            "steps_per_s": round(indexed_steps / indexed_time),
+        },
+        {
+            "mode": "scan",
+            "nodes": len(schema),
+            "instances": STEPPING_INSTANCES,
+            "steps": scan_steps,
+            "wall_s": round(scan_time, 4),
+            "steps_per_s": round(scan_steps / scan_time),
+        },
+        {"mode": "speedup", "nodes": "", "instances": "", "steps": "", "wall_s": "",
+         "steps_per_s": f"{speedup:.2f}x"},
+    ]
+    write_rows(
+        EXPERIMENT,
+        f"Engine stepping throughput — {len(schema)}-node schema, "
+        f"{STEPPING_INSTANCES} instances (SchemaIndex vs edge scans)",
+        rows,
+    )
+    if not SMOKE:
+        assert speedup >= REQUIRED_STEPPING_SPEEDUP, (
+            f"indexed stepping is only {speedup:.2f}x faster than the scan "
+            f"baseline (required: {REQUIRED_STEPPING_SPEEDUP}x)"
+        )
+
+
+def test_step_many_batch_throughput():
+    """The façade's step_many() against per-activity complete() calls."""
+    schema = _large_schema(seed=7)
+
+    def run_batched():
+        system = AdeptSystem(monitor=False)
+        handle = system.deploy(schema.copy(schema_id="batched"), verify=False)
+        ids = [handle.start().instance_id for _ in range(BATCH_INSTANCES)]
+        total = 0
+        while True:
+            advanced = sum(result.steps for result in system.step_many(ids, steps=1))
+            if not advanced:
+                return total
+            total += advanced
+
+    def run_single():
+        system = AdeptSystem(monitor=False)
+        handle = system.deploy(schema.copy(schema_id="single"), verify=False)
+        ids = [handle.start().instance_id for _ in range(BATCH_INSTANCES)]
+        total = 0
+        progressed = True
+        while progressed:
+            progressed = False
+            for instance_id in ids:
+                advanced = system.run(instance_id, max_steps=1).steps
+                total += advanced
+                progressed = progressed or bool(advanced)
+        return total
+
+    batched_time, batched_steps = _best_of(run_batched, 1)
+    single_time, single_steps = _best_of(run_single, 1)
+    assert batched_steps == single_steps
+    write_rows(
+        EXPERIMENT,
+        f"step_many() batch API vs per-activity complete() — "
+        f"{BATCH_INSTANCES} instances of a {len(schema)}-node schema",
+        [
+            {"api": "step_many", "steps": batched_steps, "wall_s": round(batched_time, 4),
+             "steps_per_s": round(batched_steps / batched_time)},
+            {"api": "complete", "steps": single_steps, "wall_s": round(single_time, 4),
+             "steps_per_s": round(single_steps / single_time)},
+            {"api": "speedup", "steps": "", "wall_s": "",
+             "steps_per_s": f"{single_time / batched_time:.2f}x"},
+        ],
+    )
+
+
+def test_bulk_migration_wall_time():
+    """Fig. 3 bulk migration: wall time indexed vs scanned, outcomes equal."""
+
+    def migrate():
+        process_type, engine, instances = paper_fig3_population(
+            instance_count=MIGRATION_INSTANCES, biased_fraction=0.1, seed=41
+        )
+        report = MigrationManager(engine).migrate_type(
+            process_type, order_type_change_v2(), instances
+        )
+        return report
+
+    indexed_time, indexed_report = _best_of(migrate, 1)
+    with without_index():
+        scan_time, scan_report = _best_of(migrate, 1)
+
+    assert indexed_report.outcome_counts() == scan_report.outcome_counts()
+    assert [r.outcome for r in indexed_report.results] == [
+        r.outcome for r in scan_report.results
+    ]
+    write_rows(
+        EXPERIMENT,
+        f"Bulk migration wall time — {MIGRATION_INSTANCES} running order instances "
+        "(10% ad-hoc modified)",
+        [
+            {"mode": "indexed", "instances": indexed_report.total,
+             "migrated": indexed_report.migrated_count,
+             "wall_s": round(indexed_time, 4),
+             "instances_per_s": round(indexed_report.total / indexed_time)},
+            {"mode": "scan", "instances": scan_report.total,
+             "migrated": scan_report.migrated_count,
+             "wall_s": round(scan_time, 4),
+             "instances_per_s": round(scan_report.total / scan_time)},
+            {"mode": "speedup", "instances": "", "migrated": "", "wall_s": "",
+             "instances_per_s": f"{scan_time / indexed_time:.2f}x"},
+        ],
+    )

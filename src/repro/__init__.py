@@ -63,6 +63,7 @@ from repro.schema import (
     ProcessSchema,
     SchemaBuilder,
     SchemaError,
+    SchemaIndex,
     templates,
 )
 from repro.verification import SchemaVerifier, VerificationReport, verify_schema
@@ -162,6 +163,7 @@ __all__ = [
     "ProcessSchema",
     "SchemaBuilder",
     "SchemaError",
+    "SchemaIndex",
     "templates",
     # verification
     "SchemaVerifier",

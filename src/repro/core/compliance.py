@@ -139,6 +139,10 @@ class ComplianceChecker:
         reference marking ("marking obtained by replaying the history from
         scratch").
         """
+        # Replays of a whole population against one changed type schema all
+        # run on the same compiled SchemaIndex: the scratch engine below
+        # resolves every structural question from ``target_schema.index``,
+        # which is cached on the schema across instances.
         initial_values = {
             write.element: write.value
             for write in instance.data.writes

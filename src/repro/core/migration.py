@@ -38,6 +38,7 @@ from repro.runtime.engine import ProcessEngine
 from repro.runtime.events import EngineEvent, EventLog, EventType
 from repro.runtime.instance import ProcessInstance
 from repro.schema.graph import ProcessSchema, SchemaError
+from repro.schema.index import indexing_enabled
 from repro.verification.verifier import SchemaVerifier
 
 
@@ -228,6 +229,12 @@ class MigrationManager:
             to_version=new_schema.version,
         )
         started = time.perf_counter()
+        # Compile both type schemas once up front: every per-instance
+        # compliance check, replay and state adaptation below then shares
+        # the same SchemaIndex instead of re-traversing the graphs.
+        if indexing_enabled():
+            old_schema.index
+            new_schema.index
         for instance in instances:
             report.add(self.migrate_instance(instance, old_schema, new_schema, type_change))
         report.duration_seconds = time.perf_counter() - started

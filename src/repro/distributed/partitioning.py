@@ -37,10 +37,13 @@ class SchemaPartitioning:
         """Partition the topological order into contiguous per-server chunks."""
         if not server_ids:
             raise PartitioningError("at least one server id is required")
+        # the cached topological order of the compiled index keeps repeated
+        # partitionings of one schema from re-running Kahn's algorithm
+        index = schema.index
         activities = [
             node_id
-            for node_id in schema.topological_order(include_sync=False)
-            if schema.node(node_id).is_activity
+            for node_id in index.topological_order(include_sync=False)
+            if index.node(node_id).is_activity
         ]
         assignment: Dict[str, str] = {}
         if not activities:
@@ -113,14 +116,14 @@ class SchemaPartitioning:
             return self.assignment[node_id]
         # Structural nodes are controlled by the server of their nearest
         # assigned control predecessor (splits/joins piggyback on it).
-        schema = self.schema
-        frontier = list(schema.predecessors(node_id, EdgeType.CONTROL))
+        index = self.schema.index
+        frontier = index.predecessors(node_id, EdgeType.CONTROL)
         seen = set(frontier)
         while frontier:
             current = frontier.pop(0)
             if current in self.assignment:
                 return self.assignment[current]
-            for pred in schema.predecessors(current, EdgeType.CONTROL):
+            for pred in index.predecessors(current, EdgeType.CONTROL):
                 if pred not in seen:
                     seen.add(pred)
                     frontier.append(pred)

@@ -28,6 +28,7 @@ from repro.runtime.states import EdgeState, InstanceStatus, NodeState
 from repro.schema.data import DataType
 from repro.schema.edges import Edge, EdgeType
 from repro.schema.graph import ProcessSchema
+from repro.schema.index import SchemaIndex, indexing_enabled
 from repro.schema.nodes import Node, NodeType
 
 
@@ -37,6 +38,64 @@ class EngineError(ReproError):
 
 # A worker turns an activated activity into its output data values.
 Worker = Callable[[Node, Mapping[str, Any]], Mapping[str, Any]]
+
+_NOT_SIGNALED = EdgeState.NOT_SIGNALED
+_TRUE_SIGNALED = EdgeState.TRUE_SIGNALED
+_FALSE_SIGNALED = EdgeState.FALSE_SIGNALED
+
+
+def _decide_entry(spec, edge_states) -> Optional[str]:
+    """Entry decision for one node from its compiled spec (hot path).
+
+    ``spec`` is the ``(kind, control keys, sync keys)`` triple produced by
+    :meth:`repro.schema.index.SchemaIndex.entry_specs`; ``edge_states`` is
+    the marking's raw edge-state dict.  Semantically identical to
+    :meth:`ProcessEngine._entry_decision` with indexing disabled — the
+    decision rules mirror that method line by line, minus all per-edge
+    object traffic.
+    """
+    kind, control_keys, sync_keys = spec
+    if kind == 0:  # START
+        return "activate"
+    if not control_keys:
+        return None
+    get = edge_states.get
+    sync_ready = True
+    for key in sync_keys:
+        if get(key, _NOT_SIGNALED) is _NOT_SIGNALED:
+            sync_ready = False
+            break
+    if kind == 3:  # single incoming control edge (the overwhelming majority)
+        state = get(control_keys[0], _NOT_SIGNALED)
+        if state is _TRUE_SIGNALED:
+            return "activate" if sync_ready else None
+        if state is _FALSE_SIGNALED:
+            return "skip"
+        return None
+    states = [get(key, _NOT_SIGNALED) for key in control_keys]
+    if kind == 1:  # AND join
+        true_count = 0
+        for state in states:
+            if state is _NOT_SIGNALED:
+                return None
+            if state is _TRUE_SIGNALED:
+                true_count += 1
+        if true_count == 0:
+            return "skip"
+        if true_count == len(states):
+            return "activate" if sync_ready else None
+        # Mixed signals cannot happen in a correct block-structured schema.
+        return None
+    # XOR join
+    any_true = False
+    for state in states:
+        if state is _NOT_SIGNALED:
+            return None
+        if state is _TRUE_SIGNALED:
+            any_true = True
+    if any_true:
+        return "activate" if sync_ready else None
+    return "skip"
 
 
 def default_worker(node: Node, data: Mapping[str, Any]) -> Dict[str, Any]:
@@ -60,6 +119,8 @@ class ProcessEngine:
         # an empty EventLog is falsy (it has __len__), so test for None explicitly
         self.event_log = event_log if event_log is not None else EventLog()
         self.max_propagation_rounds = max_propagation_rounds
+        # loop-body cache for the scan path (indexing disabled); the
+        # indexed path uses the SchemaIndex's own caches instead
         self._loop_body_cache: Dict[Tuple[int, str], Set[str]] = {}
 
     # ------------------------------------------------------------------ #
@@ -253,13 +314,31 @@ class ProcessEngine:
     def propagate(self, instance: ProcessInstance) -> None:
         """Advance the marking until no further automatic step is possible."""
         schema = instance.execution_schema
+        # the index compiles once and is shared by every round below; with
+        # indexing disabled the entry decisions run the pre-index edge
+        # scans instead (benchmarks and parity tests)
+        if indexing_enabled():
+            specs = schema.index.entry_specs()
+            node_list = schema.index.node_ids
+        else:
+            specs = None
+            node_list = schema.node_ids()
+        not_activated = NodeState.NOT_ACTIVATED
         for _ in range(self.max_propagation_rounds):
             changed = False
-            for node_id in schema.node_ids():
-                state = instance.marking.node_state(node_id)
-                if state is not NodeState.NOT_ACTIVATED:
+            # re-read both dicts per round: loop resets and structural
+            # execution mutate them through the marking in place
+            node_states = instance.marking.node_states
+            edge_states = instance.marking.edge_states
+            for node_id in node_list:
+                if node_states.get(node_id, not_activated) is not not_activated:
                     continue
-                decision = self._entry_decision(instance, schema, node_id)
+                if specs is not None:
+                    decision = _decide_entry(specs[node_id], edge_states)
+                else:
+                    decision = self._entry_decision(instance, None, node_id)
+                if decision is None:
+                    continue
                 if decision == "activate":
                     node = schema.node(node_id)
                     if node.is_activity:
@@ -268,7 +347,7 @@ class ProcessEngine:
                     else:
                         self._execute_structural(instance, node)
                     changed = True
-                elif decision == "skip":
+                else:
                     self._skip_node(instance, node_id)
                     changed = True
             if not changed:
@@ -276,24 +355,25 @@ class ProcessEngine:
         raise EngineError("marking propagation did not converge (possible engine bug)")
 
     def _entry_decision(
-        self, instance: ProcessInstance, schema: ProcessSchema, node_id: str
+        self, instance: ProcessInstance, index: Optional[SchemaIndex], node_id: str
     ) -> Optional[str]:
         """Decide whether a NOT_ACTIVATED node should activate, skip or wait."""
-        node = schema.node(node_id)
-        control_edges = schema.edges_to(node_id, EdgeType.CONTROL)
-        sync_edges = schema.edges_to(node_id, EdgeType.SYNC)
+        if index is not None:
+            node = index.node(node_id)
+            control_edges = index.in_edges(node_id, EdgeType.CONTROL)
+            sync_edges = index.in_edges(node_id, EdgeType.SYNC)
+        else:
+            schema = instance.execution_schema
+            node = schema.node(node_id)
+            control_edges = schema.edges_to(node_id, EdgeType.CONTROL)
+            sync_edges = schema.edges_to(node_id, EdgeType.SYNC)
         if node.node_type is NodeType.START:
             return "activate"
         if not control_edges:
             return None
-        states = [
-            instance.marking.edge_state(edge.source, edge.target, EdgeType.CONTROL)
-            for edge in control_edges
-        ]
-        sync_states = [
-            instance.marking.edge_state(edge.source, edge.target, EdgeType.SYNC)
-            for edge in sync_edges
-        ]
+        marking = instance.marking
+        states = [marking.edge_state_key(edge.key) for edge in control_edges]
+        sync_states = [marking.edge_state_key(edge.key) for edge in sync_edges]
         all_signaled = all(s.is_signaled for s in states)
         sync_ready = all(s.is_signaled for s in sync_states)
         if node.node_type is NodeType.AND_JOIN:
@@ -343,7 +423,11 @@ class ProcessEngine:
         self, instance: ProcessInstance, schema: ProcessSchema, split_id: str
     ) -> str:
         """Evaluate XOR guards over the current data and pick a branch."""
-        edges = schema.edges_from(split_id, EdgeType.CONTROL)
+        edges = (
+            schema.index.out_edges(split_id, EdgeType.CONTROL)
+            if indexing_enabled()
+            else schema.edges_from(split_id, EdgeType.CONTROL)
+        )
         default_target: Optional[str] = None
         for edge in edges:
             if edge.guard is None:
@@ -390,11 +474,16 @@ class ProcessEngine:
         reset_nodes = set(body) | {loop_start_id}
         for node_id in reset_nodes:
             instance.marking.set_node_state(node_id, NodeState.NOT_ACTIVATED)
-        for edge in schema.edges:
-            if edge.is_loop:
-                continue
-            if edge.source in reset_nodes and edge.target in reset_nodes:
-                instance.marking.set_edge_state(edge.source, edge.target, EdgeState.NOT_SIGNALED, edge.edge_type)
+        if indexing_enabled():
+            internal = schema.index.loop_internal_edges(loop_start_id)
+        else:
+            internal = tuple(
+                edge
+                for edge in schema.edges
+                if not edge.is_loop and edge.source in reset_nodes and edge.target in reset_nodes
+            )
+        for edge in internal:
+            instance.marking.set_edge_state_key(edge.key, EdgeState.NOT_SIGNALED)
         self._emit(EventType.LOOP_ITERATION, instance, node=loop_start_id)
         instance.history.record(
             HistoryEventType.LOOP_ITERATION_STARTED,
@@ -429,23 +518,32 @@ class ProcessEngine:
     ) -> None:
         """Signal all outgoing control and sync edges of a finished node."""
         schema = instance.execution_schema
-        for edge in schema.edges_from(node_id, EdgeType.CONTROL):
+        if indexing_enabled():
+            control_out = schema.index.out_edges(node_id, EdgeType.CONTROL)
+            sync_out = schema.index.out_edges(node_id, EdgeType.SYNC)
+        else:
+            control_out = schema.edges_from(node_id, EdgeType.CONTROL)
+            sync_out = schema.edges_from(node_id, EdgeType.SYNC)
+        marking = instance.marking
+        for edge in control_out:
             if skipped:
                 state = EdgeState.FALSE_SIGNALED
             elif chosen_target is not None and edge.target != chosen_target:
                 state = EdgeState.FALSE_SIGNALED
             else:
                 state = EdgeState.TRUE_SIGNALED
-            instance.marking.set_edge_state(edge.source, edge.target, state, EdgeType.CONTROL)
-        for edge in schema.edges_from(node_id, EdgeType.SYNC):
+            marking.set_edge_state_key(edge.key, state)
+        for edge in sync_out:
             state = EdgeState.FALSE_SIGNALED if skipped else EdgeState.TRUE_SIGNALED
-            instance.marking.set_edge_state(edge.source, edge.target, state, EdgeType.SYNC)
+            marking.set_edge_state_key(edge.key, state)
 
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
 
     def _loop_body(self, schema: ProcessSchema, loop_start_id: str) -> Set[str]:
+        if indexing_enabled():
+            return schema.index.loop_body(loop_start_id)
         key = (id(schema), loop_start_id)
         if key not in self._loop_body_cache:
             self._loop_body_cache[key] = schema.loop_body(loop_start_id)
@@ -454,6 +552,11 @@ class ProcessEngine:
     def _iteration_of(self, instance: ProcessInstance, node_id: str) -> int:
         """Iteration counter of the innermost loop containing ``node_id``."""
         schema = instance.execution_schema
+        if indexing_enabled():
+            loop_start_id = schema.index.innermost_loop_start(node_id)
+            if loop_start_id is None:
+                return 0
+            return instance.loop_iterations.get(loop_start_id, 0)
         best: Optional[Tuple[int, int]] = None  # (body size, iteration)
         for edge in schema.loop_edges():
             loop_start_id = edge.target

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import ast
 import operator
+from functools import lru_cache
 from typing import Any, Mapping
 
 from repro.errors import ReproError
@@ -91,15 +92,34 @@ def _evaluate(node: ast.AST, values: Mapping[str, Any]) -> Any:
     raise ExpressionError(f"unsupported expression construct: {type(node).__name__}")
 
 
-def evaluate_expression(expression: str, values: Mapping[str, Any]) -> Any:
-    """Evaluate ``expression`` over ``values`` and return the raw result."""
+@lru_cache(maxsize=2048)
+def compile_expression(expression: str) -> ast.Expression:
+    """Parse ``expression`` into its AST, memoized in a bounded LRU cache.
+
+    Guards and loop conditions are evaluated on every branching decision
+    of every instance, but a schema only carries a handful of distinct
+    expression strings — caching the parsed AST removes the dominant
+    ``ast.parse`` cost from the hot path.  The returned tree is shared;
+    the interpreter in :func:`_evaluate` never mutates it.  Parse
+    failures are not cached (they re-raise on every call, which only
+    malformed schemas hit).
+    """
     if not expression or not expression.strip():
         raise ExpressionError("expression must be non-empty")
     try:
-        tree = ast.parse(expression, mode="eval")
+        return ast.parse(expression, mode="eval")
     except SyntaxError as exc:
         raise ExpressionError(f"malformed expression {expression!r}: {exc}") from exc
-    return _evaluate(tree, values)
+
+
+def clear_expression_cache() -> None:
+    """Drop all memoized expression ASTs (tests and long-lived services)."""
+    compile_expression.cache_clear()
+
+
+def evaluate_expression(expression: str, values: Mapping[str, Any]) -> Any:
+    """Evaluate ``expression`` over ``values`` and return the raw result."""
+    return _evaluate(compile_expression(expression), values)
 
 
 def evaluate_condition(expression: str, values: Mapping[str, Any]) -> bool:

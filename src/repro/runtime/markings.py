@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 from repro.runtime.states import EdgeState, NodeState
 from repro.schema.edges import EdgeType
 from repro.schema.graph import ProcessSchema
+from repro.schema.index import indexing_enabled
 
 EdgeKey = Tuple[str, str, str]
 
@@ -37,6 +38,12 @@ class Marking:
     @classmethod
     def initial(cls, schema: ProcessSchema) -> "Marking":
         """The marking of a freshly created instance: everything untouched."""
+        if indexing_enabled():
+            index = schema.index
+            return cls(
+                dict.fromkeys(index.node_ids, NodeState.NOT_ACTIVATED),
+                dict.fromkeys(index.non_loop_edge_keys(), EdgeState.NOT_SIGNALED),
+            )
         node_states = {node_id: NodeState.NOT_ACTIVATED for node_id in schema.node_ids()}
         edge_states = {
             edge.key: EdgeState.NOT_SIGNALED for edge in schema.edges if not edge.is_loop
@@ -102,6 +109,19 @@ class Marking:
     def edge_state(self, source: str, target: str, edge_type: EdgeType = EdgeType.CONTROL) -> EdgeState:
         """State of the edge (untouched edges default to NOT_SIGNALED)."""
         return self._edge_states.get((source, target, edge_type.value), EdgeState.NOT_SIGNALED)
+
+    def edge_state_key(self, key: EdgeKey) -> EdgeState:
+        """State of the edge by its precomputed key (engine hot path).
+
+        Avoids rebuilding the ``(source, target, type)`` tuple per lookup;
+        the engine feeds it the ``Edge.key`` tuples held by the compiled
+        :class:`~repro.schema.index.SchemaIndex`.
+        """
+        return self._edge_states.get(key, EdgeState.NOT_SIGNALED)
+
+    def set_edge_state_key(self, key: EdgeKey, state: EdgeState) -> None:
+        """Set the state of the edge by its precomputed key (engine hot path)."""
+        self._edge_states[key] = state
 
     def set_edge_state(
         self, source: str, target: str, state: EdgeState, edge_type: EdgeType = EdgeType.CONTROL

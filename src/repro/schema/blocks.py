@@ -75,13 +75,18 @@ def _control_predecessors(schema: ProcessSchema, node_id: str) -> List[str]:
     return schema.predecessors(node_id, EdgeType.CONTROL)
 
 
-def post_dominators(schema: ProcessSchema) -> Dict[str, Set[str]]:
+def post_dominators(
+    schema: ProcessSchema, order: Optional[Sequence[str]] = None
+) -> Dict[str, Set[str]]:
     """Post-dominator sets on the control DAG (loop edges ignored).
 
     ``post_dominators(s)[n]`` is the set of nodes that appear on *every*
     control path from ``n`` to the end node (including ``n`` itself).
+    ``order`` accepts a precomputed ``topological_order(include_sync=False)``
+    so callers analysing several properties of one schema compute it once.
     """
-    order = schema.topological_order(include_sync=False)
+    if order is None:
+        order = schema.topological_order(include_sync=False)
     end_id = schema.end_node().node_id
     postdom: Dict[str, Set[str]] = {}
     for node_id in reversed(order):
@@ -100,13 +105,18 @@ def post_dominators(schema: ProcessSchema) -> Dict[str, Set[str]]:
     return postdom
 
 
-def dominators(schema: ProcessSchema) -> Dict[str, Set[str]]:
+def dominators(
+    schema: ProcessSchema, order: Optional[Sequence[str]] = None
+) -> Dict[str, Set[str]]:
     """Dominator sets on the control DAG (loop edges ignored).
 
     ``dominators(s)[n]`` is the set of nodes that appear on *every*
     control path from the start node to ``n`` (including ``n`` itself).
+    ``order`` accepts a precomputed topological order (see
+    :func:`post_dominators`).
     """
-    order = schema.topological_order(include_sync=False)
+    if order is None:
+        order = schema.topological_order(include_sync=False)
     start_id = schema.start_node().node_id
     dom: Dict[str, Set[str]] = {}
     for node_id in order:
@@ -125,22 +135,31 @@ def dominators(schema: ProcessSchema) -> Dict[str, Set[str]]:
     return dom
 
 
-def matching_join(schema: ProcessSchema, split_id: str) -> str:
+def matching_join(
+    schema: ProcessSchema,
+    split_id: str,
+    postdom: Optional[Dict[str, Set[str]]] = None,
+    order: Optional[Sequence[str]] = None,
+) -> str:
     """The join node closing the block opened by ``split_id``.
 
     The matching join of a split is its immediate post-dominator of the
     expected join type.  Raises :class:`BlockStructureError` when the
-    schema is not block structured.
+    schema is not block structured.  ``postdom`` and ``order`` accept
+    precomputed analysis results (``SchemaIndex`` passes its cached ones);
+    when omitted they are computed on demand.
     """
     split = schema.node(split_id)
     if not split.node_type.is_split:
         raise BlockStructureError(f"{split_id!r} is not a split node")
     expected = split.node_type.counterpart
-    postdom = post_dominators(schema)
+    if order is None:
+        order = schema.topological_order(include_sync=False)
+    if postdom is None:
+        postdom = post_dominators(schema, order=order)
     candidates = postdom[split_id] - {split_id}
     if not candidates:
         raise BlockStructureError(f"split {split_id!r} has no matching join")
-    order = schema.topological_order(include_sync=False)
     position = {node_id: index for index, node_id in enumerate(order)}
     for candidate in sorted(candidates, key=lambda n: position[n]):
         if schema.node(candidate).node_type is expected:
@@ -150,17 +169,28 @@ def matching_join(schema: ProcessSchema, split_id: str) -> str:
     )
 
 
-def matching_split(schema: ProcessSchema, join_id: str) -> str:
-    """The split node opening the block closed by ``join_id``."""
+def matching_split(
+    schema: ProcessSchema,
+    join_id: str,
+    dom: Optional[Dict[str, Set[str]]] = None,
+    order: Optional[Sequence[str]] = None,
+) -> str:
+    """The split node opening the block closed by ``join_id``.
+
+    ``dom`` and ``order`` accept precomputed analysis results (see
+    :func:`matching_join`).
+    """
     join = schema.node(join_id)
     if not join.node_type.is_join:
         raise BlockStructureError(f"{join_id!r} is not a join node")
     expected = join.node_type.counterpart
-    dom = dominators(schema)
+    if order is None:
+        order = schema.topological_order(include_sync=False)
+    if dom is None:
+        dom = dominators(schema, order=order)
     candidates = dom[join_id] - {join_id}
     if not candidates:
         raise BlockStructureError(f"join {join_id!r} has no matching split")
-    order = schema.topological_order(include_sync=False)
     position = {node_id: index for index, node_id in enumerate(order)}
     for candidate in sorted(candidates, key=lambda n: position[n], reverse=True):
         if schema.node(candidate).node_type is expected:
@@ -208,9 +238,17 @@ class BlockTree:
 
     @classmethod
     def build(cls, schema: ProcessSchema) -> "BlockTree":
-        """Analyse ``schema`` and build its block nesting tree."""
+        """Analyse ``schema`` and build its block nesting tree.
+
+        The topological order and the post-dominator sets are computed
+        once and shared by all ``matching_join`` lookups (callers that
+        analyse one schema repeatedly should prefer the cached tree on
+        ``schema.index.block_tree()``).
+        """
         start_id = schema.start_node().node_id
         end_id = schema.end_node().node_id
+        order = schema.topological_order(include_sync=False)
+        postdom = post_dominators(schema, order=order)
         root = Block(
             kind=BlockKind.PROCESS,
             entry=start_id,
@@ -220,7 +258,7 @@ class BlockTree:
         blocks: List[Block] = [root]
         for node in schema.nodes.values():
             if node.node_type.is_split:
-                join_id = matching_join(schema, node.node_id)
+                join_id = matching_join(schema, node.node_id, postdom=postdom, order=order)
                 kind = (
                     BlockKind.PARALLEL
                     if node.node_type is NodeType.AND_SPLIT

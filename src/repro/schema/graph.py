@@ -19,6 +19,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Seque
 from repro.errors import ReproError
 from repro.schema.data import DataEdge, DataElement
 from repro.schema.edges import Edge, EdgeType
+from repro.schema.index import SchemaIndex, indexing_enabled
 from repro.schema.nodes import Node, NodeType
 
 
@@ -52,6 +53,45 @@ class ProcessSchema:
         self._edges: Dict[Tuple[str, str, str], Edge] = {}
         self._data_elements: Dict[str, DataElement] = {}
         self._data_edges: Dict[Tuple[str, str, str], DataEdge] = {}
+        self._generation: int = 0
+        self._index: Optional[SchemaIndex] = None
+
+    # ------------------------------------------------------------------ #
+    # compiled index and invalidation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every structural mutation."""
+        return self._generation
+
+    @property
+    def index(self) -> SchemaIndex:
+        """The compiled :class:`SchemaIndex` of this schema.
+
+        Rebuilt lazily whenever the schema mutated since the index was
+        compiled (generation-counter invalidation).  All structural query
+        methods of the schema answer from this index; hot-path callers
+        hold it directly to reuse its cached structures across many
+        queries.
+        """
+        index = self._index
+        if index is None or index.generation != self._generation:
+            index = SchemaIndex(self)
+            self._index = index
+        return index
+
+    def _bump(self) -> None:
+        """Invalidate the compiled index after a structural mutation."""
+        self._generation += 1
+
+    def raw_edges(self) -> Iterable[Edge]:
+        """All edges in insertion order, without copying (index builder)."""
+        return self._edges.values()
+
+    def raw_data_edges(self) -> Iterable[DataEdge]:
+        """All data edges in insertion order, without copying (index builder)."""
+        return self._data_edges.values()
 
     # ------------------------------------------------------------------ #
     # basic collection accessors
@@ -125,12 +165,14 @@ class ProcessSchema:
         if node.node_id in self._nodes:
             raise SchemaError(f"duplicate node id: {node.node_id!r}")
         self._nodes[node.node_id] = node
+        self._bump()
 
     def replace_node(self, node: Node) -> None:
         """Replace an existing node (same id) with a new definition."""
         if node.node_id not in self._nodes:
             raise SchemaError(f"unknown node: {node.node_id!r}")
         self._nodes[node.node_id] = node
+        self._bump()
 
     def remove_node(self, node_id: str) -> None:
         """Remove a node and every control/sync/loop/data edge touching it."""
@@ -147,6 +189,7 @@ class ProcessSchema:
             for key, dedge in self._data_edges.items()
             if dedge.activity != node_id
         }
+        self._bump()
 
     def add_edge(self, edge: Edge) -> None:
         """Add an edge; endpoints must exist and the edge must be new."""
@@ -159,6 +202,7 @@ class ProcessSchema:
                 f"duplicate {edge.edge_type.value} edge: {edge.source!r} -> {edge.target!r}"
             )
         self._edges[edge.key] = edge
+        self._bump()
 
     def remove_edge(self, source: str, target: str, edge_type: EdgeType = EdgeType.CONTROL) -> None:
         """Remove the edge identified by its endpoints and type."""
@@ -166,6 +210,7 @@ class ProcessSchema:
         if key not in self._edges:
             raise SchemaError(f"unknown {edge_type.value} edge: {source!r} -> {target!r}")
         del self._edges[key]
+        self._bump()
 
     def replace_edge(self, edge: Edge) -> None:
         """Replace an existing edge (same key) with a new definition."""
@@ -174,11 +219,13 @@ class ProcessSchema:
                 f"unknown {edge.edge_type.value} edge: {edge.source!r} -> {edge.target!r}"
             )
         self._edges[edge.key] = edge
+        self._bump()
 
     def add_data_element(self, element: DataElement) -> None:
         if element.name in self._data_elements:
             raise SchemaError(f"duplicate data element: {element.name!r}")
         self._data_elements[element.name] = element
+        self._bump()
 
     def remove_data_element(self, name: str) -> None:
         """Remove a data element and all data edges referring to it."""
@@ -188,6 +235,7 @@ class ProcessSchema:
         self._data_edges = {
             key: dedge for key, dedge in self._data_edges.items() if dedge.element != name
         }
+        self._bump()
 
     def add_data_edge(self, data_edge: DataEdge) -> None:
         if data_edge.activity not in self._nodes:
@@ -200,12 +248,14 @@ class ProcessSchema:
                 f"{data_edge.element!r}"
             )
         self._data_edges[data_edge.key] = data_edge
+        self._bump()
 
     def remove_data_edge(self, activity: str, element: str, access) -> None:
         key = (activity, element, getattr(access, "value", access))
         if key not in self._data_edges:
             raise SchemaError(f"unknown data edge: {key!r}")
         del self._data_edges[key]
+        self._bump()
 
     # ------------------------------------------------------------------ #
     # structural queries
@@ -213,6 +263,8 @@ class ProcessSchema:
 
     def start_node(self) -> Node:
         """The unique start node of the schema."""
+        if indexing_enabled():
+            return self.node(self.index.start_node_id())
         starts = [n for n in self._nodes.values() if n.node_type is NodeType.START]
         if len(starts) != 1:
             raise SchemaError(f"schema must have exactly one start node, found {len(starts)}")
@@ -220,6 +272,8 @@ class ProcessSchema:
 
     def end_node(self) -> Node:
         """The unique end node of the schema."""
+        if indexing_enabled():
+            return self.node(self.index.end_node_id())
         ends = [n for n in self._nodes.values() if n.node_type is NodeType.END]
         if len(ends) != 1:
             raise SchemaError(f"schema must have exactly one end node, found {len(ends)}")
@@ -227,6 +281,8 @@ class ProcessSchema:
 
     def edges_from(self, node_id: str, edge_type: Optional[EdgeType] = None) -> List[Edge]:
         """Outgoing edges of ``node_id``, optionally filtered by type."""
+        if indexing_enabled():
+            return self.index.edges_from(node_id, edge_type)
         return [
             e
             for e in self._edges.values()
@@ -235,6 +291,8 @@ class ProcessSchema:
 
     def edges_to(self, node_id: str, edge_type: Optional[EdgeType] = None) -> List[Edge]:
         """Incoming edges of ``node_id``, optionally filtered by type."""
+        if indexing_enabled():
+            return self.index.edges_to(node_id, edge_type)
         return [
             e
             for e in self._edges.values()
@@ -250,12 +308,18 @@ class ProcessSchema:
         return [e.source for e in self.edges_to(node_id, edge_type)]
 
     def control_edges(self) -> List[Edge]:
+        if indexing_enabled():
+            return self.index.control_edges()
         return [e for e in self._edges.values() if e.is_control]
 
     def sync_edges(self) -> List[Edge]:
+        if indexing_enabled():
+            return self.index.sync_edges()
         return [e for e in self._edges.values() if e.is_sync]
 
     def loop_edges(self) -> List[Edge]:
+        if indexing_enabled():
+            return self.index.loop_edges()
         return [e for e in self._edges.values() if e.is_loop]
 
     def transitive_successors(self, node_id: str, include_sync: bool = False) -> Set[str]:
@@ -269,6 +333,8 @@ class ProcessSchema:
         return self._reach(node_id, forward=False, include_sync=include_sync)
 
     def _reach(self, node_id: str, forward: bool, include_sync: bool) -> Set[str]:
+        if indexing_enabled():
+            return set(self.index._reach(node_id, forward=forward, include_sync=include_sync))
         self.node(node_id)
         seen: Set[str] = set()
         frontier = [node_id]
@@ -307,6 +373,8 @@ class ProcessSchema:
         remaining graph is cyclic (which verification reports as a
         deadlock-causing cycle).
         """
+        if indexing_enabled():
+            return self.index.topological_order(include_sync)
         indegree: Dict[str, int] = {node_id: 0 for node_id in self._nodes}
         adjacency: Dict[str, List[str]] = {node_id: [] for node_id in self._nodes}
         for edge in self._edges.values():
@@ -339,6 +407,8 @@ class ProcessSchema:
         loop_start = self.node(loop_start_id)
         if loop_start.node_type is not NodeType.LOOP_START:
             raise SchemaError(f"{loop_start_id!r} is not a loop start node")
+        if indexing_enabled():
+            return set(self.index.loop_body(loop_start_id))
         loop_end_id = self.matching_loop_end(loop_start_id)
         inside = self.transitive_successors(loop_start_id, include_sync=False)
         after_end = self.transitive_successors(loop_end_id, include_sync=False)
@@ -348,6 +418,8 @@ class ProcessSchema:
 
     def matching_loop_end(self, loop_start_id: str) -> str:
         """The loop-end node whose loop edge points back to ``loop_start_id``."""
+        if indexing_enabled():
+            return self.index.matching_loop_end(loop_start_id)
         for edge in self.loop_edges():
             if edge.target == loop_start_id:
                 return edge.source
@@ -355,6 +427,8 @@ class ProcessSchema:
 
     def matching_loop_start(self, loop_end_id: str) -> str:
         """The loop-start node targeted by the loop edge of ``loop_end_id``."""
+        if indexing_enabled():
+            return self.index.matching_loop_start(loop_end_id)
         for edge in self.loop_edges():
             if edge.source == loop_end_id:
                 return edge.target
@@ -366,20 +440,30 @@ class ProcessSchema:
 
     def writers_of(self, element: str) -> List[str]:
         """Activities writing ``element``."""
+        if indexing_enabled():
+            return self.index.writers_of(element)
         return [d.activity for d in self._data_edges.values() if d.element == element and d.is_write]
 
     def readers_of(self, element: str) -> List[str]:
         """Activities reading ``element``."""
+        if indexing_enabled():
+            return self.index.readers_of(element)
         return [d.activity for d in self._data_edges.values() if d.element == element and d.is_read]
 
     def data_edges_of(self, activity: str) -> List[DataEdge]:
         """All data edges attached to ``activity``."""
+        if indexing_enabled():
+            return self.index.data_edges_of(activity)
         return [d for d in self._data_edges.values() if d.activity == activity]
 
     def reads_of(self, activity: str) -> List[DataEdge]:
+        if indexing_enabled():
+            return self.index.reads_of(activity)
         return [d for d in self.data_edges_of(activity) if d.is_read]
 
     def writes_of(self, activity: str) -> List[DataEdge]:
+        if indexing_enabled():
+            return self.index.writes_of(activity)
         return [d for d in self.data_edges_of(activity) if d.is_write]
 
     # ------------------------------------------------------------------ #

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.schema.edges import EdgeType
 from repro.schema.graph import ProcessSchema, SchemaError
+from repro.schema.index import indexing_enabled
 from repro.schema.nodes import NodeType
 from repro.verification.report import (
     IssueCode,
@@ -61,7 +62,7 @@ def _conditional_interiors(schema: ProcessSchema) -> Set[str]:
     from repro.schema.blocks import BlockKind, BlockStructureError, BlockTree
 
     try:
-        tree = BlockTree.build(schema)
+        tree = schema.index.block_tree() if indexing_enabled() else BlockTree.build(schema)
     except (BlockStructureError, SchemaError):
         return set()
     interiors: Set[str] = set()
@@ -121,7 +122,9 @@ class DataFlowVerifier:
         """Run all data-flow checks and return the findings."""
         report = VerificationReport(schema_id=schema.schema_id)
         try:
-            available = written_before(schema)
+            available = (
+                schema.index.written_before() if indexing_enabled() else written_before(schema)
+            )
         except SchemaError:
             # A cyclic or endpoint-less schema is reported by the structural
             # and deadlock verifiers; data-flow analysis needs a DAG.
@@ -211,7 +214,7 @@ class DataFlowVerifier:
         from repro.schema.blocks import BlockKind, BlockStructureError, BlockTree
 
         try:
-            tree = BlockTree.build(schema)
+            tree = schema.index.block_tree() if indexing_enabled() else BlockTree.build(schema)
         except (BlockStructureError, SchemaError):
             return
         for element in schema.data_elements:

@@ -37,6 +37,19 @@ SKIPPED = "skipped"
 Configuration = Tuple[Tuple[str, str], ...]
 
 
+class _Topology:
+    """Adjacency of one schema, resolved once per soundness exploration."""
+
+    __slots__ = ("node_ids", "node_types", "control_preds", "sync_preds", "control_succs")
+
+    def __init__(self, node_ids, node_types, control_preds, sync_preds, control_succs) -> None:
+        self.node_ids = node_ids
+        self.node_types = node_types
+        self.control_preds = control_preds
+        self.sync_preds = sync_preds
+        self.control_succs = control_succs
+
+
 class SoundnessVerifier:
     """Explores all decision outcomes of a schema within a state cap."""
 
@@ -54,7 +67,23 @@ class SoundnessVerifier:
             # Malformed schemas are reported by the other verifiers.
             return report
 
-        initial: Dict[str, str] = {node_id: PENDING for node_id in schema.node_ids()}
+        node_ids = schema.node_ids()
+        # the exploration touches the same adjacency for every explored
+        # configuration — resolve it once from the compiled index (or the
+        # schema scans when indexing is disabled) instead of per state
+        node_types = {node_id: schema.node(node_id).node_type for node_id in node_ids}
+        control_preds = {
+            node_id: schema.predecessors(node_id, EdgeType.CONTROL) for node_id in node_ids
+        }
+        sync_preds = {
+            node_id: schema.predecessors(node_id, EdgeType.SYNC) for node_id in node_ids
+        }
+        control_succs = {
+            node_id: schema.successors(node_id, EdgeType.CONTROL) for node_id in node_ids
+        }
+        topology = _Topology(node_ids, node_types, control_preds, sync_preds, control_succs)
+
+        initial: Dict[str, str] = {node_id: PENDING for node_id in node_ids}
         seen: Set[Configuration] = set()
         stack: List[Dict[str, str]] = [initial]
         executed_somewhere: Set[str] = set()
@@ -69,7 +98,7 @@ class SoundnessVerifier:
             if key in seen:
                 continue
             seen.add(key)
-            successors = self._successor_states(schema, state)
+            successors = self._successor_states(topology, state)
             if not successors:
                 if state[end_id] != DONE:
                     stuck = sorted(n for n, s in state.items() if s == PENDING)
@@ -110,20 +139,19 @@ class SoundnessVerifier:
     # ------------------------------------------------------------------ #
 
     def _successor_states(
-        self, schema: ProcessSchema, state: Dict[str, str]
+        self, topology: "_Topology", state: Dict[str, str]
     ) -> List[Dict[str, str]]:
         """All configurations reachable by resolving one pending node."""
         successors: List[Dict[str, str]] = []
-        for node_id in schema.node_ids():
+        for node_id in topology.node_ids:
             if state[node_id] != PENDING:
                 continue
-            transition = self._transition_for(schema, state, node_id)
+            transition = self._transition_for(topology, state, node_id)
             if transition is None:
                 continue
             kind = transition
-            node = schema.node(node_id)
-            if kind == "fire" and node.node_type is NodeType.XOR_SPLIT:
-                branches = schema.successors(node_id, EdgeType.CONTROL)
+            if kind == "fire" and topology.node_types[node_id] is NodeType.XOR_SPLIT:
+                branches = topology.control_succs[node_id]
                 for chosen in branches:
                     next_state = dict(state)
                     next_state[node_id] = DONE
@@ -138,28 +166,28 @@ class SoundnessVerifier:
         return successors
 
     def _transition_for(
-        self, schema: ProcessSchema, state: Dict[str, str], node_id: str
+        self, topology: "_Topology", state: Dict[str, str], node_id: str
     ) -> Optional[str]:
         """How a pending node can be resolved: ``"fire"``, ``"skip"`` or ``None``."""
-        node = schema.node(node_id)
-        if node.node_type is NodeType.START:
+        node_type = topology.node_types[node_id]
+        if node_type is NodeType.START:
             return "fire"
-        control_preds = schema.predecessors(node_id, EdgeType.CONTROL)
-        sync_preds = schema.predecessors(node_id, EdgeType.SYNC)
+        control_preds = topology.control_preds[node_id]
+        sync_preds = topology.sync_preds[node_id]
         if not control_preds:
             return None
         pred_states = [state[p] for p in control_preds]
         if any(s == PENDING for s in pred_states):
             return None
         sync_ready = all(state[p] != PENDING for p in sync_preds)
-        if node.node_type is NodeType.AND_JOIN:
+        if node_type is NodeType.AND_JOIN:
             if all(s == DONE for s in pred_states):
                 return "fire" if sync_ready else None
             if all(s == SKIPPED for s in pred_states):
                 return "skip"
             # mixed: the join can never fire -> leave pending (deadlock surfaces)
             return None
-        if node.node_type is NodeType.XOR_JOIN:
+        if node_type is NodeType.XOR_JOIN:
             if any(s == DONE for s in pred_states):
                 return "fire" if sync_ready else None
             return "skip"

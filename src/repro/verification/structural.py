@@ -12,6 +12,7 @@ from typing import List
 from repro.schema.blocks import BlockStructureError, BlockTree, matching_join
 from repro.schema.edges import EdgeType
 from repro.schema.graph import ProcessSchema, SchemaError
+from repro.schema.index import indexing_enabled
 from repro.schema.nodes import NodeType
 from repro.verification.report import (
     IssueCode,
@@ -193,13 +194,16 @@ class StructuralVerifier:
             if not node.node_type.is_split:
                 continue
             try:
-                matching_join(schema, node.node_id)
+                if indexing_enabled():
+                    schema.index.matching_join(node.node_id)
+                else:
+                    matching_join(schema, node.node_id)
             except BlockStructureError as exc:
                 report.add(
                     error(IssueCode.UNMATCHED_BLOCK, str(exc), nodes=(node.node_id,))
                 )
         try:
-            tree = BlockTree.build(schema)
+            tree = schema.index.block_tree() if indexing_enabled() else BlockTree.build(schema)
         except SchemaError:
             # includes BlockStructureError and dangling loop-edge problems,
             # which are reported by the loop-edge checks above

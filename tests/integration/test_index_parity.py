@@ -1,0 +1,135 @@
+"""Cross-mode parity: indexed execution must be byte-identical to scans.
+
+The acceptance criterion of the SchemaIndex refactor: migration,
+compliance and verification produce exactly the same results whether the
+structural queries are answered by the compiled index or by the original
+edge-list scans.  Each test runs the same deterministic workload twice —
+once per mode — and compares the serialised results.
+"""
+
+import json
+
+from repro.core.compliance import ComplianceChecker
+from repro.core.migration import MigrationManager
+from repro.schema.index import without_index
+from repro.verification.verifier import SchemaVerifier
+from repro.workloads.order_process import order_type_change_v2, paper_fig3_population
+from repro.workloads.schema_generator import RandomSchemaGenerator, SchemaGeneratorConfig
+
+
+def _generated_schemas():
+    config = SchemaGeneratorConfig(target_activities=14, loop_probability=0.1)
+    return [
+        RandomSchemaGenerator(config, seed=seed).generate(f"parity_{seed}")
+        for seed in (1, 2, 3, 4, 5)
+    ]
+
+
+def _migration_outcome():
+    """One full migration run over the paper workload, serialised."""
+    process_type, engine, instances = paper_fig3_population(
+        instance_count=80, biased_fraction=0.15, seed=17
+    )
+    report = MigrationManager(engine).migrate_type(
+        process_type, order_type_change_v2(), instances
+    )
+    for instance in instances:
+        if instance.status.is_active:
+            engine.run_to_completion(instance)
+    payload = report.to_dict()
+    payload.pop("duration_seconds")
+    payload["final"] = sorted(
+        (
+            instance.instance_id,
+            instance.schema_version,
+            instance.status.value,
+            tuple(instance.completed_activities()),
+        )
+        for instance in instances
+    )
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def _compliance_outcome():
+    """Per-instance compliance verdicts for a partially executed population."""
+    process_type, engine, instances = paper_fig3_population(
+        instance_count=40, biased_fraction=0.0, seed=23
+    )
+    change = order_type_change_v2()
+    target = change.operations.apply_to(process_type.latest_schema)
+    checker = ComplianceChecker()
+    verdicts = []
+    for instance in instances:
+        conditions = checker.check_with_conditions(instance, change.operations)
+        replay = checker.check_by_replay(instance, target)
+        verdicts.append(
+            (
+                instance.instance_id,
+                conditions.compliant,
+                sorted(str(conflict) for conflict in conditions.conflicts),
+                replay.compliant,
+                sorted(str(conflict) for conflict in replay.conflicts),
+            )
+        )
+    return json.dumps(verdicts, sort_keys=True)
+
+
+def _verification_outcome():
+    """Buildtime verification reports over a batch of random schemas."""
+    verifier = SchemaVerifier()
+    return json.dumps(
+        [verifier.verify(schema).summary() for schema in _generated_schemas()], sort_keys=True
+    )
+
+
+class TestIndexParity:
+    def test_migration_is_identical_with_and_without_index(self):
+        indexed = _migration_outcome()
+        with without_index():
+            scanned = _migration_outcome()
+        assert indexed == scanned
+
+    def test_compliance_is_identical_with_and_without_index(self):
+        indexed = _compliance_outcome()
+        with without_index():
+            scanned = _compliance_outcome()
+        assert indexed == scanned
+
+    def test_verification_is_identical_with_and_without_index(self):
+        indexed = _verification_outcome()
+        with without_index():
+            scanned = _verification_outcome()
+        assert indexed == scanned
+
+    def test_stepping_histories_are_identical_with_and_without_index(self):
+        def run():
+            from repro.runtime.engine import ProcessEngine
+
+            schema = RandomSchemaGenerator(
+                SchemaGeneratorConfig(target_activities=20, loop_probability=0.1), seed=11
+            ).generate("parity_step")
+            engine = ProcessEngine()
+            traces = []
+            for k in range(10):
+                instance = engine.create_instance(schema, f"case-{k}")
+                engine.run_to_completion(instance)
+                traces.append(
+                    (
+                        instance.status.value,
+                        tuple(instance.completed_activities()),
+                        tuple(
+                            (entry.event.value, entry.activity, entry.iteration)
+                            for entry in instance.history.entries
+                        ),
+                    )
+                )
+            events = tuple(
+                (event.event_type.value, event.instance_id, event.node_id)
+                for event in engine.event_log.events
+            )
+            return traces, events
+
+        indexed = run()
+        with without_index():
+            scanned = run()
+        assert indexed == scanned
