@@ -1,0 +1,174 @@
+"""Persistence benchmark: recovery time and hydrated stepping throughput.
+
+Measures what the durability layer was built for:
+
+* **recovery time** — ``AdeptSystem.open`` against a store holding a
+  populated system, once from a pure WAL (crash without checkpoint) and
+  once from a snapshot (clean checkpoint), including the recovered
+  steps/sec a resumed population achieves;
+* **hydrated stepping throughput** — ``step_many()`` over a population
+  far larger than the LRU live-instance cap (cases hydrate from the
+  instance store on access, dirty cases are written back on eviction)
+  against the all-in-RAM baseline.  The acceptance gate: a 10k-case
+  population under a 1k cap stays within 2x of the all-in-RAM path on
+  multi-step batches.
+
+Rows land in ``benchmarks/results/BENCH_persistence.txt``.
+
+Smoke mode (``BENCH_SMOKE=1``): tiny populations and no timing
+assertions — CI uses it to keep the harness runnable without paying for
+(or flaking on) real measurements.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import write_rows
+from repro.schema import templates
+from repro.system import AdeptSystem
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+EXPERIMENT = "BENCH_persistence"
+
+POPULATION = 40 if SMOKE else 10_000
+LIVE_CAP = 8 if SMOKE else 1_000
+RECOVERY_POPULATION = 20 if SMOKE else 1_000
+BATCH_STEPS = 3
+
+#: Acceptance ceiling: hydrated multi-step batches may cost at most this
+#: factor over the all-in-RAM path.
+MAX_HYDRATED_SLOWDOWN = 2.0
+
+
+def _populate(system, count):
+    orders = system.deploy(templates.online_order_process())
+    return orders, [orders.start().instance_id for _ in range(count)]
+
+
+def _steps_per_second(system, ids, steps):
+    started = time.perf_counter()
+    results = system.step_many(ids, steps=steps)
+    elapsed = time.perf_counter() - started
+    executed = sum(result.steps for result in results)
+    return executed / elapsed if elapsed else float("inf")
+
+
+def test_recovery_time_wal_vs_snapshot(tmp_path):
+    """Wall time of AdeptSystem.open from a WAL suffix vs from a snapshot."""
+    store = str(tmp_path / "store")
+    system = AdeptSystem.open(store)
+    orders, ids = _populate(system, RECOVERY_POPULATION)
+    system.step_many(ids, steps=2)
+    wal_records = len(system.backend.wal_records())
+    system.backend.close()  # crash: recovery must replay the whole WAL
+
+    started = time.perf_counter()
+    recovered = AdeptSystem.open(store)
+    wal_recovery_seconds = time.perf_counter() - started
+    assert recovered.last_recovery.replayed_records == wal_records
+
+    recovered.checkpoint()
+    recovered.close(checkpoint=False)
+    started = time.perf_counter()
+    snapshotted = AdeptSystem.open(store)
+    snapshot_recovery_seconds = time.perf_counter() - started
+    assert snapshotted.last_recovery.snapshot_loaded
+    assert snapshotted.last_recovery.replayed_records == 0
+
+    resumed_rate = _steps_per_second(snapshotted, ids, 1)
+    snapshotted.close(checkpoint=False)
+    write_rows(
+        EXPERIMENT,
+        f"recovery time ({RECOVERY_POPULATION} cases, {wal_records} WAL records)",
+        [
+            {
+                "recovery path": "WAL replay (crash)",
+                "seconds": f"{wal_recovery_seconds:.3f}",
+                "records": wal_records,
+            },
+            {
+                "recovery path": "snapshot (checkpoint)",
+                "seconds": f"{snapshot_recovery_seconds:.3f}",
+                "records": 0,
+            },
+            {
+                "recovery path": "resumed steps/sec",
+                "seconds": f"{resumed_rate:.0f}",
+                "records": "",
+            },
+        ],
+    )
+    if not SMOKE:
+        # a snapshot bounds recovery: it must beat replaying the full log
+        assert snapshot_recovery_seconds < wal_recovery_seconds
+
+
+def test_hydrated_stepping_throughput_vs_all_in_ram():
+    """step_many over a population larger than the live cap vs all-in-RAM."""
+    ram = AdeptSystem()
+    _, ram_ids = _populate(ram, POPULATION)
+    lru = AdeptSystem(cache_instances=LIVE_CAP)
+    _, lru_ids = _populate(lru, POPULATION)
+    assert len(lru.live_instance_ids()) <= LIVE_CAP
+
+    ram_single = _steps_per_second(ram, ram_ids, 1)
+    lru_single = _steps_per_second(lru, lru_ids, 1)
+
+    ram2 = AdeptSystem()
+    _, ram2_ids = _populate(ram2, POPULATION)
+    lru2 = AdeptSystem(cache_instances=LIVE_CAP)
+    _, lru2_ids = _populate(lru2, POPULATION)
+    ram_batch = _steps_per_second(ram2, ram2_ids, BATCH_STEPS)
+    lru_batch = _steps_per_second(lru2, lru2_ids, BATCH_STEPS)
+
+    write_rows(
+        EXPERIMENT,
+        f"hydrated stepping ({POPULATION} cases, live cap {LIVE_CAP})",
+        [
+            {
+                "batch": "steps=1",
+                "all-in-RAM steps/s": f"{ram_single:.0f}",
+                "hydrated steps/s": f"{lru_single:.0f}",
+                "slowdown": f"{ram_single / lru_single:.2f}x",
+            },
+            {
+                "batch": f"steps={BATCH_STEPS}",
+                "all-in-RAM steps/s": f"{ram_batch:.0f}",
+                "hydrated steps/s": f"{lru_batch:.0f}",
+                "slowdown": f"{ram_batch / lru_batch:.2f}x",
+            },
+        ],
+    )
+    if not SMOKE:
+        assert ram_batch / lru_batch <= MAX_HYDRATED_SLOWDOWN, (
+            f"hydrated step_many is {ram_batch / lru_batch:.2f}x slower than "
+            f"all-in-RAM (gate: {MAX_HYDRATED_SLOWDOWN}x)"
+        )
+
+
+def test_durable_stepping_overhead(tmp_path):
+    """Journaling every step to the WAL: overhead over the in-memory façade."""
+    population = 20 if SMOKE else 2_000
+    plain = AdeptSystem()
+    _, plain_ids = _populate(plain, population)
+    durable = AdeptSystem.open(str(tmp_path / "store"))
+    _, durable_ids = _populate(durable, population)
+
+    plain_rate = _steps_per_second(plain, plain_ids, 2)
+    durable_rate = _steps_per_second(durable, durable_ids, 2)
+    durable.close()
+    write_rows(
+        EXPERIMENT,
+        f"WAL journaling overhead ({population} cases)",
+        [
+            {
+                "system": "in-memory",
+                "steps/s": f"{plain_rate:.0f}",
+            },
+            {
+                "system": "durable (journaled)",
+                "steps/s": f"{durable_rate:.0f}",
+            },
+        ],
+    )

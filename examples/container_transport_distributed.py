@@ -15,6 +15,14 @@ the communication cost made explicit.
 Run with ``python examples/container_transport_distributed.py``.
 """
 
+try:  # installed package, or the caller already set PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # fresh checkout: fall back to the in-tree sources
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import AdeptSystem, Node, SerialInsertActivity, TypeChange
 from repro.distributed import DistributedCoordinator, SchemaPartitioning
 from repro.schema import templates

@@ -14,6 +14,14 @@ whose data a later step still needs).
 Run with ``python examples/ehealth_adhoc.py``.
 """
 
+try:  # installed package, or the caller already set PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # fresh checkout: fall back to the in-tree sources
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import AdeptSystem, AdHocChangeError
 from repro.org.model import example_org_model
 from repro.schema import templates

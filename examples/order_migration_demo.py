@@ -14,6 +14,14 @@ entirely through the :class:`AdeptSystem` service façade:
 Run with ``python examples/order_migration_demo.py``.
 """
 
+try:  # installed package, or the caller already set PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # fresh checkout: fall back to the in-tree sources
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.monitoring import render_migration_report
 from repro.workloads import order_type_change_v2, paper_fig1_system, paper_fig3_system
 

@@ -13,6 +13,14 @@ Covers the basic public API surface in a couple of minutes of reading:
 Run with ``python examples/quickstart.py``.
 """
 
+try:  # installed package, or the caller already set PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # fresh checkout: fall back to the in-tree sources
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import AdeptSystem, DataType, SchemaBuilder, verify_schema
 
 

@@ -11,6 +11,14 @@ Also demonstrates write-ahead-log crash recovery through the façade.
 Run with ``python examples/storage_representations.py``.
 """
 
+try:  # installed package, or the caller already set PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # fresh checkout: fall back to the in-tree sources
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro import AdeptSystem
 from repro.baselines import compare_representations
 from repro.schema import templates

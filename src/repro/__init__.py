@@ -128,6 +128,10 @@ from repro.system import (
     DeployResult,
     EventBus,
     InstanceHandle,
+    PersistenceError,
+    PersistentBackend,
+    RecoveryError,
+    RecoveryReport,
     RunResult,
     StepResult,
     SystemEvent,
@@ -148,9 +152,14 @@ __all__ = [
     "RunResult",
     "ChangeResult",
     "DeployResult",
+    # durability
+    "PersistentBackend",
+    "RecoveryReport",
     # error hierarchy
     "ReproError",
     "MigrationError",
+    "PersistenceError",
+    "RecoveryError",
     # schema
     "Node",
     "NodeType",

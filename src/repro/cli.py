@@ -11,10 +11,17 @@ is the thinnest possible shell around the service façade:
 * ``render`` — print a schema as ASCII or Graphviz DOT;
 * ``simulate`` — create and execute instances of a template;
 * ``run`` — drive a named scenario through the façade, optionally with
-  machine-readable ``--json`` output;
+  machine-readable ``--json`` output and a durable ``--store PATH``;
+* ``recover`` — open a durable store, report what recovery replayed and
+  (optionally) compact it into a fresh checkpoint;
 * ``demo-fig1`` — rerun the paper's Fig. 1 migration example;
 * ``demo-fig3`` — evolve the online-order type against a population of
   running instances and print the migration report.
+
+Commands accepting ``--store PATH`` run against a *durable* system
+(``AdeptSystem.open``): state survives across invocations, every committed
+mutation is journaled to the store's write-ahead log, and the run ends
+with a checkpoint (see ``docs/persistence.md``).
 """
 
 from __future__ import annotations
@@ -54,6 +61,26 @@ def _resolve_schema(source: str) -> ProcessSchema:
     return load_schema(source)
 
 
+def _make_system(args: argparse.Namespace) -> AdeptSystem:
+    """An in-memory system, or a durable one when ``--store`` was given."""
+    store = getattr(args, "store", None)
+    if store:
+        return AdeptSystem.open(store)
+    return AdeptSystem()
+
+
+def _deploy_or_reuse(system: AdeptSystem, schema: ProcessSchema):
+    """Deploy ``schema``, or reuse the deployed type of the same name.
+
+    A durable store already contains the types of earlier invocations;
+    re-running a scenario against it extends the population instead of
+    failing on the duplicate deployment.
+    """
+    if system.repository.has_type(schema.name):
+        return system.type(schema.name)
+    return system.deploy(schema)
+
+
 # --------------------------------------------------------------------------- #
 # sub-commands
 # --------------------------------------------------------------------------- #
@@ -90,11 +117,14 @@ def _cmd_render(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     schema = _resolve_schema(args.schema)
-    system = AdeptSystem()
-    process_type = system.deploy(schema)
+    system = _make_system(args)
+    process_type = _deploy_or_reuse(system, schema)
     cases = []
     for index in range(args.instances):
-        case = process_type.start(case_id=f"sim-{index:04d}")
+        # generated case ids with a durable store (fixed ids would collide
+        # with the cases persisted by earlier invocations)
+        case_id = None if getattr(args, "store", None) else f"sim-{index:04d}"
+        case = process_type.start(case_id=case_id)
         case.run()
         cases.append(case)
     print(f"simulated {args.instances} instance(s) of {schema.name!r}")
@@ -102,6 +132,40 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if cases and args.show_history:
         print()
         print(cases[0].monitor().history_view(reduced=True))
+    system.close()
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Open a durable store, report the recovery, optionally checkpoint."""
+    system = AdeptSystem.open(args.store)
+    report = system.last_recovery
+    if args.json:
+        payload = {
+            "store": args.store,
+            "snapshot_loaded": report.snapshot_loaded,
+            "snapshot_instances": report.snapshot_instances,
+            "snapshot_schema_versions": report.snapshot_schema_versions,
+            "replayed_records": report.replayed_records,
+            "replayed_by_kind": report.replayed_by_kind,
+            "types": len(system.repository),
+            "instances": len(system.store) + len(
+                [i for i in system.live_instance_ids() if not system.store.contains(i)]
+            ),
+            "checkpointed": bool(args.checkpoint),
+        }
+        if args.checkpoint:
+            system.checkpoint()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"recovered {args.store!r}:")
+        print(report.summary())
+        print(f"types: {len(system.repository)}, live instances: {len(system.live_instance_ids())}, "
+              f"stored instances: {len(system.store)}")
+        if args.checkpoint:
+            system.checkpoint()
+            print("checkpoint written; write-ahead log truncated")
+    system.close(checkpoint=False)
     return 0
 
 
@@ -140,14 +204,15 @@ def _cmd_demo_fig3(args: argparse.Namespace) -> int:
 def _run_lifecycle(args: argparse.Namespace) -> Dict[str, Any]:
     """Deploy a template, execute N cases, report stats and event counts."""
     schema = _resolve_schema(args.schema)
-    system = AdeptSystem()
-    process_type = system.deploy(schema)
+    system = _make_system(args)
+    process_type = _deploy_or_reuse(system, schema)
     completed = 0
     for _ in range(args.instances):
         case = process_type.start()
         result = case.run()
         completed += int(result.ok)
     stats = system.statistics()
+    system.close()
     return {
         "scenario": "lifecycle",
         "type": process_type.type_id,
@@ -240,6 +305,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("schema", help="template name or path to a schema JSON file")
     sub.add_argument("--instances", type=int, default=5)
     sub.add_argument("--show-history", action="store_true", help="print the history of the first instance")
+    sub.add_argument("--store", metavar="PATH",
+                     help="durable store directory (state survives across invocations)")
     sub.set_defaults(handler=_cmd_simulate)
 
     sub = subparsers.add_parser(
@@ -251,7 +318,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--instances", type=int, default=25)
     sub.add_argument("--seed", type=int, default=7)
     sub.add_argument("--json", action="store_true", help="machine-readable output")
+    sub.add_argument("--store", metavar="PATH",
+                     help="durable store directory (lifecycle scenario; state survives "
+                          "across invocations)")
     sub.set_defaults(handler=_cmd_run)
+
+    sub = subparsers.add_parser(
+        "recover",
+        help="open a durable store, report what crash recovery replayed",
+    )
+    sub.add_argument("store", metavar="PATH", help="durable store directory")
+    sub.add_argument("--checkpoint", action="store_true",
+                     help="write a fresh snapshot and truncate the write-ahead log")
+    sub.add_argument("--json", action="store_true", help="machine-readable output")
+    sub.set_defaults(handler=_cmd_recover)
 
     sub = subparsers.add_parser("demo-fig1", help="rerun the paper's Fig. 1 migration example")
     sub.set_defaults(handler=_cmd_demo_fig1)

@@ -71,13 +71,21 @@ class StateAdapter:
 
         Carried over are
 
-        * the states of started or skipped **activities** (performed work is
-          never rewound by a migration), and
-        * the states of structural nodes (splits, joins, loop nodes, start/end)
-          whose incident edges are *unchanged* by the change — a join that
-          received a new incoming branch, or a split with a new outgoing
-          branch, has to be re-evaluated by the propagation pass, exactly as
-          a history replay would.
+        * the states of started **activities** (performed work is never
+          rewound by a migration), and
+        * the states of started structural nodes (splits, joins, loop nodes,
+          start/end) whose incident edges are *unchanged* by the change — a
+          join that received a new incoming branch, or a split with a new
+          outgoing branch, has to be re-evaluated by the propagation pass,
+          exactly as a history replay would.
+
+        ``SKIPPED`` states are deliberately **not** carried: a skip is not
+        performed work but a derived consequence of a branching decision.
+        When that decision survives the change (the split node and its
+        signalled edges are carried), the propagation pass re-derives the
+        skip; when the change resets the decision (e.g. an activity inserted
+        before the split), the skip must disappear — exactly as a history
+        replay would leave the branch undecided.
 
         Signalled edges are carried when they still exist and their source
         node's state was carried; new outgoing edges of carried, finished
@@ -90,7 +98,7 @@ class StateAdapter:
         carried_nodes = set()
         for node_id in target_schema.node_ids():
             old_state = old_marking.node_state(node_id)
-            if not (old_state.is_started or old_state is NodeState.SKIPPED):
+            if not old_state.is_started:
                 continue
             node = target_schema.node(node_id)
             if not node.is_activity and not self._incident_edges_unchanged(
@@ -115,8 +123,6 @@ class StateAdapter:
             elif source_state is NodeState.COMPLETED:
                 # new outgoing edge of an already completed node: it fires now
                 marking.set_edge_state(edge.source, edge.target, EdgeState.TRUE_SIGNALED, edge.edge_type)
-            elif source_state is NodeState.SKIPPED:
-                marking.set_edge_state(edge.source, edge.target, EdgeState.FALSE_SIGNALED, edge.edge_type)
         return marking
 
     @staticmethod

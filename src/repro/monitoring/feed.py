@@ -62,6 +62,29 @@ class EventFeed:
             counts[event.category] = counts.get(event.category, 0) + 1
         return counts
 
+    #: Storage-lifecycle event names surfaced by :meth:`storage_summary`.
+    _STORAGE_EVENTS = (
+        "instance_loaded",
+        "instance_evicted",
+        "instance_saved",
+        "instance_deleted",
+        "checkpoint_completed",
+        "recovery_completed",
+        "wal_recovered",
+    )
+
+    def storage_summary(self) -> Dict[str, int]:
+        """Counts of the durability layer's lifecycle events.
+
+        Hydrations (``instance_loaded``) and evictions tell how hard the
+        LRU live-instance cache is churning; checkpoints and recoveries
+        tell how the write-ahead log is being compacted and replayed.
+        Names with zero occurrences are included so dashboards get a
+        stable shape.
+        """
+        counts = self.counts()
+        return {name: counts.get(name, 0) for name in self._STORAGE_EVENTS}
+
     def tail(self, count: int = 10, category: Optional[str] = None) -> List[Any]:
         """The most recent ``count`` events (optionally of one category)."""
         events = (

@@ -122,6 +122,19 @@ class ProcessEngine:
         # loop-body cache for the scan path (indexing disabled); the
         # indexed path uses the SchemaIndex's own caches instead
         self._loop_body_cache: Dict[Tuple[int, str], Set[str]] = {}
+        #: Optional hook invoked after every committed activity transition
+        #: with ``(action, instance, activity_id, outputs, user)`` where
+        #: ``action`` is ``"start"`` or ``"complete"``.  The durability
+        #: layer journals these as typed WAL records; unlike the event log
+        #: the hook receives the *actual outputs* written by the step, so a
+        #: crash-recovery replay reproduces the exact data context.
+        self.step_listener: Optional[Callable[[str, ProcessInstance, str, Optional[Dict[str, Any]], Optional[str]], None]] = None
+        #: Optional fail-fast check run on the outputs of a completing
+        #: activity *before* any state is mutated.  The durability layer
+        #: installs a JSON-serialisability check here: an output the
+        #: write-ahead log cannot record must reject the step up front,
+        #: not diverge the journal from an already-committed transition.
+        self.step_outputs_validator: Optional[Callable[[Mapping[str, Any]], None]] = None
 
     # ------------------------------------------------------------------ #
     # instance lifecycle
@@ -171,6 +184,8 @@ class ProcessEngine:
             user=user,
         )
         self._emit(EventType.ACTIVITY_STARTED, instance, node=activity_id, user=user)
+        if self.step_listener is not None:
+            self.step_listener("start", instance, activity_id, None, user)
 
     def complete_activity(
         self,
@@ -189,19 +204,28 @@ class ProcessEngine:
         node = schema.node(activity_id)
         if not node.is_activity:
             raise EngineError(f"{activity_id!r} is not an activity node")
-        state = instance.marking.node_state(activity_id)
-        if state is NodeState.ACTIVATED:
-            self.start_activity(instance, activity_id, user=user)
-        elif state not in (NodeState.RUNNING, NodeState.SUSPENDED):
-            raise EngineError(
-                f"activity {activity_id!r} cannot be completed from state {state.value!r}"
-            )
         outputs = dict(outputs or {})
         writable = {data_edge.element for data_edge in schema.writes_of(activity_id)}
         unknown = set(outputs) - writable
         if unknown:
             raise EngineError(
                 f"activity {activity_id!r} has no write access to {sorted(unknown)!r}"
+            )
+        if outputs and self.step_outputs_validator is not None:
+            # before any state moves — including the implicit start below —
+            # so a rejected step leaves instance and journal untouched
+            try:
+                self.step_outputs_validator(outputs)
+            except (TypeError, ValueError) as exc:
+                raise EngineError(
+                    f"activity {activity_id!r} outputs cannot be journaled: {exc}"
+                ) from exc
+        state = instance.marking.node_state(activity_id)
+        if state is NodeState.ACTIVATED:
+            self.start_activity(instance, activity_id, user=user)
+        elif state not in (NodeState.RUNNING, NodeState.SUSPENDED):
+            raise EngineError(
+                f"activity {activity_id!r} cannot be completed from state {state.value!r}"
             )
         iteration = self._iteration_of(instance, activity_id)
         for element, value in outputs.items():
@@ -217,6 +241,10 @@ class ProcessEngine:
         self._emit(EventType.ACTIVITY_COMPLETED, instance, node=activity_id, user=user)
         self._signal_outgoing(instance, activity_id, chosen_target=None, skipped=False)
         self.propagate(instance)
+        if self.step_listener is not None:
+            # after propagation: the listener journals the step only once the
+            # whole transition (outputs, marking advance) is committed
+            self.step_listener("complete", instance, activity_id, outputs, user)
 
     def suspend_activity(self, instance: ProcessInstance, activity_id: str) -> None:
         """Suspend a running activity (work interrupted)."""

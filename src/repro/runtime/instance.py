@@ -113,6 +113,24 @@ class ProcessInstance:
     # convenience state queries
     # ------------------------------------------------------------------ #
 
+    def state_fingerprint(self) -> str:
+        """A stable digest of the complete observable instance state.
+
+        Covers status, schema version, marking, (reduced and full) history,
+        data context, loop counters and the recorded bias — two instances
+        with the same fingerprint are indistinguishable to every component.
+        The recovery tests compare pre-crash and recovered populations with
+        this; it is intentionally derived from the canonical serialisation
+        so that "equal fingerprint" and "equal persisted record" coincide.
+        """
+        import hashlib
+        import json
+
+        from repro.storage.serialization import instance_to_dict
+
+        payload = json.dumps(instance_to_dict(self), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     def node_state(self, node_id: str) -> NodeState:
         """Current state of a node in the instance marking."""
         return self.marking.node_state(node_id)

@@ -50,45 +50,96 @@ class WorklistManager:
         self._items: Dict[str, WorkItem] = {}
         self._instances: Dict[str, ProcessInstance] = {}
         self._counter = 0
+        #: Open (offered or claimed) items indexed by (instance, activity) —
+        #: kept incrementally so refresh and registration stay linear in the
+        #: number of *activations*, not in the total item history.
+        self._open_pairs: Dict[tuple, WorkItem] = {}
+        #: Optional hook mapping an instance id to a live instance.  The
+        #: façade's lazy-hydration cache sets this so claiming or completing
+        #: a work item of an evicted case transparently re-hydrates it from
+        #: the instance store.
+        self.instance_resolver: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
 
-    def register_instance(self, instance: ProcessInstance) -> None:
-        """Track an instance and create work items for its activated activities."""
+    def register_instance(self, instance: ProcessInstance, refresh: bool = True) -> None:
+        """Track an instance and create work items for its activated activities.
+
+        Registration offers items for *this* instance only (a global
+        refresh per registration would make bulk population starts
+        quadratic).  ``refresh=False`` defers even that to the next
+        :meth:`refresh` — worklist views refresh on read, so bulk
+        hydration uses it to stay linear.
+        """
         self._instances[instance.instance_id] = instance
-        self.refresh()
+        if refresh:
+            self._offer_items_for(instance)
+
+    def unregister_instance(self, instance_id: str) -> None:
+        """Stop tracking an instance (eviction from the live cache).
+
+        Its open work items stay offered — the case still exists in the
+        instance store; claiming one re-hydrates it through
+        :attr:`instance_resolver`.
+        """
+        self._instances.pop(instance_id, None)
+
+    def discard_instance(self, instance_id: str) -> None:
+        """Stop tracking an instance *and* withdraw its open work items.
+
+        Used when the case ceases to exist (deletion) — unlike eviction,
+        nothing could ever re-hydrate it, so offered items must not
+        linger.
+        """
+        self.unregister_instance(instance_id)
+        for pair in [pair for pair in self._open_pairs if pair[0] == instance_id]:
+            self._open_pairs.pop(pair).state = WorkItemState.WITHDRAWN
+
+    def _live_instance(self, instance_id: str) -> ProcessInstance:
+        instance = self._instances.get(instance_id)
+        if instance is not None:
+            return instance
+        if self.instance_resolver is not None:
+            # hydrates and re-registers through the façade
+            return self.instance_resolver(instance_id)
+        raise EngineError(f"instance {instance_id!r} is not registered with the worklist manager")
+
+    def _offer_items_for(self, instance: ProcessInstance) -> set:
+        """Create items for an instance's activations; returns its active pairs."""
+        schema = instance.execution_schema
+        pairs = set()
+        for activity_id in instance.activated_activities():
+            pair = (instance.instance_id, activity_id)
+            pairs.add(pair)
+            if pair not in self._open_pairs:
+                self._counter += 1
+                role = schema.node(activity_id).staff_assignment
+                item = WorkItem(
+                    item_id=f"wi-{self._counter}",
+                    instance_id=instance.instance_id,
+                    activity_id=activity_id,
+                    role=role,
+                )
+                self._items[item.item_id] = item
+                self._open_pairs[pair] = item
+        return pairs
 
     def refresh(self) -> None:
         """Synchronise work items with the current activations of all instances."""
         active_pairs = set()
         for instance in self._instances.values():
-            schema = instance.execution_schema
-            for activity_id in instance.activated_activities():
-                active_pairs.add((instance.instance_id, activity_id))
-                if not self._has_open_item(instance.instance_id, activity_id):
-                    self._counter += 1
-                    role = schema.node(activity_id).staff_assignment
-                    item = WorkItem(
-                        item_id=f"wi-{self._counter}",
-                        instance_id=instance.instance_id,
-                        activity_id=activity_id,
-                        role=role,
-                    )
-                    self._items[item.item_id] = item
+            active_pairs |= self._offer_items_for(instance)
         # withdraw items whose activity is no longer activated (e.g. the
-        # activity was deleted by an ad-hoc change or skipped)
-        for item in self._items.values():
-            if item.state in (WorkItemState.OFFERED, WorkItemState.CLAIMED):
-                if (item.instance_id, item.activity_id) not in active_pairs:
-                    item.state = WorkItemState.WITHDRAWN
+        # activity was deleted by an ad-hoc change or skipped); items of
+        # unregistered (evicted) instances are left offered — the case
+        # still exists in the instance store
+        for pair, item in list(self._open_pairs.items()):
+            if pair[0] in self._instances and pair not in active_pairs:
+                item.state = WorkItemState.WITHDRAWN
+                del self._open_pairs[pair]
 
     def _has_open_item(self, instance_id: str, activity_id: str) -> bool:
-        return any(
-            item.instance_id == instance_id
-            and item.activity_id == activity_id
-            and item.state in (WorkItemState.OFFERED, WorkItemState.CLAIMED)
-            for item in self._items.values()
-        )
+        return (instance_id, activity_id) in self._open_pairs
 
     # ------------------------------------------------------------------ #
 
@@ -116,9 +167,12 @@ class WorklistManager:
             raise EngineError(f"work item {item_id!r} is not offered (state={item.state.value})")
         if not self._authorised(user, item.role):
             raise EngineError(f"user {user!r} lacks role {item.role!r} required by {item_id!r}")
+        # resolve (and possibly re-hydrate) the instance before mutating the
+        # item — a failed resolution must not leave the item stuck CLAIMED
+        instance = self._live_instance(item.instance_id)
         item.state = WorkItemState.CLAIMED
         item.claimed_by = user
-        self.engine.start_activity(self._instances[item.instance_id], item.activity_id, user=user)
+        self.engine.start_activity(instance, item.activity_id, user=user)
         return item
 
     def complete(self, item_id: str, outputs: Optional[Mapping[str, Any]] = None) -> WorkItem:
@@ -126,9 +180,10 @@ class WorklistManager:
         item = self._item(item_id)
         if item.state is not WorkItemState.CLAIMED:
             raise EngineError(f"work item {item_id!r} is not claimed (state={item.state.value})")
-        instance = self._instances[item.instance_id]
+        instance = self._live_instance(item.instance_id)
         self.engine.complete_activity(instance, item.activity_id, outputs=outputs, user=item.claimed_by)
         item.state = WorkItemState.COMPLETED
+        self._open_pairs.pop((item.instance_id, item.activity_id), None)
         self.refresh()
         return item
 

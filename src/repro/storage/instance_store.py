@@ -58,15 +58,25 @@ class InstanceStore:
     # save / load / delete
     # ------------------------------------------------------------------ #
 
+    def encode_record(self, instance: ProcessInstance) -> Dict[str, Any]:
+        """The full stored record of an instance (state + schema representation)."""
+        record = instance_to_dict(instance)
+        schema_part = self.strategy.encode(instance)
+        record["representation"] = {"strategy": self.strategy.name, **schema_part}
+        return record
+
     def save(self, instance: ProcessInstance) -> StoredInstance:
         """Persist an instance and return its size accounting."""
         if not self.repository.has_type(instance.process_type):
             raise StorageError(
                 f"process type {instance.process_type!r} is not registered in the schema repository"
             )
-        record = instance_to_dict(instance)
-        schema_part = self.strategy.encode(instance)
-        record["representation"] = {"strategy": self.strategy.name, **schema_part}
+        record = self.encode_record(instance)
+        schema_part = {
+            key: value
+            for key, value in record["representation"].items()
+            if key != "strategy"
+        }
         if self._wal is not None:
             self._wal.append({"action": "save", "record": record})
         self._store.put(_NAMESPACE, instance.instance_id, record)
@@ -81,6 +91,19 @@ class InstanceStore:
     def save_all(self, instances: Iterable[ProcessInstance]) -> List[StoredInstance]:
         """Persist many instances and return their size accounting."""
         return [self.save(instance) for instance in instances]
+
+    def write_back(self, instance: ProcessInstance) -> None:
+        """Fast-path persist without size accounting or WAL journaling.
+
+        The LRU cache uses this when evicting a dirty instance: the state
+        is already covered by the durability layer's logical WAL records,
+        so the write-back only has to keep the store copy current — it
+        skips the three ``json.dumps`` passes :meth:`save` spends on
+        accounting and validation.
+        """
+        record = self.encode_record(instance)
+        self._store.put(_NAMESPACE, instance.instance_id, record, validate=False)
+        self.index.add(instance.instance_id, record)
 
     def load(self, instance_id: str) -> ProcessInstance:
         """Re-load an instance (materialising its execution schema if biased)."""
@@ -115,6 +138,24 @@ class InstanceStore:
             raise StorageError(f"unknown instance {instance_id!r}")
         return record
 
+    def put_record(self, record: Mapping[str, Any]) -> None:
+        """Insert a previously serialised record verbatim (snapshot load, WAL replay).
+
+        Unlike :meth:`save` this neither re-encodes the instance nor journals
+        to the write-ahead log — the record *is* the durable form.
+        """
+        payload = dict(record)
+        self._store.put(_NAMESPACE, payload["instance_id"], payload)
+        self.index.add(payload["instance_id"], payload)
+
+    def scan_records(self) -> Iterable[tuple]:
+        """Iterate over ``(instance_id, record)`` pairs of all stored instances."""
+        return self._store.scan(_NAMESPACE)
+
+    def instantiate(self, record: Mapping[str, Any]) -> ProcessInstance:
+        """Rebuild a live :class:`ProcessInstance` from a raw stored record."""
+        return self._instantiate(record)
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
@@ -131,6 +172,12 @@ class InstanceStore:
             set(self.index.by_status("running"))
             | set(self.index.by_status("created"))
             | set(self.index.by_status("suspended"))
+        )
+
+    def running_instances_of_type(self, process_type: str) -> List[str]:
+        """Active instance ids of one process type (migration candidates)."""
+        return sorted(
+            set(self.running_instances()) & set(self.index.by_type(process_type))
         )
 
     def biased_instances(self) -> List[str]:

@@ -27,9 +27,17 @@ class KeyValueStore:
     # basic operations
     # ------------------------------------------------------------------ #
 
-    def put(self, namespace: str, key: str, value: Mapping[str, Any]) -> None:
-        """Store a JSON-serialisable document under ``namespace``/``key``."""
-        json.dumps(value)  # fail fast on non-serialisable content
+    def put(
+        self, namespace: str, key: str, value: Mapping[str, Any], validate: bool = True
+    ) -> None:
+        """Store a JSON-serialisable document under ``namespace``/``key``.
+
+        ``validate=False`` skips the fail-fast serialisability check — used
+        by hot write-back paths whose payloads come straight from the
+        canonical instance serialisation.
+        """
+        if validate:
+            json.dumps(value)  # fail fast on non-serialisable content
         self._namespaces.setdefault(namespace, {})[key] = value
         self._persist(namespace)
 

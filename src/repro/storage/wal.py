@@ -16,11 +16,19 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 
 class WriteAheadLog:
-    """Append-only JSON-lines log with checkpoint support."""
+    """Append-only JSON-lines log with checkpoint support.
+
+    The log keeps one append handle open between writes (every append is
+    flushed to the OS, so the file content is always current for readers)
+    — opening the file per record would dominate the cost of journaling
+    high-frequency step records.  :meth:`close` releases the handle; the
+    log transparently reopens it on the next append.
+    """
 
     def __init__(self, path: Optional[str] = None) -> None:
         self._path = Path(path) if path else None
         self._memory: List[Dict[str, Any]] = []
+        self._handle = None
         if self._path is not None:
             self._path.parent.mkdir(parents=True, exist_ok=True)
             if not self._path.exists():
@@ -33,8 +41,10 @@ class WriteAheadLog:
         entry = dict(record)
         line = json.dumps(entry, sort_keys=True)
         if self._path is not None:
-            with self._path.open("a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+            if self._handle is None:
+                self._handle = self._path.open("a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
         else:
             self._memory.append(entry)
 
@@ -62,9 +72,27 @@ class WriteAheadLog:
     def truncate(self) -> None:
         """Drop all records (called after a successful checkpoint)."""
         if self._path is not None:
+            self.close()
             self._path.write_text("", encoding="utf-8")
         else:
             self._memory.clear()
+
+    def close(self) -> None:
+        """Release the append handle (reopened transparently on next append)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def size_bytes(self) -> int:
+        """Current size of the log in bytes (0 for in-memory logs)."""
+        if self._path is None or not self._path.exists():
+            return 0
+        return self._path.stat().st_size
+
+    @property
+    def path(self) -> Optional[Path]:
+        """The backing file (``None`` for in-memory logs)."""
+        return self._path
 
     def __len__(self) -> int:
         return len(self.records())

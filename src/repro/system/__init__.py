@@ -14,9 +14,13 @@ migration manager, organisational model, monitoring) into a single
   change, schema and migration event to subscribers in order
   (:class:`repro.monitoring.EventFeed` is the first subscriber);
 * **structured results** — :class:`StepResult`, :class:`RunResult`,
-  :class:`ChangeResult`, :class:`DeployResult`.
+  :class:`ChangeResult`, :class:`DeployResult`;
+* **durability** — :meth:`AdeptSystem.open` attaches a
+  :class:`PersistentBackend` (typed write-ahead log + atomic snapshots)
+  so the system survives restarts and crashes, with an LRU-bounded live
+  cache hydrating cases from the instance store on access.
 
-See ``docs/api.md`` for the full tour.
+See ``docs/api.md`` and ``docs/persistence.md`` for the full tour.
 """
 
 from repro.system.changes import ChangeSet
@@ -28,6 +32,12 @@ from repro.system.facade import (
     AdeptSystem,
 )
 from repro.system.handles import InstanceHandle, TypeHandle
+from repro.system.persistence import (
+    PersistenceError,
+    PersistentBackend,
+    RecoveryError,
+    RecoveryReport,
+)
 from repro.system.results import ChangeResult, DeployResult, RunResult, StepResult
 
 __all__ = [
@@ -45,4 +55,8 @@ __all__ = [
     "MIGRATE_COMPLIANT",
     "MIGRATE_NONE",
     "MIGRATE_STRICT",
+    "PersistentBackend",
+    "PersistenceError",
+    "RecoveryError",
+    "RecoveryReport",
 ]

@@ -28,7 +28,9 @@ valid across save/load cycles and migrations.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Union
 
 from repro.core.adhoc import AdHocChanger
 from repro.core.changelog import ChangeLog
@@ -44,12 +46,26 @@ from repro.runtime.events import EventLog
 from repro.runtime.instance import ProcessInstance
 from repro.runtime.worklist import WorkItem, WorklistManager
 from repro.schema.graph import ProcessSchema, SchemaError
-from repro.storage.instance_store import InstanceStore, StoredInstance
+from repro.storage.instance_store import InstanceStore, StorageError, StoredInstance
 from repro.storage.kv import KeyValueStore
 from repro.storage.repository import SchemaRepository
 from repro.storage.representations import RepresentationStrategy, strategy_by_name
 from repro.storage.serialization import instance_from_dict, instance_to_dict
 from repro.storage.wal import WriteAheadLog
+from repro.system.persistence import (
+    KIND_ADHOC_CHANGE,
+    KIND_EVOLUTION,
+    KIND_INSTANCE_ABORTED,
+    KIND_INSTANCE_ADOPTED,
+    KIND_INSTANCE_DELETED,
+    KIND_INSTANCE_SAVED,
+    KIND_INSTANCE_STARTED,
+    KIND_STEP,
+    KIND_TYPE_ADOPTED,
+    KIND_TYPE_DEPLOYED,
+    PersistentBackend,
+    RecoveryReport,
+)
 from repro.system.changes import ChangeSet
 from repro.system.events import (
     CATEGORY_MIGRATION,
@@ -76,6 +92,13 @@ _CONFLICT_OUTCOMES = (
 ChangeLike = Union[TypeChange, ChangeSet, ChangeLog, Sequence[ChangeOperation]]
 
 
+def _json_serialisable(outputs: Mapping[str, Any]) -> None:
+    """Fail-fast check installed as the engine's step-outputs validator."""
+    import json
+
+    json.dumps(outputs)
+
+
 class AdeptSystem:
     """One process-management service composing all components of the repro.
 
@@ -99,6 +122,11 @@ class AdeptSystem:
         monitor: When True (default), a :class:`repro.monitoring.EventFeed`
             is attached as the first bus subscriber and exposed as
             :attr:`feed`.
+        cache_instances: Optional cap on the number of *live* (in-memory)
+            instances.  With a cap, cases hydrate from the instance store
+            on access and the least-recently-used clean cases are evicted
+            (dirty ones are saved first) — populations larger than memory
+            stay addressable.  ``None`` (default) keeps every case live.
     """
 
     def __init__(
@@ -111,6 +139,7 @@ class AdeptSystem:
         wal: Optional[WriteAheadLog] = None,
         kv_store: Optional[KeyValueStore] = None,
         monitor: bool = True,
+        cache_instances: Optional[int] = None,
     ) -> None:
         # an empty EventBus is falsy (it has __len__), so test for None explicitly
         self.bus = bus if bus is not None else EventBus()
@@ -146,8 +175,169 @@ class AdeptSystem:
             event_log=self.event_log,
             rollback_on_state_conflict=rollback_on_state_conflict,
         )
-        self._instances: Dict[str, ProcessInstance] = {}
+        #: Live-instance cache in LRU order (most recently used last).
+        self._instances: "OrderedDict[str, ProcessInstance]" = OrderedDict()
+        #: Live cases mutated since their last store save (never evicted silently).
+        self._dirty: Set[str] = set()
         self._case_counters: Dict[str, int] = {}
+        self.cache_instances = cache_instances
+        self._pin_count = 0
+        self._backend: Optional[PersistentBackend] = None
+        #: Report of the recovery performed by :meth:`open` (``None`` otherwise).
+        self.last_recovery: Optional[RecoveryReport] = None
+        # journaling + dirty tracking for every committed activity transition
+        self.engine.step_listener = self._on_engine_step
+        # claiming a work item of an evicted case re-hydrates it transparently
+        self.worklists.instance_resolver = self.get_instance
+
+    # ------------------------------------------------------------------ #
+    # durability: open / journaling / checkpoint / close
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        cache_instances: Optional[int] = None,
+        **kwargs: Any,
+    ) -> "AdeptSystem":
+        """Open (or create) a durable system backed by ``path``.
+
+        Attaches a :class:`~repro.system.persistence.PersistentBackend`
+        to a freshly constructed system, loads the latest snapshot and
+        replays the write-ahead-log suffix — after a crash or a clean
+        :meth:`close` this reproduces the exact committed state (types,
+        versions, instance markings, histories, biases).  All further
+        mutations are journaled.  Keyword arguments are forwarded to the
+        constructor; the :class:`RecoveryReport` is exposed as
+        :attr:`last_recovery` and published on the bus as a
+        ``recovery_completed`` event.
+        """
+        backend = PersistentBackend(path)
+        system = cls(cache_instances=cache_instances, **kwargs)
+        system._attach_backend(backend)
+        report = backend.recover(system)
+        system.last_recovery = report
+        system.bus.publish(
+            CATEGORY_SYSTEM,
+            "recovery_completed",
+            snapshot_loaded=report.snapshot_loaded,
+            snapshot_instances=report.snapshot_instances,
+            replayed_records=report.replayed_records,
+        )
+        return system
+
+    @property
+    def backend(self) -> Optional[PersistentBackend]:
+        """The attached durability backend (``None`` for in-memory systems)."""
+        return self._backend
+
+    def _attach_backend(self, backend: PersistentBackend) -> None:
+        self._backend = backend
+        # outputs the WAL cannot record must reject the step before any
+        # state is mutated — otherwise the journal and the committed
+        # in-memory transition would silently diverge
+        self.engine.step_outputs_validator = _json_serialisable
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Checkpoint (by default) and release the durability backend.
+
+        A no-op for purely in-memory systems.  The system object remains
+        usable afterwards, but further mutations are journaled to a WAL
+        whose handle reopens transparently — call :meth:`close` again
+        before discarding it.
+        """
+        if self._backend is None:
+            return
+        if checkpoint:
+            self.checkpoint()
+        self._backend.close()
+
+    def __enter__(self) -> "AdeptSystem":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+    def _journal(self, kind: str, **fields: Any) -> None:
+        if self._backend is not None:
+            self._backend.journal(kind, **fields)
+
+    @contextmanager
+    def _journal_suspended(self) -> Iterator[None]:
+        """Suppress WAL journaling (compound mutations journal one typed record)."""
+        if self._backend is None:
+            yield
+        else:
+            with self._backend.suspended():
+                yield
+
+    def _on_engine_step(
+        self,
+        action: str,
+        instance: ProcessInstance,
+        activity_id: str,
+        outputs: Optional[Mapping[str, Any]],
+        user: Optional[str],
+    ) -> None:
+        instance_id = instance.instance_id
+        if instance_id not in self._instances:
+            return  # scratch/clone instance driven through the shared engine
+        self._dirty.add(instance_id)
+        if self._backend is not None:
+            self._backend.journal(
+                KIND_STEP,
+                instance_id=instance_id,
+                action=action,
+                activity=activity_id,
+                outputs=dict(outputs) if outputs else None,
+                user=user,
+            )
+
+    # ------------------------------------------------------------------ #
+    # lazy hydration: the LRU-bounded live-instance cache
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def _pinned_hydration(self) -> Iterator[None]:
+        """Keep every hydrated case live until the block ends (bulk migration)."""
+        self._pin_count += 1
+        try:
+            yield
+        finally:
+            self._pin_count -= 1
+            self._enforce_cache_cap()
+
+    def _enforce_cache_cap(self) -> None:
+        cap = self.cache_instances
+        if cap is None or self._pin_count:
+            return
+        cap = max(cap, 1)  # the most recently touched case always stays live
+        while len(self._instances) > cap:
+            instance_id = next(iter(self._instances))
+            self._evict(instance_id)
+
+    def _evict(self, instance_id: str) -> None:
+        """Drop one live case (saving it first when dirty)."""
+        instance = self._instances[instance_id]
+        if instance_id in self._dirty:
+            # the logical WAL records already cover this state — the save is
+            # a cache write-back, not a durability point
+            self.store.write_back(instance)
+            self._dirty.discard(instance_id)
+        del self._instances[instance_id]
+        self.worklists.unregister_instance(instance_id)
+        self.bus.publish(CATEGORY_SYSTEM, "instance_evicted", instance_id=instance_id)
+
+    def _type_of(self, instance_id: str) -> str:
+        """Process type of a live or stored case ('' when unknown)."""
+        instance = self._instances.get(instance_id)
+        if instance is not None:
+            return instance.process_type
+        try:
+            return self.store.record(instance_id).get("process_type", "")
+        except StorageError:
+            return ""
 
     # ------------------------------------------------------------------ #
     # schema deployment and type access
@@ -167,6 +357,7 @@ class AdeptSystem:
                     f"schema {schema.name!r} fails buildtime verification:\n" + report.summary()
                 )
         self.repository.register_type(schema)
+        self._journal(KIND_TYPE_DEPLOYED, type_id=schema.name, schema=schema.to_dict())
         self.bus.publish(
             CATEGORY_SCHEMA,
             "type_deployed",
@@ -179,6 +370,14 @@ class AdeptSystem:
     def adopt(self, process_type: ProcessType) -> TypeHandle:
         """Adopt an externally built :class:`ProcessType` (all versions)."""
         self.repository.adopt_type(process_type)
+        self._journal(
+            KIND_TYPE_ADOPTED,
+            type_id=process_type.name,
+            schemas=[
+                process_type.schema_for(version).to_dict()
+                for version in process_type.versions
+            ],
+        )
         self.bus.publish(
             CATEGORY_SCHEMA,
             "type_deployed",
@@ -235,7 +434,16 @@ class AdeptSystem:
             raise EngineError(f"instance id {case_id!r} is already in use")
         instance = self.engine.create_instance(schema, case_id, initial_data=data or None)
         self._instances[case_id] = instance
+        self._dirty.add(case_id)
         self.worklists.register_instance(instance)
+        self._journal(
+            KIND_INSTANCE_STARTED,
+            instance_id=case_id,
+            type_id=type_id,
+            version=schema.version,
+            data=dict(data),
+        )
+        self._enforce_cache_cap()
         return InstanceHandle(self, case_id)
 
     def _next_case_id(self, type_id: str) -> str:
@@ -260,7 +468,14 @@ class AdeptSystem:
         if instance.instance_id in self._instances:
             raise EngineError(f"instance id {instance.instance_id!r} is already in use")
         self._instances[instance.instance_id] = instance
+        self._dirty.add(instance.instance_id)
         self.worklists.register_instance(instance)
+        self._journal(
+            KIND_INSTANCE_ADOPTED,
+            instance_id=instance.instance_id,
+            record=self.store.encode_record(instance),
+        )
+        self._enforce_cache_cap()
         return InstanceHandle(self, instance.instance_id)
 
     def get_instance(self, instance_id: str) -> ProcessInstance:
@@ -269,26 +484,57 @@ class AdeptSystem:
         Cases known only to the instance store are loaded (and registered
         with the worklist manager) transparently.
         """
-        if instance_id in self._instances:
-            return self._instances[instance_id]
+        instance = self._instances.get(instance_id)
+        if instance is not None:
+            self._instances.move_to_end(instance_id)
+            return instance
         if self.store.contains(instance_id):
             instance = self.store.load(instance_id)
             self._instances[instance_id] = instance
-            self.worklists.register_instance(instance)
+            # register without an immediate refresh: worklist views refresh
+            # on read, and refreshing per hydration would make bulk stepping
+            # of large populations quadratic
+            self.worklists.register_instance(instance, refresh=False)
             self.bus.publish(CATEGORY_SYSTEM, "instance_loaded", instance_id=instance_id)
+            self._enforce_cache_cap()
             return instance
         raise EngineError(f"unknown instance {instance_id!r}")
 
     def instances_of(
         self, type_id: str, version: Optional[int] = None
     ) -> List[InstanceHandle]:
-        """Handles of all live instances of one type (optionally one version)."""
-        return [
-            InstanceHandle(self, instance.instance_id)
+        """Handles of all known instances of one type (optionally one version).
+
+        Covers live cases *and* cases currently resident only in the
+        instance store (evicted or loaded from disk); no hydration happens
+        — handles are resolved lazily on first use.  For ids that are both
+        live and stored the live state decides the version filter.
+        """
+        ids = {
+            instance.instance_id
             for instance in self._instances.values()
             if instance.process_type == type_id
             and (version is None or instance.schema_version == version)
-        ]
+        }
+        stored = (
+            self.store.instances_of_type(type_id)
+            if version is None
+            else self.store.instances_of_type(type_id, version)
+        )
+        for instance_id in stored:
+            if instance_id not in self._instances:
+                ids.add(instance_id)
+        return [InstanceHandle(self, instance_id) for instance_id in sorted(ids)]
+
+    def _instance_ids_of_type(self, type_id: str) -> List[str]:
+        """Ids of every live or stored case of one type (no hydration)."""
+        ids = {
+            instance.instance_id
+            for instance in self._instances.values()
+            if instance.process_type == type_id
+        }
+        ids.update(self.store.instances_of_type(type_id))
+        return sorted(ids)
 
     def live_instance_ids(self) -> List[str]:
         return sorted(self._instances)
@@ -356,31 +602,44 @@ class AdeptSystem:
         the intended API for high-throughput population stepping
         (simulation, load generation, bulk progression).
 
+        With a bounded live cache the batch is processed grouped by process
+        type (stable within each type): instances of one type hydrate and
+        execute together, so the type schema's compiled index stays hot and
+        evictions don't thrash between types.  Results are still returned
+        in input order.
+
         Returns one :class:`RunResult` per instance id, in input order;
         ``result.steps`` is the number of activities actually executed
         (0 when the case had nothing activated).
         """
-        results: List[RunResult] = []
+        ids = list(instance_ids)
+        order = range(len(ids))
+        if self.cache_instances is not None:
+            order = sorted(order, key=lambda position: self._type_of(ids[position]))
+        results: List[Optional[RunResult]] = [None] * len(ids)
         try:
-            for instance_id in instance_ids:
+            for position in order:
+                instance_id = ids[position]
                 instance = self.get_instance(instance_id)
                 executed = (
                     self.engine.advance_instance(instance, steps, worker=worker)
                     if instance.status.is_active
                     else 0
                 )
-                results.append(
-                    RunResult(instance_id=instance_id, steps=executed, status=instance.status)
+                results[position] = RunResult(
+                    instance_id=instance_id, steps=executed, status=instance.status
                 )
         finally:
             # instances advanced before a mid-batch failure (e.g. an unknown
             # id) must still be reflected in the worklists
             self.worklists.refresh()
-        return results
+        return [result for result in results if result is not None]
 
     def abort(self, instance_id: str) -> None:
         """Abort a case (the baseline policy of non-adaptive systems)."""
         self.engine.abort_instance(self.get_instance(instance_id))
+        self._dirty.add(instance_id)
+        self._journal(KIND_INSTANCE_ABORTED, instance_id=instance_id)
         self.worklists.refresh()
 
     # ------------------------------------------------------------------ #
@@ -421,7 +680,17 @@ class AdeptSystem:
         """
         instance = self.get_instance(changeset.instance_id)
         change_log = changeset.to_change_log()
-        result = self._changer.apply(instance, change_log, comment=change_log.comment, user=user)
+        with self._journal_suspended():
+            result = self._changer.apply(
+                instance, change_log, comment=change_log.comment, user=user
+            )
+        self._dirty.add(instance.instance_id)
+        self._journal(
+            KIND_ADHOC_CHANGE,
+            instance_id=instance.instance_id,
+            change=change_log.to_dict(),
+            user=user,
+        )
         self.worklists.refresh()
         return ChangeResult(
             ok=True,
@@ -478,14 +747,17 @@ class AdeptSystem:
             )
         process_type = self.repository.process_type(type_id)
         type_change = self._as_type_change(process_type, change)
-        instances = [
-            instance
-            for instance in self._instances.values()
-            if instance.process_type == type_id
-        ]
 
         if migrate == MIGRATE_NONE:
             new_schema = self.repository.release_version(type_id, type_change)
+            self._journal(
+                KIND_EVOLUTION,
+                type_id=type_id,
+                change=type_change.to_dict(),
+                policy=migrate,
+                to_version=new_schema.version,
+                candidates=[],
+            )
             self.bus.publish(
                 CATEGORY_SCHEMA,
                 "schema_version_released",
@@ -498,30 +770,65 @@ class AdeptSystem:
                 to_version=new_schema.version,
             )
 
-        if migrate == MIGRATE_STRICT:
-            dry_report = self._dry_run(process_type, type_change, instances)
-            blocked = [
-                result
-                for result in dry_report.results
-                if result.outcome in _CONFLICT_OUTCOMES
-            ]
-            if blocked:
-                raise MigrationError(
-                    f"strict migration of {type_id!r} refused: "
-                    f"{len(blocked)} of {dry_report.total} instance(s) cannot migrate "
-                    f"({', '.join(sorted(r.instance_id for r in blocked))})",
-                    report=dry_report,
-                )
+        with self._pinned_hydration():
+            # every live case of the type participates, plus the *running*
+            # cases resident only in the instance store — finished stored
+            # cases can never migrate, so hydrating them would only defeat
+            # the bounded live cache
+            candidate_ids = {
+                instance.instance_id
+                for instance in self._instances.values()
+                if instance.process_type == type_id
+            }
+            candidate_ids.update(
+                instance_id
+                for instance_id in self.store.running_instances_of_type(type_id)
+                if instance_id not in self._instances
+            )
+            candidate_ids = sorted(candidate_ids)
+            instances = [self.get_instance(instance_id) for instance_id in candidate_ids]
 
-        new_schema = self.repository.release_version(type_id, type_change)
-        self.bus.publish(
-            CATEGORY_SCHEMA,
-            "schema_version_released",
+            if migrate == MIGRATE_STRICT:
+                dry_report = self._dry_run(process_type, type_change, instances)
+                blocked = [
+                    result
+                    for result in dry_report.results
+                    if result.outcome in _CONFLICT_OUTCOMES
+                ]
+                if blocked:
+                    raise MigrationError(
+                        f"strict migration of {type_id!r} refused: "
+                        f"{len(blocked)} of {dry_report.total} instance(s) cannot migrate "
+                        f"({', '.join(sorted(r.instance_id for r in blocked))})",
+                        report=dry_report,
+                    )
+
+            new_schema = self.repository.release_version(type_id, type_change)
+            self.bus.publish(
+                CATEGORY_SCHEMA,
+                "schema_version_released",
+                type_id=type_id,
+                version=new_schema.version,
+            )
+            with self._journal_suspended():
+                # the single typed evolution record below covers the whole
+                # mutation — rollback compensations inside the migration
+                # must not journal separate step records
+                report = self._migrator.migrate_type(
+                    process_type, type_change, instances, release=False
+                )
+            for result in report.results:
+                # migrated covers rollback migrations, which compensate
+                # activities and therefore also change the instance state
+                if result.migrated:
+                    self._dirty.add(result.instance_id)
+        self._journal(
+            KIND_EVOLUTION,
             type_id=type_id,
-            version=new_schema.version,
-        )
-        report = self._migrator.migrate_type(
-            process_type, type_change, instances, release=False
+            change=type_change.to_dict(),
+            policy=migrate,
+            to_version=new_schema.version,
+            candidates=candidate_ids,
         )
         self.worklists.refresh()
         self.bus.publish(
@@ -582,6 +889,12 @@ class AdeptSystem:
     def save(self, instance_id: str) -> StoredInstance:
         """Persist one case through the instance store."""
         stored = self.store.save(self.get_instance(instance_id))
+        self._dirty.discard(instance_id)
+        self._journal(
+            KIND_INSTANCE_SAVED,
+            instance_id=instance_id,
+            record=self.store.record(instance_id),
+        )
         self.bus.publish(CATEGORY_SYSTEM, "instance_saved", instance_id=instance_id)
         return stored
 
@@ -593,12 +906,48 @@ class AdeptSystem:
         """Load a stored case into the live set and return its handle."""
         return self.instance(instance_id)
 
+    def delete_instance(self, instance_id: str) -> bool:
+        """Remove a case from the live set and the instance store.
+
+        Returns True when the case existed anywhere.  The deletion is
+        journaled, so it survives recovery.
+        """
+        existed_live = self._instances.pop(instance_id, None) is not None
+        self._dirty.discard(instance_id)
+        self.worklists.discard_instance(instance_id)
+        existed_stored = self.store.delete(instance_id)
+        self._journal(KIND_INSTANCE_DELETED, instance_id=instance_id)
+        self.bus.publish(CATEGORY_SYSTEM, "instance_deleted", instance_id=instance_id)
+        return existed_live or existed_stored
+
     def stored_instance_ids(self) -> List[str]:
         return self.store.instance_ids()
 
     def checkpoint(self) -> None:
-        """Flush the instance store and truncate its write-ahead log."""
-        self.store.checkpoint()
+        """Make the current state the durable baseline.
+
+        With an attached backend: write every dirty live case back to the
+        instance store, capture one atomic snapshot (schemas, instance
+        records, case counters) and truncate the write-ahead log — after
+        this, recovery loads the snapshot and replays nothing.  Without a
+        backend this flushes the instance store and truncates its legacy
+        WAL (the pre-durability behaviour).
+        """
+        if self._backend is None:
+            self.store.checkpoint()
+            return
+        for instance_id in sorted(self._dirty):
+            instance = self._instances.get(instance_id)
+            if instance is not None:
+                self.store.write_back(instance)
+        self._dirty.clear()
+        self._backend.write_snapshot(self)
+        self.bus.publish(
+            CATEGORY_SYSTEM,
+            "checkpoint_completed",
+            instances=len(self.store),
+            types=len(self.repository),
+        )
 
     def recover_from_wal(self) -> int:
         """Replay WAL records into the instance store (crash recovery)."""

@@ -1,0 +1,443 @@
+"""The durability layer behind the :class:`~repro.system.AdeptSystem` façade.
+
+The paper's Fig. 2 storage architecture — a versioned schema repository
+plus redundancy-free instance records (hybrid substitution representation
+for biased instances) — is implemented in :mod:`repro.storage`.  This
+module wires it into the façade as an optional :class:`PersistentBackend`
+so an ``AdeptSystem`` survives restarts:
+
+* **journaling** — every committed mutation of the system (instance
+  starts, activity steps with their actual outputs, ad-hoc change sets,
+  schema deployments, evolutions with migration, saves, deletions) is
+  appended to one :class:`~repro.storage.wal.WriteAheadLog` as a *typed
+  record* the moment it commits in memory;
+* **checkpointing** — :meth:`PersistentBackend.write_snapshot` captures
+  the whole system (all schema versions, all instance records, the case
+  counters) in a single atomically-replaced snapshot file and truncates
+  the log;
+* **recovery** — :meth:`PersistentBackend.recover` loads the latest
+  snapshot and *replays the WAL suffix* on top of it: logical records
+  (steps, change sets, evolutions) are re-executed through the very same
+  engine/changer/migrator code paths that produced them, reconciling the
+  replayed schema versions against the journaled change log.  A torn
+  trailing record (crash mid-append) is ignored — the commit point of a
+  mutation is its complete WAL line.
+
+The WAL-suffix replay is the incremental-frame idea from the related
+work: a snapshot bounds how much history recovery has to re-execute, and
+everything after it is re-derived rather than stored redundantly.
+
+Record format (JSON lines, one object per line)::
+
+    {"kind": "<record kind>", "seq": <monotonic int>, ...fields}
+
+See ``docs/persistence.md`` for the full record catalogue and the
+crash-consistency contract.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, TYPE_CHECKING
+
+from repro.core.evolution import ProcessType, TypeChange
+from repro.core.changelog import ChangeLog
+from repro.errors import ReproError
+from repro.schema.graph import ProcessSchema
+from repro.storage.wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.facade import AdeptSystem
+
+#: Snapshot/WAL format version (bumped on incompatible layout changes).
+FORMAT_VERSION = 1
+
+#: All typed WAL record kinds, in the order they were introduced.
+KIND_TYPE_DEPLOYED = "type_deployed"
+KIND_TYPE_ADOPTED = "type_adopted"
+KIND_INSTANCE_STARTED = "instance_started"
+KIND_INSTANCE_ADOPTED = "instance_adopted"
+KIND_STEP = "step"
+KIND_INSTANCE_ABORTED = "instance_aborted"
+KIND_ADHOC_CHANGE = "adhoc_change"
+KIND_EVOLUTION = "evolution"
+KIND_INSTANCE_SAVED = "instance_saved"
+KIND_INSTANCE_DELETED = "instance_deleted"
+
+ALL_KINDS = (
+    KIND_TYPE_DEPLOYED,
+    KIND_TYPE_ADOPTED,
+    KIND_INSTANCE_STARTED,
+    KIND_INSTANCE_ADOPTED,
+    KIND_STEP,
+    KIND_INSTANCE_ABORTED,
+    KIND_ADHOC_CHANGE,
+    KIND_EVOLUTION,
+    KIND_INSTANCE_SAVED,
+    KIND_INSTANCE_DELETED,
+)
+
+
+class PersistenceError(ReproError):
+    """Raised when the durability layer cannot journal or snapshot."""
+
+
+class RecoveryError(PersistenceError):
+    """Raised when a snapshot or WAL suffix cannot be replayed consistently."""
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`PersistentBackend.recover` found and replayed."""
+
+    snapshot_loaded: bool = False
+    snapshot_instances: int = 0
+    snapshot_schema_versions: int = 0
+    replayed_records: int = 0
+    replayed_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [
+            f"snapshot: {'loaded' if self.snapshot_loaded else 'none'}"
+            + (
+                f" ({self.snapshot_instances} instance(s), "
+                f"{self.snapshot_schema_versions} schema version(s))"
+                if self.snapshot_loaded
+                else ""
+            ),
+            f"wal: {self.replayed_records} record(s) replayed",
+        ]
+        for kind in sorted(self.replayed_by_kind):
+            lines.append(f"  {kind:<20} {self.replayed_by_kind[kind]}")
+        return "\n".join(lines)
+
+
+class PersistentBackend:
+    """Write-ahead log + snapshot durability for one :class:`AdeptSystem`.
+
+    The backend owns a directory::
+
+        <directory>/wal.jsonl       append-only typed record log
+        <directory>/snapshot.json   latest checkpoint (atomically replaced)
+
+    It is *passive*: the façade calls :meth:`journal` after each committed
+    mutation and :meth:`write_snapshot` on checkpoint; :meth:`recover`
+    rebuilds a fresh system from snapshot + WAL suffix.  While
+    :meth:`suspended` is active every :meth:`journal` call is a no-op —
+    recovery replays mutations through the normal façade code paths and
+    must not re-journal them.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.wal = WriteAheadLog(str(self.directory / "wal.jsonl"))
+        self.snapshot_path = self.directory / "snapshot.json"
+        self._seq = 0
+        self._suspended = 0
+        self._bootstrap_seq()
+
+    def _bootstrap_seq(self) -> None:
+        """Continue the record sequence after the last durable record."""
+        snapshot = self.load_snapshot()
+        if snapshot is not None:
+            self._seq = int(snapshot.get("next_seq", 0))
+        for record in self.wal.records():
+            self._seq = max(self._seq, int(record.get("seq", 0)))
+
+    # ------------------------------------------------------------------ #
+    # journaling
+    # ------------------------------------------------------------------ #
+
+    @property
+    def active(self) -> bool:
+        """True when journal calls are being recorded (not suspended)."""
+        return self._suspended == 0
+
+    @contextmanager
+    def suspended(self) -> Iterator[None]:
+        """Suppress journaling (recovery replay, internal evictions)."""
+        self._suspended += 1
+        try:
+            yield
+        finally:
+            self._suspended -= 1
+
+    def journal(self, kind: str, **fields: Any) -> Optional[int]:
+        """Append one typed record; returns its sequence number (or None)."""
+        if self._suspended:
+            return None
+        self._seq += 1
+        record = {"kind": kind, "seq": self._seq}
+        record.update(fields)
+        self.wal.append(record)
+        return self._seq
+
+    def wal_records(self) -> List[Dict[str, Any]]:
+        """All complete records currently in the log (torn tail ignored)."""
+        return self.wal.records()
+
+    def close(self) -> None:
+        """Release the WAL file handle (the backend can be reopened later)."""
+        self.wal.close()
+
+    # ------------------------------------------------------------------ #
+    # snapshot (checkpoint)
+    # ------------------------------------------------------------------ #
+
+    def write_snapshot(self, system: "AdeptSystem") -> None:
+        """Capture the system state atomically and truncate the WAL.
+
+        The caller (``AdeptSystem.checkpoint``) has already flushed every
+        dirty live instance into the instance store, so the store records
+        plus the schema repository are the complete state.  The snapshot
+        file is written to a temporary and atomically replaced; only
+        after it is durable is the log truncated — a crash between the
+        two steps replays the (now redundant, idempotent-by-state) WAL
+        suffix on top of the fresh snapshot, which converges to the same
+        state.
+        """
+        repository = system.repository
+        schemas: List[Dict[str, Any]] = []
+        for type_name in repository.type_names():
+            for version in repository.versions_of(type_name):
+                schemas.append(repository.schema(type_name, version).to_dict())
+        instances = {
+            instance_id: record for instance_id, record in system.store.scan_records()
+        }
+        payload = {
+            "format": FORMAT_VERSION,
+            "next_seq": self._seq,
+            "case_counters": dict(system._case_counters),
+            "schemas": schemas,
+            "instances": instances,
+        }
+        temporary = self.snapshot_path.with_suffix(".json.tmp")
+        temporary.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        temporary.replace(self.snapshot_path)
+        self.wal.truncate()
+
+    def load_snapshot(self) -> Optional[Dict[str, Any]]:
+        """The latest snapshot payload, or ``None`` when none exists.
+
+        A torn snapshot file (crash during the very first checkpoint,
+        before the atomic replace) is treated as absent.
+        """
+        if not self.snapshot_path.exists():
+            return None
+        try:
+            payload = json.loads(self.snapshot_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            return None
+        if payload.get("format") != FORMAT_VERSION:
+            raise RecoveryError(
+                f"snapshot format {payload.get('format')!r} is not supported "
+                f"(expected {FORMAT_VERSION})"
+            )
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+
+    def recover(self, system: "AdeptSystem") -> RecoveryReport:
+        """Rebuild ``system`` from the snapshot and the WAL suffix.
+
+        ``system`` must be freshly constructed (no deployed types, no
+        instances).  Journaling is suspended for the duration — the replay
+        drives the normal façade code paths, which would otherwise
+        re-journal every mutation.
+        """
+        report = RecoveryReport()
+        with self.suspended():
+            snapshot = self.load_snapshot()
+            snapshot_seq = 0
+            if snapshot is not None:
+                self._load_snapshot_into(system, snapshot, report)
+                snapshot_seq = int(snapshot.get("next_seq", 0))
+            for record in self.wal.records():
+                seq = int(record.get("seq", 0))
+                if seq <= snapshot_seq:
+                    # a crash between the snapshot's atomic replace and the
+                    # WAL truncation leaves records the snapshot already
+                    # contains — replaying them would double-apply
+                    continue
+                self._apply_record(system, record)
+                self._seq = max(self._seq, seq)
+                report.replayed_records += 1
+                kind = record.get("kind", "?")
+                report.replayed_by_kind[kind] = report.replayed_by_kind.get(kind, 0) + 1
+            self._reoffer_stored_work(system)
+        system.worklists.refresh()
+        return report
+
+    @staticmethod
+    def _reoffer_stored_work(system: "AdeptSystem") -> None:
+        """Recreate work items for running cases resident only in the store.
+
+        The snapshot bypasses the worklist manager; without this pass a
+        restarted system would show an empty worklist until each case
+        happened to be hydrated for another reason.  Hydration respects
+        the LRU cap — the created items survive a subsequent eviction.
+        """
+        for instance_id in system.store.running_instances():
+            if instance_id not in system._instances:
+                instance = system.get_instance(instance_id)
+                system.worklists.register_instance(instance)
+
+    def _load_snapshot_into(
+        self, system: "AdeptSystem", snapshot: Mapping[str, Any], report: RecoveryReport
+    ) -> None:
+        by_type: Dict[str, List[ProcessSchema]] = {}
+        for payload in snapshot.get("schemas", []):
+            schema = ProcessSchema.from_dict(payload)
+            by_type.setdefault(schema.name, []).append(schema)
+        for type_name, versions in by_type.items():
+            process_type = ProcessType(type_name)
+            for schema in sorted(versions, key=lambda s: s.version):
+                process_type.add_version(schema)
+            system.repository.adopt_type(process_type)
+            report.snapshot_schema_versions += len(versions)
+        for record in snapshot.get("instances", {}).values():
+            system.store.put_record(record)
+            report.snapshot_instances += 1
+        system._case_counters.update(snapshot.get("case_counters", {}))
+        self._seq = int(snapshot.get("next_seq", self._seq))
+        report.snapshot_loaded = True
+
+    # -- record replay -------------------------------------------------- #
+
+    def _apply_record(self, system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+        kind = record.get("kind")
+        try:
+            handler = _REPLAY_HANDLERS[kind]
+        except KeyError:
+            raise RecoveryError(f"unknown WAL record kind {kind!r}") from None
+        try:
+            handler(system, record)
+        except RecoveryError:
+            raise
+        except Exception as exc:
+            raise RecoveryError(
+                f"replaying WAL record #{record.get('seq')} ({kind}) failed: {exc}"
+            ) from exc
+
+
+# --------------------------------------------------------------------------- #
+# replay handlers (one per record kind)
+# --------------------------------------------------------------------------- #
+
+
+def _replay_type_deployed(system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+    schema = ProcessSchema.from_dict(record["schema"])
+    # buildtime verification already passed when the deployment committed
+    system.deploy(schema, verify=False)
+
+
+def _replay_type_adopted(system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+    process_type: Optional[ProcessType] = None
+    for payload in record["schemas"]:
+        schema = ProcessSchema.from_dict(payload)
+        if process_type is None:
+            process_type = ProcessType(schema.name)
+        process_type.add_version(schema)
+    if process_type is not None:
+        system.adopt(process_type)
+
+
+def _replay_instance_started(system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+    system.start(
+        record["type_id"],
+        case_id=record["instance_id"],
+        version=record["version"],
+        **record.get("data", {}),
+    )
+
+
+def _replay_instance_adopted(system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+    instance = system.store.instantiate(record["record"])
+    system.adopt_instance(instance)
+
+
+def _replay_step(system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+    instance = system.get_instance(record["instance_id"])
+    if record["action"] == "start":
+        system.engine.start_activity(instance, record["activity"], user=record.get("user"))
+    else:
+        system.engine.complete_activity(
+            instance,
+            record["activity"],
+            outputs=record.get("outputs") or {},
+            user=record.get("user"),
+        )
+
+
+def _replay_instance_aborted(system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+    system.engine.abort_instance(system.get_instance(record["instance_id"]))
+
+
+def _replay_adhoc_change(system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+    instance = system.get_instance(record["instance_id"])
+    change_log = ChangeLog.from_dict(record["change"])
+    system._changer.apply(instance, change_log, comment=change_log.comment, user=record.get("user"))
+    system._dirty.add(instance.instance_id)
+
+
+def _replay_evolution(system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+    type_id = record["type_id"]
+    type_change = TypeChange.from_dict(record["change"])
+    process_type = system.repository.process_type(type_id)
+    new_schema = system.repository.release_version(type_id, type_change)
+    _reconcile_version(record, new_schema.version)
+    if record.get("policy") == "none":
+        return
+    with system._pinned_hydration():
+        instances = [system.get_instance(i) for i in record.get("candidates", [])]
+        migration_report = system._migrator.migrate_type(
+            process_type, type_change, instances, release=False
+        )
+        for result in migration_report.results:
+            if result.migrated:
+                system._dirty.add(result.instance_id)
+
+
+def _replay_instance_saved(system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+    # the record *is* the state at journal time; if the case is live its
+    # in-memory state already matches (all earlier records were replayed)
+    system.store.put_record(record["record"])
+
+
+def _replay_instance_deleted(system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+    instance_id = record["instance_id"]
+    system.store.delete(instance_id)
+    system._instances.pop(instance_id, None)
+    system._dirty.discard(instance_id)
+    system.worklists.discard_instance(instance_id)
+
+
+def _reconcile_version(record: Mapping[str, Any], actual_version: int) -> None:
+    """Check a replayed release against the journaled change log."""
+    expected = record.get("to_version")
+    if expected is not None and expected != actual_version:
+        raise RecoveryError(
+            f"replaying WAL record #{record.get('seq')} released version "
+            f"{actual_version} of {record.get('type_id')!r} but the journal "
+            f"recorded v{expected} — the log no longer matches the change history"
+        )
+
+
+_REPLAY_HANDLERS = {
+    KIND_TYPE_DEPLOYED: _replay_type_deployed,
+    KIND_TYPE_ADOPTED: _replay_type_adopted,
+    KIND_INSTANCE_STARTED: _replay_instance_started,
+    KIND_INSTANCE_ADOPTED: _replay_instance_adopted,
+    KIND_STEP: _replay_step,
+    KIND_INSTANCE_ABORTED: _replay_instance_aborted,
+    KIND_ADHOC_CHANGE: _replay_adhoc_change,
+    KIND_EVOLUTION: _replay_evolution,
+    KIND_INSTANCE_SAVED: _replay_instance_saved,
+    KIND_INSTANCE_DELETED: _replay_instance_deleted,
+}

@@ -123,3 +123,93 @@ class TestReplayBaselineAgreement:
         target = compatible_change.apply_to(fig1.i2.execution_schema)
         incremental, agrees = adapter.adapt_and_verify(fig1.i2, target)
         assert agrees
+
+
+class TestSkipRederivation:
+    """Regression: SKIPPED states are derived, not performed work.
+
+    A dead-branch activity of an already decided XOR split is SKIPPED.
+    Inserting an activity *before* the split resets the branching
+    decision; the incremental adaptation must leave the branch undecided
+    (NOT_ACTIVATED), exactly like replaying the (empty) history — carrying
+    the stale skip was the historic divergence between ``adapt`` and
+    ``recompute_by_replay``.
+    """
+
+    @pytest.fixture
+    def xor_schema(self):
+        from repro.schema.builder import SchemaBuilder
+        from repro.schema.data import DataType
+
+        builder = SchemaBuilder("skip_regression", name="skip_regression")
+        builder.data("flag", DataType.BOOLEAN, default=False)
+        builder.conditional(
+            [
+                ("flag", lambda seq: seq.activity("fast_path")),
+                (None, lambda seq: seq.activity("slow_path")),
+            ],
+            label="route",
+        )
+        return builder.build()
+
+    def test_skip_not_carried_when_split_decision_resets(self, adapter, engine, xor_schema):
+        from repro.core.changelog import ChangeLog
+        from repro.core.operations import SerialInsertActivity
+        from repro.schema.nodes import Node, NodeType
+
+        instance = engine.create_instance(xor_schema, "case")
+        # the split sits right behind start and decides at creation time
+        assert instance.node_state("fast_path") is NodeState.SKIPPED
+        split_id = next(
+            node_id
+            for node_id in xor_schema.node_ids()
+            if xor_schema.node(node_id).node_type is NodeType.XOR_SPLIT
+        )
+        change = ChangeLog(
+            [
+                SerialInsertActivity(
+                    activity=Node(node_id="triage", node_type=NodeType.ACTIVITY, name="triage"),
+                    pred="start",
+                    succ=split_id,
+                )
+            ]
+        )
+        target = change.apply_to(xor_schema)
+        assert ComplianceChecker().check_by_replay(instance, target).compliant
+        incremental = adapter.adapt(instance, target)
+        replayed = adapter.recompute_by_replay(instance, target)
+        for activity in target.activity_ids():
+            assert incremental.node_state(activity) is replayed.node_state(activity)
+        # the decision is pending again, so nothing in the block is skipped
+        assert incremental.node_state("fast_path") is NodeState.NOT_ACTIVATED
+        assert incremental.node_state("slow_path") is NodeState.NOT_ACTIVATED
+
+    def test_skip_rederived_when_decision_survives(self, adapter, engine, xor_schema):
+        """When the change leaves the decided split alone, the skip comes back."""
+        from repro.core.changelog import ChangeLog
+        from repro.core.operations import SerialInsertActivity
+        from repro.schema.nodes import Node, NodeType
+
+        instance = engine.create_instance(xor_schema, "case")
+        assert instance.node_state("fast_path") is NodeState.SKIPPED
+        # insert after the decided block: the split's decision is untouched
+        join_id = next(
+            node_id
+            for node_id in xor_schema.node_ids()
+            if xor_schema.node(node_id).node_type is NodeType.XOR_JOIN
+        )
+        change = ChangeLog(
+            [
+                SerialInsertActivity(
+                    activity=Node(node_id="audit", node_type=NodeType.ACTIVITY, name="audit"),
+                    pred=join_id,
+                    succ="end",
+                )
+            ]
+        )
+        target = change.apply_to(xor_schema)
+        incremental = adapter.adapt(instance, target)
+        replayed = adapter.recompute_by_replay(instance, target)
+        for activity in target.activity_ids():
+            assert incremental.node_state(activity) is replayed.node_state(activity)
+        assert incremental.node_state("fast_path") is NodeState.SKIPPED

@@ -1,0 +1,37 @@
+"""Executable documentation: doctest every code session in the docs.
+
+Each ``>>>`` session in ``docs/*.md`` and ``README.md`` runs as a
+doctest (sessions within one file share a namespace, top to bottom), so
+the documented API surface cannot silently rot.  Fenced code blocks
+without ``>>>`` prompts are illustrative and not executed.
+"""
+
+import doctest
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+DOC_FILES = sorted((ROOT / "docs").glob("*.md"))
+if (ROOT / "README.md").exists():
+    DOC_FILES.append(ROOT / "README.md")
+
+OPTIONS = doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+
+
+@pytest.mark.parametrize("doc_path", DOC_FILES, ids=[path.name for path in DOC_FILES])
+def test_doc_code_blocks_execute(doc_path):
+    results = doctest.testfile(
+        str(doc_path), module_relative=False, optionflags=OPTIONS, verbose=False
+    )
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {doc_path.name}"
+
+
+def test_every_doc_page_is_reachable_from_the_index():
+    """docs/index.md must link every other page in docs/."""
+    index = (ROOT / "docs" / "index.md").read_text(encoding="utf-8")
+    for path in DOC_FILES:
+        if path.name in ("index.md", "README.md"):
+            continue
+        if path.parent.name == "docs":
+            assert path.name in index, f"docs/index.md does not link {path.name}"

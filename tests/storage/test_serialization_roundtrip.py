@@ -1,0 +1,141 @@
+"""Round-trip serialisation tests for the durable building blocks.
+
+Everything the persistence layer writes — markings, data contexts,
+execution histories, substitution blocks and whole instance records —
+must survive ``to_dict`` → JSON → ``from_dict`` byte-identically: the
+crash-recovery contract compares canonical serialisations, so a lossy
+round trip would silently weaken it.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.changelog import ChangeLog
+from repro.core.operations import SerialInsertActivity
+from repro.core.substitution import SubstitutionBlock
+from repro.runtime.data_context import DataContext
+from repro.runtime.engine import ProcessEngine
+from repro.runtime.history import ExecutionHistory
+from repro.runtime.markings import Marking
+from repro.schema.nodes import Node, NodeType
+from repro.schema.templates import online_order_process
+from repro.storage.serialization import instance_from_dict, instance_to_dict
+
+from tests.properties.strategies import executed_instances, random_schemas
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def json_round_trip(payload):
+    """Force the payload through an actual JSON encode/decode."""
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+@pytest.fixture
+def engine():
+    return ProcessEngine()
+
+
+@pytest.fixture
+def executed(engine):
+    schema = online_order_process()
+    instance = engine.create_instance(schema, "rt-1")
+    engine.complete_activity(instance, "get_order", outputs={"order": {"id": 7}})
+    engine.complete_activity(instance, "collect_data", outputs={"customer": "jane"})
+    return instance
+
+
+class TestMarkingRoundTrip:
+    def test_marking_round_trip_is_identical(self, executed):
+        marking = executed.marking
+        restored = Marking.from_dict(json_round_trip(marking.to_dict()))
+        assert restored.to_dict() == marking.to_dict()
+        assert restored.equivalent_to(marking)
+
+    @RELAXED
+    @given(data=st.data(), schema=random_schemas(min_activities=3, max_activities=10))
+    def test_marking_round_trip_on_random_executions(self, data, schema):
+        _, instance = data.draw(executed_instances(schema))
+        payload = json_round_trip(instance.marking.to_dict())
+        assert Marking.from_dict(payload).to_dict() == instance.marking.to_dict()
+
+
+class TestDataContextRoundTrip:
+    def test_values_writers_and_iterations_survive(self, executed):
+        context = executed.data
+        restored = DataContext.from_dict(json_round_trip(context.to_dict()))
+        assert restored.to_dict() == context.to_dict()
+        assert restored.values == context.values
+        assert [write.element for write in restored.writes] == [
+            write.element for write in context.writes
+        ]
+
+    def test_supplied_values_survive(self):
+        context = DataContext()
+        context.supply("priority", "high")
+        context.write("total", 42, writer="compute", iteration=2)
+        restored = DataContext.from_dict(json_round_trip(context.to_dict()))
+        assert restored.to_dict() == context.to_dict()
+        assert restored.get("priority") == "high"
+        assert restored.last_write("total").iteration == 2
+
+
+class TestHistoryRoundTrip:
+    def test_history_round_trip_preserves_entries_and_reduction(self, executed):
+        history = executed.history
+        restored = ExecutionHistory.from_dict(json_round_trip(history.to_dict()))
+        assert restored.to_dict() == history.to_dict()
+        assert restored.completed_activities() == history.completed_activities()
+        assert len(restored.reduced()) == len(history.reduced())
+
+
+class TestSubstitutionBlockRoundTrip:
+    def make_biased_schema(self):
+        schema = online_order_process()
+        change = ChangeLog(
+            [
+                SerialInsertActivity(
+                    activity=Node(
+                        node_id="call_customer",
+                        node_type=NodeType.ACTIVITY,
+                        name="call customer",
+                        staff_assignment="clerk",
+                    ),
+                    pred="get_order",
+                    succ="collect_data",
+                )
+            ]
+        )
+        return schema, change.apply_to(schema)
+
+    def test_block_round_trip_is_identical(self):
+        original, biased = self.make_biased_schema()
+        block = SubstitutionBlock.from_schemas(original, biased)
+        restored = SubstitutionBlock.from_dict(json_round_trip(block.to_dict()))
+        assert restored.to_dict() == block.to_dict()
+
+    def test_restored_block_overlays_to_equivalent_schema(self):
+        original, biased = self.make_biased_schema()
+        block = SubstitutionBlock.from_dict(
+            json_round_trip(SubstitutionBlock.from_schemas(original, biased).to_dict())
+        )
+        overlaid = block.overlay(original, schema_id="overlaid")
+        assert set(overlaid.node_ids()) == set(biased.node_ids())
+        assert {edge.key for edge in overlaid.edges} == {edge.key for edge in biased.edges}
+
+
+class TestWholeInstanceRoundTrip:
+    @RELAXED
+    @given(data=st.data(), schema=random_schemas(min_activities=3, max_activities=10))
+    def test_instance_record_round_trip_keeps_the_fingerprint(self, data, schema):
+        _, instance = data.draw(executed_instances(schema))
+        payload = json_round_trip(instance_to_dict(instance))
+        restored = instance_from_dict(payload, lambda name, version: schema)
+        assert restored.state_fingerprint() == instance.state_fingerprint()

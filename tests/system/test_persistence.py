@@ -1,0 +1,418 @@
+"""Tests for the durable AdeptSystem: journaling, checkpoints, recovery
+and the LRU-bounded live-instance cache."""
+
+import json
+
+import pytest
+
+from repro.runtime.states import InstanceStatus
+from repro.schema import templates
+from repro.system import AdeptSystem, RecoveryError
+from repro.system.persistence import (
+    KIND_ADHOC_CHANGE,
+    KIND_EVOLUTION,
+    KIND_INSTANCE_DELETED,
+    KIND_INSTANCE_SAVED,
+    KIND_INSTANCE_STARTED,
+    KIND_STEP,
+    KIND_TYPE_DEPLOYED,
+    PersistentBackend,
+)
+from repro.workloads.order_process import order_type_change_v2
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return str(tmp_path / "store")
+
+
+def open_system(store_path, **kwargs):
+    return AdeptSystem.open(store_path, **kwargs)
+
+
+class TestJournaling:
+    def test_mutations_produce_typed_records(self, store_path):
+        system = open_system(store_path)
+        orders = system.deploy(templates.online_order_process())
+        case = orders.start(customer="jane")
+        case.complete("get_order")
+        case.save()
+        case.change(comment="c").serial_insert(
+            "extra", pred="get_order", succ="collect_data"
+        ).apply()
+        orders.evolve(order_type_change_v2(), migrate="none")
+        system.abort(case.instance_id)
+        kinds = [record["kind"] for record in system.backend.wal_records()]
+        assert kinds[0] == KIND_TYPE_DEPLOYED
+        assert KIND_INSTANCE_STARTED in kinds
+        assert KIND_STEP in kinds
+        assert KIND_INSTANCE_SAVED in kinds
+        assert KIND_ADHOC_CHANGE in kinds
+        assert KIND_EVOLUTION in kinds
+
+    def test_sequence_numbers_are_monotonic(self, store_path):
+        system = open_system(store_path)
+        orders = system.deploy(templates.sequential_process())
+        for _ in range(3):
+            orders.start()
+        seqs = [record["seq"] for record in system.backend.wal_records()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_step_records_carry_actual_outputs(self, store_path):
+        system = open_system(store_path)
+        orders = system.deploy(templates.online_order_process())
+        case = orders.start()
+        case.complete("get_order", outputs={"order": {"sku": 12}})
+        steps = [
+            record
+            for record in system.backend.wal_records()
+            if record["kind"] == KIND_STEP and record["action"] == "complete"
+        ]
+        assert steps[-1]["outputs"] == {"order": {"sku": 12}}
+
+    def test_evolution_record_names_candidates_and_version(self, store_path):
+        system = open_system(store_path)
+        orders = system.deploy(templates.online_order_process())
+        ids = sorted(orders.start().instance_id for _ in range(3))
+        orders.evolve(order_type_change_v2())
+        record = next(
+            record
+            for record in system.backend.wal_records()
+            if record["kind"] == KIND_EVOLUTION
+        )
+        assert record["candidates"] == ids
+        assert record["to_version"] == 2
+
+
+class TestCheckpointAndRecovery:
+    def test_checkpoint_truncates_wal_and_snapshot_restores(self, store_path):
+        system = open_system(store_path)
+        orders = system.deploy(templates.online_order_process())
+        ids = [orders.start().instance_id for _ in range(3)]
+        system.checkpoint()
+        assert system.backend.wal_records() == []
+        system.close(checkpoint=False)
+
+        reopened = open_system(store_path)
+        assert reopened.last_recovery.snapshot_loaded
+        assert reopened.last_recovery.replayed_records == 0
+        assert sorted(reopened.stored_instance_ids()) == sorted(ids)
+
+    def test_unclean_exit_replays_wal_suffix(self, store_path):
+        system = open_system(store_path)
+        orders = system.deploy(templates.online_order_process())
+        case = orders.start()
+        case.complete("get_order")
+        fingerprint = case.raw.state_fingerprint()
+        case_id = case.instance_id
+        system.backend.close()  # crash: no checkpoint
+
+        recovered = open_system(store_path)
+        assert recovered.last_recovery.replayed_records > 0
+        assert recovered.get_instance(case_id).state_fingerprint() == fingerprint
+        # and the case is resumable
+        result = recovered.run(case_id)
+        assert result.status is InstanceStatus.COMPLETED
+
+    def test_torn_trailing_record_is_ignored(self, store_path):
+        system = open_system(store_path)
+        orders = system.deploy(templates.sequential_process())
+        orders.start()
+        complete_records = len(system.backend.wal_records())
+        system.backend.close()
+        wal = system.backend.wal.path
+        with wal.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "step", "seq": 999, "instance')  # torn mid-write
+
+        recovered = open_system(store_path)
+        assert recovered.last_recovery.replayed_records == complete_records
+
+    def test_deleted_instance_stays_deleted_after_recovery(self, store_path):
+        system = open_system(store_path)
+        orders = system.deploy(templates.sequential_process())
+        keep = orders.start().instance_id
+        drop = orders.start().instance_id
+        assert system.delete_instance(drop)
+        system.backend.close()
+
+        recovered = open_system(store_path)
+        assert keep in recovered.live_instance_ids()
+        assert drop not in recovered.live_instance_ids()
+        assert drop not in recovered.stored_instance_ids()
+
+    def test_version_reconciliation_rejects_tampered_journal(self, store_path):
+        system = open_system(store_path)
+        orders = system.deploy(templates.online_order_process())
+        orders.start()
+        orders.evolve(order_type_change_v2(), migrate="none")
+        system.backend.close()
+        wal = system.backend.wal.path
+        lines = [line for line in wal.read_text().splitlines() if line]
+        tampered = []
+        for line in lines:
+            record = json.loads(line)
+            if record["kind"] == KIND_EVOLUTION:
+                record["to_version"] = 9  # journal no longer matches the changelog
+            tampered.append(json.dumps(record, sort_keys=True))
+        wal.write_text("\n".join(tampered) + "\n")
+
+        with pytest.raises(RecoveryError):
+            open_system(store_path)
+
+    def test_recovery_publishes_bus_event(self, store_path):
+        system = open_system(store_path)
+        system.deploy(templates.sequential_process())
+        system.backend.close()
+        recovered = open_system(store_path)
+        events = recovered.bus.events_of(category="system", name="recovery_completed")
+        assert len(events) == 1
+
+    def test_open_context_manager_checkpoints_on_exit(self, store_path):
+        with open_system(store_path) as system:
+            orders = system.deploy(templates.sequential_process())
+            orders.start()
+        reopened = open_system(store_path)
+        assert reopened.last_recovery.snapshot_loaded
+        assert reopened.last_recovery.replayed_records == 0
+
+
+class TestLazyHydration:
+    def populate(self, store_path, count=8, cache=3):
+        system = open_system(store_path, cache_instances=cache)
+        orders = system.deploy(templates.online_order_process())
+        ids = [orders.start().instance_id for _ in range(count)]
+        return system, orders, ids
+
+    def test_live_set_is_bounded(self, store_path):
+        system, orders, ids = self.populate(store_path)
+        assert len(system.live_instance_ids()) <= 3
+        assert set(system.live_instance_ids()) | set(system.stored_instance_ids()) == set(ids)
+
+    def test_eviction_saves_dirty_instances(self, store_path):
+        system, orders, ids = self.populate(store_path)
+        evicted = [i for i in ids if i not in system.live_instance_ids()]
+        # every evicted case is hydratable with its full state
+        for instance_id in evicted:
+            instance = system.get_instance(instance_id)
+            assert instance.instance_id == instance_id
+
+    def test_hydration_round_trip_preserves_state(self, store_path):
+        system, orders, ids = self.populate(store_path)
+        first = ids[0]
+        system.complete(first, "get_order")
+        fingerprint = system.get_instance(first).state_fingerprint()
+        # touch the others so `first` gets evicted
+        for instance_id in ids[1:]:
+            system.get_instance(instance_id)
+        assert first not in system.live_instance_ids()
+        assert system.get_instance(first).state_fingerprint() == fingerprint
+
+    def test_eviction_and_hydration_publish_events(self, store_path):
+        system, orders, ids = self.populate(store_path)
+        for instance_id in ids:
+            system.get_instance(instance_id)
+        assert system.bus.events_of(category="system", name="instance_evicted")
+        assert system.bus.events_of(category="system", name="instance_loaded")
+
+    def test_step_many_advances_population_larger_than_cache(self, store_path):
+        system, orders, ids = self.populate(store_path, count=10, cache=3)
+        results = system.step_many(ids, steps=1)
+        assert [result.instance_id for result in results] == ids
+        assert all(result.steps == 1 for result in results)
+        assert len(system.live_instance_ids()) <= 3
+
+    def test_instances_of_covers_evicted_cases(self, store_path):
+        system, orders, ids = self.populate(store_path)
+        handles = system.instances_of("online_order")
+        assert sorted(handle.instance_id for handle in handles) == sorted(ids)
+
+    def test_evolve_migrates_evicted_cases(self, store_path):
+        system, orders, ids = self.populate(store_path)
+        report = orders.evolve(order_type_change_v2())
+        assert report.total == len(ids)
+        for instance_id in ids:
+            assert system.get_instance(instance_id).schema_version == 2
+
+    def test_worklist_claim_rehydrates_evicted_case(self, store_path):
+        system, orders, ids = self.populate(store_path)
+        evicted = next(i for i in ids if i not in system.live_instance_ids())
+        items = [
+            item
+            for item in system.worklists.open_items()
+            if item.instance_id == evicted
+        ]
+        if not items:
+            system.worklists.refresh()
+            items = [
+                item
+                for item in system.worklists.open_items()
+                if item.instance_id == evicted
+            ]
+        assert items, "evicted case should still have offered work items"
+        claimed = system.claim(items[0].item_id, user="clerk")
+        assert claimed.instance_id == evicted
+        assert evicted in system.live_instance_ids()
+
+    def test_lru_cache_works_without_backend(self, tmp_path):
+        system = AdeptSystem(cache_instances=2)
+        orders = system.deploy(templates.sequential_process())
+        ids = [orders.start().instance_id for _ in range(5)]
+        assert len(system.live_instance_ids()) <= 2
+        for instance_id in ids:
+            assert system.get_instance(instance_id).instance_id == instance_id
+
+
+class TestBackendUnit:
+    def test_fresh_directory_has_no_snapshot(self, store_path):
+        backend = PersistentBackend(store_path)
+        assert backend.load_snapshot() is None
+        assert backend.wal_records() == []
+
+    def test_suspended_journaling_is_dropped(self, store_path):
+        backend = PersistentBackend(store_path)
+        with backend.suspended():
+            assert backend.journal("step", instance_id="x") is None
+        assert backend.wal_records() == []
+        assert backend.journal("step", instance_id="x") == 1
+
+    def test_sequence_continues_across_reopen(self, store_path):
+        backend = PersistentBackend(store_path)
+        backend.journal("step", instance_id="a")
+        backend.journal("step", instance_id="b")
+        backend.close()
+        reopened = PersistentBackend(store_path)
+        assert reopened.journal("step", instance_id="c") == 3
+
+
+class TestMonitoringOfStorageEvents:
+    def test_feed_storage_summary_counts_cache_churn(self, store_path):
+        system = AdeptSystem.open(store_path, cache_instances=2)
+        orders = system.deploy(templates.sequential_process())
+        ids = [orders.start().instance_id for _ in range(5)]
+        for instance_id in ids:
+            system.get_instance(instance_id)
+        system.checkpoint()
+        summary = system.feed.storage_summary()
+        assert summary["recovery_completed"] == 1
+        assert summary["checkpoint_completed"] == 1
+        assert summary["instance_evicted"] > 0
+        assert summary["instance_loaded"] > 0
+        assert set(summary) >= {"instance_saved", "instance_deleted"}
+        system.close(checkpoint=False)
+
+
+class TestReviewRegressions:
+    """Regressions for the crash-window, journal-divergence and worklist
+    lifecycle defects found in review."""
+
+    def test_crash_between_snapshot_and_wal_truncate_recovers(self, store_path):
+        """Snapshot replaced but WAL not yet truncated: records the snapshot
+        already covers must be skipped, not double-applied."""
+        system = open_system(store_path)
+        orders = system.deploy(templates.online_order_process())
+        case = orders.start()
+        case.complete("get_order")
+        fingerprint = case.raw.state_fingerprint()
+        wal_before = system.backend.wal.path.read_bytes()
+        system.checkpoint()  # snapshot written, WAL truncated...
+        system.backend.close()
+        system.backend.wal.path.write_bytes(wal_before)  # ...crash restores the un-truncated log
+
+        recovered = open_system(store_path)
+        assert recovered.last_recovery.snapshot_loaded
+        assert recovered.last_recovery.replayed_records == 0  # all covered by the snapshot
+        assert recovered.get_instance(case.instance_id).state_fingerprint() == fingerprint
+
+    def test_records_past_the_snapshot_still_replay(self, store_path):
+        """Only the covered prefix is skipped — later records replay."""
+        system = open_system(store_path)
+        orders = system.deploy(templates.online_order_process())
+        case = orders.start()
+        system.checkpoint()
+        covered = system.backend.wal.path.read_bytes()  # empty after truncate
+        case.complete("get_order")
+        suffix = system.backend.wal.path.read_bytes()
+        fingerprint = case.raw.state_fingerprint()
+        system.backend.close()
+        # crash right after the checkpoint's snapshot replace: prepend the
+        # pre-checkpoint records (covered by next_seq) to the real suffix
+        deploy_and_start = b""
+        system2 = None
+        recovered = open_system(store_path)
+        assert recovered.get_instance(case.instance_id).state_fingerprint() == fingerprint
+        assert recovered.last_recovery.replayed_records == len(
+            [line for line in suffix.split(b"\n") if line]
+        )
+
+    def test_unjournalable_outputs_reject_the_step_before_commit(self, store_path):
+        import datetime
+
+        from repro.runtime.engine import EngineError
+
+        system = open_system(store_path)
+        orders = system.deploy(templates.online_order_process())
+        case = orders.start()
+        before = case.raw.state_fingerprint()
+        records_before = len(system.backend.wal_records())
+        with pytest.raises(EngineError, match="cannot be journaled"):
+            case.complete("get_order", outputs={"order": datetime.datetime.now()})
+        # neither the in-memory state nor the journal moved
+        assert case.raw.state_fingerprint() == before
+        assert len(system.backend.wal_records()) == records_before
+        # in-memory systems still accept arbitrary outputs
+        plain = AdeptSystem()
+        plain_case = plain.deploy(templates.online_order_process()).start()
+        plain_case.complete("get_order", outputs={"order": datetime.datetime.now()})
+
+    def test_restart_reoffers_work_items_of_snapshotted_cases(self, store_path):
+        with open_system(store_path) as system:
+            orders = system.deploy(templates.online_order_process())
+            case_id = orders.start().instance_id
+            assert system.worklists.open_items()
+        reopened = open_system(store_path)
+        items = [
+            item for item in reopened.worklists.open_items()
+            if item.instance_id == case_id
+        ]
+        assert items, "running snapshotted case must reappear on the worklist"
+        claimed = reopened.claim(items[0].item_id, user="clerk")
+        assert claimed.instance_id == case_id
+
+    def test_delete_instance_withdraws_open_items(self, store_path):
+        from repro.runtime.engine import EngineError
+        from repro.runtime.worklist import WorkItemState
+
+        system = open_system(store_path)
+        orders = system.deploy(templates.online_order_process())
+        case_id = orders.start().instance_id
+        items = [i for i in system.worklists.open_items() if i.instance_id == case_id]
+        assert items
+        system.delete_instance(case_id)
+        assert all(
+            item.state is WorkItemState.WITHDRAWN
+            for item in system.worklists.items_for_instance(case_id)
+        )
+        # a stale item id can no longer be claimed, and nothing gets stuck
+        with pytest.raises(EngineError):
+            system.claim(items[0].item_id, user="clerk")
+        assert items[0].state is WorkItemState.WITHDRAWN
+
+    def test_evolve_skips_finished_stored_cases(self, store_path):
+        system = open_system(store_path, cache_instances=2)
+        orders = system.deploy(templates.online_order_process())
+        running_ids = [orders.start().instance_id for _ in range(2)]
+        finished_ids = []
+        for _ in range(4):
+            case = orders.start()
+            case.run()
+            finished_ids.append(case.instance_id)
+        # push the finished cases out of the live set
+        for instance_id in running_ids:
+            system.get_instance(instance_id)
+        stored_finished = [i for i in finished_ids if i not in system.live_instance_ids()]
+        assert stored_finished, "test needs evicted finished cases"
+        report = orders.evolve(order_type_change_v2())
+        reported = {result.instance_id for result in report.results}
+        assert set(running_ids) <= reported
+        assert not (set(stored_finished) & reported)

@@ -70,3 +70,50 @@ class TestParser:
     def test_unknown_template_falls_back_to_file_and_fails(self):
         with pytest.raises(FileNotFoundError):
             main(["verify", "no_such_template_or_file.json"])
+
+
+class TestDurableStore:
+    def test_run_lifecycle_with_store_persists_across_invocations(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["run", "lifecycle", "--instances", "3", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["run", "lifecycle", "--instances", "2", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["recover", store]) == 0
+        output = capsys.readouterr().out
+        assert "stored instances: 5" in output
+
+    def test_simulate_with_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["simulate", "credit_application", "--instances", "2", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["simulate", "credit_application", "--instances", "2", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["recover", store]) == 0
+        assert "stored instances: 4" in capsys.readouterr().out
+
+    def test_recover_json_and_checkpoint(self, tmp_path, capsys):
+        import json as json_module
+
+        store = str(tmp_path / "store")
+        assert main(["run", "lifecycle", "--instances", "2", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["recover", store, "--checkpoint", "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["snapshot_loaded"] is True
+        assert payload["instances"] == 2
+        assert payload["checkpointed"] is True
+
+    def test_recover_replays_wal_suffix_after_unclean_exit(self, tmp_path, capsys):
+        from repro import AdeptSystem
+        from repro.schema import templates
+
+        store = str(tmp_path / "store")
+        system = AdeptSystem.open(store)
+        orders = system.deploy(templates.online_order_process())
+        orders.start().complete("get_order")
+        del system  # unclean exit: no checkpoint, no close
+        assert main(["recover", store]) == 0
+        output = capsys.readouterr().out
+        assert "record(s) replayed" in output
+        assert "stored instances: 0" in output or "live instances" in output
