@@ -1,0 +1,177 @@
+"""Concurrency benchmark: multi-worker throughput and evolve-under-load.
+
+Measures what the concurrent runtime was built for:
+
+* **worker scaling** — ``system.serve(workers=N)`` / ``drain()`` over a
+  10k-case population whose activities carry a small simulated service
+  latency (the blocking portion of real activity execution: service
+  calls, document reads, human latency).  One worker performs the
+  blocked portions sequentially; eight workers overlap them.  The
+  acceptance gate: **≥ 2.5x step throughput at 8 workers vs 1 worker**.
+  (The engine's CPU work itself stays GIL-serialised — the win is
+  overlapping everything that blocks, which is what dominates a real
+  workflow engine's wall clock.)
+
+* **evolve under full load** — a durable system serving 8 workers while
+  the main thread issues an ``evolve`` with compliant migration.  The
+  evolution quiesces only the affected type; afterwards the run is
+  *verified against the write-ahead log*: a fresh ``AdeptSystem.open``
+  replays the journal sequentially and must reproduce the fingerprint of
+  every case bit-for-bit — any lost step, double-applied step or
+  mis-migrated case would diverge the replay.  The report must also show
+  both migrated (compliant) and conflicting cases, and exactly the
+  migrated set must run on the new version.
+
+Rows land in ``benchmarks/results/BENCH_concurrency.txt``.
+
+Smoke mode (``BENCH_SMOKE=1``): tiny populations and no timing
+assertions.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import write_rows
+from repro.schema import templates
+from repro.system import AdeptSystem, simulated_latency_worker
+from repro.workloads.order_process import order_type_change_v2
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+EXPERIMENT = "BENCH_concurrency"
+
+#: One activity per case: the scaling measurement counts pure step
+#: throughput, not schema length.
+POPULATION = 40 if SMOKE else 10_000
+#: Simulated blocking time per activity (service call / human latency).
+ACTIVITY_LATENCY_S = 0.0005
+WORKER_COUNTS = (1, 8)
+#: Acceptance gate: throughput at 8 workers over throughput at 1 worker.
+MIN_SPEEDUP = 2.5
+
+EVOLVE_POPULATION = 30 if SMOKE else 2_000
+#: Cases advanced past the change region before serving starts — they
+#: must show up as migration conflicts, not silently migrate.
+EVOLVE_ADVANCED = 10 if SMOKE else 600
+
+
+def _throughput(workers: int) -> float:
+    system = AdeptSystem()
+    process = system.deploy(templates.sequential_process(length=1, schema_id="bench_seq"))
+    for _ in range(POPULATION):
+        process.start()
+    started = time.perf_counter()
+    system.serve(workers=workers, worker=simulated_latency_worker(ACTIVITY_LATENCY_S))
+    stats = system.drain()
+    elapsed = time.perf_counter() - started
+    assert stats.items_completed == POPULATION, stats.summary()
+    assert not stats.errors, stats.errors
+    return stats.items_completed / elapsed
+
+
+def test_worker_scaling_throughput():
+    """serve(workers=8) must deliver >= 2.5x the steps/s of serve(workers=1)."""
+    rates = {workers: _throughput(workers) for workers in WORKER_COUNTS}
+    speedup = rates[8] / rates[1]
+    write_rows(
+        EXPERIMENT,
+        f"worker scaling ({POPULATION} cases, {ACTIVITY_LATENCY_S * 1000:.1f}ms activity latency)",
+        [
+            {
+                "workers": workers,
+                "steps/s": f"{rates[workers]:.0f}",
+                "speedup": f"{rates[workers] / rates[1]:.2f}x",
+            }
+            for workers in WORKER_COUNTS
+        ],
+    )
+    if not SMOKE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"8 workers deliver only {speedup:.2f}x the throughput of 1 worker "
+            f"(gate: {MIN_SPEEDUP}x)"
+        )
+
+
+def test_evolve_under_full_load_is_exact(tmp_path):
+    """Evolve during 8-worker load: exact migration, WAL-verified, no lost steps."""
+    store = str(tmp_path / "store")
+    system = AdeptSystem.open(store)
+    orders = system.deploy(templates.online_order_process())
+    ids = [orders.start().instance_id for _ in range(EVOLVE_POPULATION)]
+    # advance a slice beyond the insertion point: they must conflict
+    warmup_steps = sum(
+        result.steps for result in system.step_many(ids[:EVOLVE_ADVANCED], steps=4)
+    )
+
+    system.serve(workers=8, worker=simulated_latency_worker(ACTIVITY_LATENCY_S))
+    time.sleep(0.01 if SMOKE else 0.25)  # let the load build up
+    evolve_started = time.perf_counter()
+    report = orders.evolve(order_type_change_v2())
+    evolve_seconds = time.perf_counter() - evolve_started
+    stats = system.drain()
+    assert not stats.errors, stats.errors
+
+    # the report covers every candidate, with both outcomes represented
+    assert report.total == EVOLVE_POPULATION
+    migrated_ids = {r.instance_id for r in report.results if r.migrated}
+    if not SMOKE:
+        assert report.migrated_count > 0
+        assert report.migrated_count < report.total
+
+    # exactly the migrated (compliant) set runs on the new version
+    on_new_version = {
+        handle.instance_id
+        for handle in orders.instances(version=report.to_version)
+    }
+    assert on_new_version == migrated_ids
+
+    wal = system.backend.wal
+    appended, flushes = wal.append_count, wal.flush_count
+    wal_records = system.backend.wal_records()
+    step_records = [r for r in wal_records if r["kind"] == "step" and r["action"] == "complete"]
+    # zero lost or double-applied steps: the journal holds exactly one
+    # complete-record per performed item (pool completions + the warm-up
+    # batch), and no two records describe the same transition
+    assert len(step_records) == stats.items_completed + warmup_steps
+    seqs = [r["seq"] for r in wal_records]
+    assert len(seqs) == len(set(seqs)) and seqs == sorted(seqs)
+
+    expected = {
+        instance_id: system.get_instance(instance_id).state_fingerprint()
+        for instance_id in ids
+    }
+    system.backend.close()
+
+    # the WAL is the oracle: a sequential replay must land on the exact
+    # concurrent end state — any lost/duplicated/mis-ordered step diverges
+    recovery_started = time.perf_counter()
+    recovered = AdeptSystem.open(store)
+    recovery_seconds = time.perf_counter() - recovery_started
+    try:
+        mismatches = [
+            instance_id
+            for instance_id in ids
+            if recovered.get_instance(instance_id).state_fingerprint() != expected[instance_id]
+        ]
+        assert not mismatches, f"{len(mismatches)} case(s) diverge after WAL replay"
+        assert recovered.repository.versions_of(orders.type_id) == [1, report.to_version]
+    finally:
+        recovered.backend.close()
+
+    write_rows(
+        EXPERIMENT,
+        f"evolve under 8-worker load ({EVOLVE_POPULATION} durable cases)",
+        [
+            {"metric": "candidates", "value": report.total},
+            {"metric": "migrated (compliant)", "value": report.migrated_count},
+            {"metric": "conflicts (stay on v1)", "value": report.total - report.migrated_count},
+            {"metric": "items completed by pool", "value": stats.items_completed},
+            {"metric": "evolve wall time (s)", "value": f"{evolve_seconds:.3f}"},
+            {"metric": "WAL records", "value": len(wal_records)},
+            {"metric": "WAL group-commit batches", "value": f"{flushes} (for {appended} appends)"},
+            {"metric": "replay recovery time (s)", "value": f"{recovery_seconds:.3f}"},
+        ],
+    )
+    if not SMOKE:
+        # group commit must actually batch under concurrent load
+        assert flushes < appended

@@ -130,12 +130,16 @@ from repro.system import (
     InstanceHandle,
     PersistenceError,
     PersistentBackend,
+    PoolStats,
     RecoveryError,
     RecoveryReport,
     RunResult,
     StepResult,
     SystemEvent,
     TypeHandle,
+    VirtualScheduler,
+    WorkerPool,
+    simulated_latency_worker,
 )
 
 __version__ = "1.1.0"
@@ -155,6 +159,11 @@ __all__ = [
     # durability
     "PersistentBackend",
     "RecoveryReport",
+    # concurrency
+    "WorkerPool",
+    "PoolStats",
+    "VirtualScheduler",
+    "simulated_latency_worker",
     # error hierarchy
     "ReproError",
     "MigrationError",

@@ -124,9 +124,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # generated case ids with a durable store (fixed ids would collide
         # with the cases persisted by earlier invocations)
         case_id = None if getattr(args, "store", None) else f"sim-{index:04d}"
-        case = process_type.start(case_id=case_id)
-        case.run()
-        cases.append(case)
+        cases.append(process_type.start(case_id=case_id))
+    if args.workers > 1:
+        # the multi-worker runtime: N threads claim and complete the
+        # offered work items concurrently (work-stealing across types)
+        system.serve(workers=args.workers)
+        stats = system.drain()
+        print(f"worker pool: {stats.summary()}")
+    else:
+        for case in cases:
+            case.run()
     print(f"simulated {args.instances} instance(s) of {schema.name!r}")
     print(system.statistics().summary())
     if cases and args.show_history:
@@ -207,13 +214,28 @@ def _run_lifecycle(args: argparse.Namespace) -> Dict[str, Any]:
     system = _make_system(args)
     process_type = _deploy_or_reuse(system, schema)
     completed = 0
-    for _ in range(args.instances):
-        case = process_type.start()
-        result = case.run()
-        completed += int(result.ok)
+    pool_stats: Optional[Dict[str, Any]] = None
+    if args.workers > 1:
+        cases = [process_type.start() for _ in range(args.instances)]
+        system.serve(workers=args.workers)
+        drained = system.drain()
+        pool_stats = {
+            "workers": drained.workers,
+            "items_completed": drained.items_completed,
+            "steals": drained.steals,
+            "stale_claims": drained.stale_claims,
+        }
+        # count genuine completions, exactly like the sequential path's
+        # result.ok (aborted/failed terminal states are not completions)
+        completed = sum(1 for case in cases if case.status.value == "completed")
+    else:
+        for _ in range(args.instances):
+            case = process_type.start()
+            result = case.run()
+            completed += int(result.ok)
     stats = system.statistics()
     system.close()
-    return {
+    payload = {
         "scenario": "lifecycle",
         "type": process_type.type_id,
         "instances": args.instances,
@@ -221,6 +243,9 @@ def _run_lifecycle(args: argparse.Namespace) -> Dict[str, Any]:
         "statistics": stats.to_dict(),
         "events": system.feed.counts(),
     }
+    if pool_stats is not None:
+        payload["pool"] = pool_stats
+    return payload
 
 
 def _run_fig1(args: argparse.Namespace) -> Dict[str, Any]:
@@ -307,6 +332,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--show-history", action="store_true", help="print the history of the first instance")
     sub.add_argument("--store", metavar="PATH",
                      help="durable store directory (state survives across invocations)")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="drive the cases with N concurrent worker threads "
+                          "(system.serve/drain) instead of sequentially")
     sub.set_defaults(handler=_cmd_simulate)
 
     sub = subparsers.add_parser(
@@ -321,6 +349,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--store", metavar="PATH",
                      help="durable store directory (lifecycle scenario; state survives "
                           "across invocations)")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="lifecycle scenario: drive the cases with N concurrent "
+                          "worker threads (system.serve/drain)")
     sub.set_defaults(handler=_cmd_run)
 
     sub = subparsers.add_parser(

@@ -86,7 +86,7 @@ class DistributedCoordinator:
             if not activated:
                 break
             activity_id = activated[0]
-            outputs = self.engine._outputs_for(instance, activity_id, worker)
+            outputs = self.engine.outputs_for(instance, activity_id, worker)
             self.complete_activity(instance, activity_id, outputs=outputs)
             steps += 1
         return steps

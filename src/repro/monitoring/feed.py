@@ -14,6 +14,7 @@ must stay importable on its own); it only relies on the event's
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional
 
 
@@ -25,40 +26,48 @@ class EventFeed:
 
         feed = EventFeed()
         system.bus.subscribe(feed, categories=["migration"])
+
+    Appending and every accessor hold one internal lock, so the feed can
+    be shared by a bus that is published to from many threads — readers
+    always see a consistent snapshot in delivery order.
     """
 
     def __init__(self, max_events: int = 50000) -> None:
         self.max_events = max_events
         self._events: List[Any] = []
+        self._lock = threading.Lock()
 
     def __call__(self, event: Any) -> None:
         """Bus subscriber entry point."""
-        self._events.append(event)
-        if len(self._events) > self.max_events:
-            del self._events[: len(self._events) - self.max_events]
+        with self._lock:
+            self._events.append(event)
+            if len(self._events) > self.max_events:
+                del self._events[: len(self._events) - self.max_events]
 
     # ------------------------------------------------------------------ #
 
     @property
     def events(self) -> List[Any]:
         """All retained events in delivery order."""
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     def names(self) -> List[str]:
         """The event names in delivery order (handy for behavioural asserts)."""
-        return [event.name for event in self._events]
+        with self._lock:
+            return [event.name for event in self._events]
 
     def counts(self) -> Dict[str, int]:
         """Event count per event name."""
         counts: Dict[str, int] = {}
-        for event in self._events:
+        for event in self.events:
             counts[event.name] = counts.get(event.name, 0) + 1
         return counts
 
     def category_counts(self) -> Dict[str, int]:
         """Event count per category."""
         counts: Dict[str, int] = {}
-        for event in self._events:
+        for event in self.events:
             counts[event.category] = counts.get(event.category, 0) + 1
         return counts
 
@@ -87,22 +96,26 @@ class EventFeed:
 
     def tail(self, count: int = 10, category: Optional[str] = None) -> List[Any]:
         """The most recent ``count`` events (optionally of one category)."""
+        snapshot = self.events
         events = (
-            self._events
+            snapshot
             if category is None
-            else [event for event in self._events if event.category == category]
+            else [event for event in snapshot if event.category == category]
         )
         return events[-count:]
 
     def render(self, limit: int = 20) -> str:
         """The most recent events as a text block."""
-        lines = [f"event feed ({len(self._events)} event(s), showing last {limit}):"]
-        for event in self._events[-limit:]:
+        snapshot = self.events
+        lines = [f"event feed ({len(snapshot)} event(s), showing last {limit}):"]
+        for event in snapshot[-limit:]:
             lines.append(f"  {event}")
         return "\n".join(lines)
 
     def clear(self) -> None:
-        self._events.clear()
+        with self._lock:
+            self._events.clear()
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)

@@ -11,9 +11,21 @@ Only activity nodes require explicit :meth:`ProcessEngine.start_activity`
 and :meth:`ProcessEngine.complete_activity` calls — everything structural
 advances automatically, which is what lets migrated instances simply
 "keep running" after their marking was adapted.
+
+**Thread-safety contract.**  One engine may drive disjoint instances
+from many threads concurrently, provided each *instance* is driven by at
+most one thread at a time (the :class:`~repro.system.AdeptSystem` façade
+enforces this with striped per-instance locks).  The step path touches
+no shared mutable state: all execution state lives on the instance, the
+compiled :class:`~repro.schema.index.SchemaIndex` is an immutable
+snapshot shared read-only across threads, and the engine's only caches
+publish fully-computed values atomically.  Driving the *same* instance
+from two threads without external locking is not supported.
 """
 
 from __future__ import annotations
+
+import threading
 
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -120,8 +132,11 @@ class ProcessEngine:
         self.event_log = event_log if event_log is not None else EventLog()
         self.max_propagation_rounds = max_propagation_rounds
         # loop-body cache for the scan path (indexing disabled); the
-        # indexed path uses the SchemaIndex's own caches instead
+        # indexed path uses the SchemaIndex's own caches instead.  Guarded
+        # by a lock: the cache is keyed by id(schema) and shared by every
+        # thread driving instances through this engine.
         self._loop_body_cache: Dict[Tuple[int, str], Set[str]] = {}
+        self._loop_body_cache_lock = threading.Lock()
         #: Optional hook invoked after every committed activity transition
         #: with ``(action, instance, activity_id, outputs, user)`` where
         #: ``action`` is ``"start"`` or ``"complete"``.  The durability
@@ -288,7 +303,7 @@ class ProcessEngine:
             if not activated:
                 break
             activity_id = activated[0]
-            outputs = self._outputs_for(instance, activity_id, worker)
+            outputs = self.outputs_for(instance, activity_id, worker)
             self.complete_activity(instance, activity_id, outputs=outputs)
             steps += 1
         return steps
@@ -306,14 +321,22 @@ class ProcessEngine:
             if not activated:
                 break
             activity_id = activated[0]
-            outputs = self._outputs_for(instance, activity_id, worker)
+            outputs = self.outputs_for(instance, activity_id, worker)
             self.complete_activity(instance, activity_id, outputs=outputs)
             executed += 1
         return executed
 
-    def _outputs_for(
-        self, instance: ProcessInstance, activity_id: str, worker: Optional[Worker]
+    def outputs_for(
+        self, instance: ProcessInstance, activity_id: str, worker: Optional[Worker] = None
     ) -> Dict[str, Any]:
+        """Outputs for completing ``activity_id`` the way scripted runs do.
+
+        With a ``worker``, its produced values (filtered to the activity's
+        write set); without one, plausible defaults per data type
+        (booleans True so loops terminate).  Public so schedulers — the
+        worklist manager's ``auto_outputs`` path, the worker pool — share
+        exactly the generation :meth:`run_to_completion` uses.
+        """
         schema = instance.execution_schema
         node = schema.node(activity_id)
         if worker is not None:
@@ -573,9 +596,12 @@ class ProcessEngine:
         if indexing_enabled():
             return schema.index.loop_body(loop_start_id)
         key = (id(schema), loop_start_id)
-        if key not in self._loop_body_cache:
-            self._loop_body_cache[key] = schema.loop_body(loop_start_id)
-        return self._loop_body_cache[key]
+        body = self._loop_body_cache.get(key)
+        if body is None:
+            body = schema.loop_body(loop_start_id)
+            with self._loop_body_cache_lock:
+                self._loop_body_cache[key] = body
+        return body
 
     def _iteration_of(self, instance: ProcessInstance, node_id: str) -> int:
         """Iteration counter of the innermost loop containing ``node_id``."""

@@ -60,11 +60,19 @@ Listener = Callable[[EngineEvent], None]
 
 
 class EventLog:
-    """Append-only in-memory event log with listener support."""
+    """Append-only in-memory event log with listener support.
+
+    :meth:`append` sits on the engine's hot step path and stays lock
+    free: ``list.append`` is atomic under the GIL and the listener
+    collection is an immutable tuple republished by :meth:`subscribe`,
+    so concurrent appenders never observe a half-registered listener.
+    Ordering *between* threads is provided by the callers (each instance
+    is stepped under its stripe lock; the system bus re-sequences).
+    """
 
     def __init__(self) -> None:
         self._events: List[EngineEvent] = []
-        self._listeners: List[Listener] = []
+        self._listeners: tuple = ()
 
     def append(self, event: EngineEvent) -> None:
         """Record an event and notify all listeners."""
@@ -74,7 +82,7 @@ class EventLog:
 
     def subscribe(self, listener: Listener) -> None:
         """Register a callback invoked for every future event."""
-        self._listeners.append(listener)
+        self._listeners = self._listeners + (listener,)
 
     @property
     def events(self) -> List[EngineEvent]:

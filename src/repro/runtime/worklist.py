@@ -4,13 +4,24 @@ Activated activities are turned into work items and offered to the users
 whose role matches the activity's staff assignment (resolved through the
 organisational model, :mod:`repro.org`).  A user claims an item, performs
 the work and completes it through the engine.
+
+**Thread safety.**  All item state lives behind one reentrant manager
+lock; :meth:`WorklistManager.claim` is an *atomic reservation* — under
+contention exactly one claimer flips an item from OFFERED to CLAIMED,
+every other claimer gets a clean :class:`EngineError`.  The engine call
+itself runs outside the manager lock, wrapped in the optional
+:attr:`execution_guard` (the façade installs its per-type/per-instance
+locking there), so holding a worklist view never blocks case execution.
+A failed engine call reverts the reservation.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.runtime.engine import EngineError, ProcessEngine
 from repro.runtime.instance import ProcessInstance
@@ -54,11 +65,37 @@ class WorklistManager:
         #: kept incrementally so refresh and registration stay linear in the
         #: number of *activations*, not in the total item history.
         self._open_pairs: Dict[tuple, WorkItem] = {}
+        #: Open pairs per instance — per-case synchronisation (the worker
+        #: pool's path) must not scan the global open set.
+        self._open_by_instance: Dict[str, Set[tuple]] = {}
         #: Optional hook mapping an instance id to a live instance.  The
         #: façade's lazy-hydration cache sets this so claiming or completing
         #: a work item of an evicted case transparently re-hydrates it from
         #: the instance store.
         self.instance_resolver: Optional[Any] = None
+        #: Optional context-manager factory ``guard(instance_id) -> instance``
+        #: wrapping every engine call performed through the worklist.  The
+        #: façade installs its execution locking (type read lock + instance
+        #: stripe) here; standalone managers run unguarded.
+        self.execution_guard: Optional[Callable[[str], Any]] = None
+        #: Optional striped lock table; when set, refresh holds each
+        #: instance's stripe while reading its activations so a case that
+        #: is mid-step is never observed with a half-propagated marking.
+        self.lock_table: Optional[Any] = None
+        #: Process types currently quiesced by an evolve.  refresh leaves
+        #: their instances (and their open items) untouched — the marking
+        #: of a mid-migration case must not be read, and the evolve runs
+        #: one global refresh right after releasing the quiesce.
+        self.quiescing_types: set = set()
+        # guards _items / _open_pairs / _open_by_instance / _counter;
+        # reentrant because refresh re-enters _offer_items_for
+        self._lock = threading.RLock()
+        # innermost micro-lock for the instance registry only — taken by
+        # register/unregister while callers may hold instance stripes, so
+        # it must never be the big manager lock (lock-order inversion)
+        self._registry_lock = threading.Lock()
+        # items whose completion is currently executing (double-complete guard)
+        self._completing: Set[str] = set()
 
     # ------------------------------------------------------------------ #
 
@@ -71,9 +108,12 @@ class WorklistManager:
         :meth:`refresh` — worklist views refresh on read, so bulk
         hydration uses it to stay linear.
         """
-        self._instances[instance.instance_id] = instance
+        with self._registry_lock:
+            self._instances[instance.instance_id] = instance
         if refresh:
-            self._offer_items_for(instance)
+            with self._lock:
+                with self._reading(instance.instance_id):
+                    self._offer_items_for(instance)
 
     def unregister_instance(self, instance_id: str) -> None:
         """Stop tracking an instance (eviction from the live cache).
@@ -82,7 +122,8 @@ class WorklistManager:
         instance store; claiming one re-hydrates it through
         :attr:`instance_resolver`.
         """
-        self._instances.pop(instance_id, None)
+        with self._registry_lock:
+            self._instances.pop(instance_id, None)
 
     def discard_instance(self, instance_id: str) -> None:
         """Stop tracking an instance *and* withdraw its open work items.
@@ -92,11 +133,23 @@ class WorklistManager:
         linger.
         """
         self.unregister_instance(instance_id)
-        for pair in [pair for pair in self._open_pairs if pair[0] == instance_id]:
-            self._open_pairs.pop(pair).state = WorkItemState.WITHDRAWN
+        with self._lock:
+            for pair in list(self._open_by_instance.get(instance_id, ())):
+                self._drop_open_pair(pair).state = WorkItemState.WITHDRAWN
+
+    def _drop_open_pair(self, pair: tuple) -> WorkItem:
+        """Remove one pair from the open indexes (manager lock held)."""
+        item = self._open_pairs.pop(pair)
+        pairs = self._open_by_instance.get(pair[0])
+        if pairs is not None:
+            pairs.discard(pair)
+            if not pairs:
+                del self._open_by_instance[pair[0]]
+        return item
 
     def _live_instance(self, instance_id: str) -> ProcessInstance:
-        instance = self._instances.get(instance_id)
+        with self._registry_lock:
+            instance = self._instances.get(instance_id)
         if instance is not None:
             return instance
         if self.instance_resolver is not None:
@@ -104,8 +157,29 @@ class WorklistManager:
             return self.instance_resolver(instance_id)
         raise EngineError(f"instance {instance_id!r} is not registered with the worklist manager")
 
+    @contextmanager
+    def _execution(self, instance_id: str) -> Iterator[ProcessInstance]:
+        """The locked execution scope for one engine call."""
+        if self.execution_guard is not None:
+            with self.execution_guard(instance_id) as instance:
+                yield instance
+        else:
+            yield self._live_instance(instance_id)
+
+    @contextmanager
+    def _reading(self, instance_id: str) -> Iterator[None]:
+        """Hold the instance's stripe (when a lock table is installed)."""
+        if self.lock_table is not None:
+            with self.lock_table.holding(instance_id):
+                yield
+        else:
+            yield
+
     def _offer_items_for(self, instance: ProcessInstance) -> set:
-        """Create items for an instance's activations; returns its active pairs."""
+        """Create items for an instance's activations; returns its active pairs.
+
+        Caller holds the manager lock.
+        """
         schema = instance.execution_schema
         pairs = set()
         for activity_id in instance.activated_activities():
@@ -122,36 +196,105 @@ class WorklistManager:
                 )
                 self._items[item.item_id] = item
                 self._open_pairs[pair] = item
+                self._open_by_instance.setdefault(instance.instance_id, set()).add(pair)
         return pairs
 
+    def begin_quiesce(self, type_id: str) -> None:
+        """Exclude one type's instances from refresh (evolve in progress)."""
+        with self._lock:
+            self.quiescing_types.add(type_id)
+
+    def end_quiesce(self, type_id: str) -> None:
+        with self._lock:
+            self.quiescing_types.discard(type_id)
+
     def refresh(self) -> None:
-        """Synchronise work items with the current activations of all instances."""
-        active_pairs = set()
-        for instance in self._instances.values():
-            active_pairs |= self._offer_items_for(instance)
-        # withdraw items whose activity is no longer activated (e.g. the
-        # activity was deleted by an ad-hoc change or skipped); items of
-        # unregistered (evicted) instances are left offered — the case
-        # still exists in the instance store
-        for pair, item in list(self._open_pairs.items()):
-            if pair[0] in self._instances and pair not in active_pairs:
-                item.state = WorkItemState.WITHDRAWN
-                del self._open_pairs[pair]
+        """Synchronise work items with the current activations of all instances.
+
+        Instances of a type currently quiesced by an evolve are skipped —
+        their markings are mid-migration; the evolve triggers a global
+        refresh once the quiesce lifts.
+        """
+        with self._registry_lock:
+            instances = list(self._instances.values())
+        with self._lock:
+            quiescing = set(self.quiescing_types)
+            active_pairs = set()
+            tracked = set()
+            for instance in instances:
+                if instance.process_type in quiescing:
+                    continue  # not tracked: its pairs are left untouched below
+                tracked.add(instance.instance_id)
+                with self._reading(instance.instance_id):
+                    active_pairs |= self._offer_items_for(instance)
+            # withdraw OFFERED items whose activity is no longer activated
+            # (e.g. the activity was deleted by an ad-hoc change or
+            # skipped).  CLAIMED items are exempt — the activity is
+            # RUNNING, its completion (or the completing thread's revert)
+            # owns the pair.  Items of unregistered (evicted) instances
+            # are left offered — the case still exists in the store.
+            for pair, item in list(self._open_pairs.items()):
+                if (
+                    item.state is WorkItemState.OFFERED
+                    and pair[0] in tracked
+                    and pair not in active_pairs
+                ):
+                    self._drop_open_pair(pair).state = WorkItemState.WITHDRAWN
+
+    def sync_instance(self, instance: ProcessInstance) -> None:
+        """Synchronise the items of one case only (O(its activations)).
+
+        The worker pool calls this after every completion instead of
+        :meth:`refresh`, which is linear in the population.  Like
+        refresh, it leaves quiesced types alone — the completion ran
+        before the evolve took the write lock, but this sync runs after
+        the execution guard was released, so the marking may already be
+        mid-migration; the evolve's closing refresh resynchronises.
+        """
+        with self._lock:
+            if instance.process_type in self.quiescing_types:
+                return
+            with self._reading(instance.instance_id):
+                active = self._offer_items_for(instance)
+            for pair in list(self._open_by_instance.get(instance.instance_id, ())):
+                item = self._open_pairs[pair]
+                if item.state is WorkItemState.OFFERED and pair not in active:
+                    self._drop_open_pair(pair).state = WorkItemState.WITHDRAWN
 
     def _has_open_item(self, instance_id: str, activity_id: str) -> bool:
-        return (instance_id, activity_id) in self._open_pairs
+        with self._lock:
+            return (instance_id, activity_id) in self._open_pairs
 
     # ------------------------------------------------------------------ #
 
     def worklist_for(self, user: str) -> List[WorkItem]:
         """Open work items the given user is authorised to perform."""
-        items = []
-        for item in self._items.values():
-            if item.state is not WorkItemState.OFFERED:
-                continue
-            if self._authorised(user, item.role):
-                items.append(item)
-        return items
+        with self._lock:
+            items = []
+            for item in self._items.values():
+                if item.state is not WorkItemState.OFFERED:
+                    continue
+                if self._authorised(user, item.role):
+                    items.append(item)
+            return items
+
+    def offered_items(self) -> List[WorkItem]:
+        """All currently offered items (the worker pool's seed set)."""
+        with self._lock:
+            return [
+                item
+                for item in self._open_pairs.values()
+                if item.state is WorkItemState.OFFERED
+            ]
+
+    def offered_items_for_instance(self, instance_id: str) -> List[WorkItem]:
+        """Currently offered items of one case."""
+        with self._lock:
+            return [
+                self._open_pairs[pair]
+                for pair in self._open_by_instance.get(instance_id, ())
+                if self._open_pairs[pair].state is WorkItemState.OFFERED
+            ]
 
     def _authorised(self, user: str, role: Optional[str]) -> bool:
         if role is None:
@@ -160,44 +303,129 @@ class WorklistManager:
             return True
         return self.org_model.user_has_role(user, role)
 
-    def claim(self, item_id: str, user: str) -> WorkItem:
-        """Claim an offered work item for ``user``."""
-        item = self._item(item_id)
-        if item.state is not WorkItemState.OFFERED:
-            raise EngineError(f"work item {item_id!r} is not offered (state={item.state.value})")
-        if not self._authorised(user, item.role):
-            raise EngineError(f"user {user!r} lacks role {item.role!r} required by {item_id!r}")
-        # resolve (and possibly re-hydrate) the instance before mutating the
-        # item — a failed resolution must not leave the item stuck CLAIMED
-        instance = self._live_instance(item.instance_id)
-        item.state = WorkItemState.CLAIMED
-        item.claimed_by = user
-        self.engine.start_activity(instance, item.activity_id, user=user)
+    def claim(self, item_id: str, user: str, enforce_roles: bool = True) -> WorkItem:
+        """Claim an offered work item for ``user``.
+
+        The OFFERED→CLAIMED flip is atomic under the manager lock, so two
+        racing claimers resolve to exactly one winner; the loser raises.
+        The engine start runs outside the lock (under the execution
+        guard); any failure — unknown instance, un-activated activity —
+        reverts the item to OFFERED (unless the item was withdrawn in the
+        meantime, e.g. its case was deleted — a withdrawn item must never
+        be resurrected into the offered set).
+
+        ``enforce_roles=False`` skips the org-model authorisation check:
+        the worker pool executes items *as the system* (like
+        ``step_many`` does), not as a named human user.
+        """
+        with self._lock:
+            item = self._item(item_id)
+            if item.state is not WorkItemState.OFFERED:
+                raise EngineError(
+                    f"work item {item_id!r} is not offered (state={item.state.value})"
+                )
+            if enforce_roles and not self._authorised(user, item.role):
+                raise EngineError(f"user {user!r} lacks role {item.role!r} required by {item_id!r}")
+            item.state = WorkItemState.CLAIMED
+            item.claimed_by = user
+        try:
+            with self._execution(item.instance_id) as instance:
+                self.engine.start_activity(instance, item.activity_id, user=user)
+        except BaseException:
+            self._revert_failed_claim(item, user)
+            raise
         return item
 
-    def complete(self, item_id: str, outputs: Optional[Mapping[str, Any]] = None) -> WorkItem:
-        """Complete a claimed work item through the engine."""
-        item = self._item(item_id)
-        if item.state is not WorkItemState.CLAIMED:
-            raise EngineError(f"work item {item_id!r} is not claimed (state={item.state.value})")
-        instance = self._live_instance(item.instance_id)
-        self.engine.complete_activity(instance, item.activity_id, outputs=outputs, user=item.claimed_by)
-        item.state = WorkItemState.COMPLETED
-        self._open_pairs.pop((item.instance_id, item.activity_id), None)
-        self.refresh()
+    def _revert_failed_claim(self, item: WorkItem, user: str) -> None:
+        """Put a claim whose engine start failed back into a sane state.
+
+        Only while it is still our claim (a concurrent
+        ``discard_instance`` may have withdrawn it already), and only
+        back to OFFERED while the activity is *actually still activated*
+        — re-offering a stale item (its activity was completed, skipped
+        or deleted under the claim) would leave a phantom no completion
+        ever clears, which livelocks ``WorkerPool.drain``.
+        """
+        with self._lock:
+            if item.state is not WorkItemState.CLAIMED or item.claimed_by != user:
+                return
+            with self._registry_lock:
+                instance = self._instances.get(item.instance_id)
+            still_activated = False
+            if instance is not None:
+                if instance.process_type in self.quiescing_types:
+                    # the marking is mid-migration and unreadable; keep the
+                    # item offered — the evolve's closing refresh withdraws
+                    # it if the migrated case no longer activates it
+                    still_activated = True
+                else:
+                    with self._reading(item.instance_id):
+                        still_activated = item.activity_id in instance.activated_activities()
+            item.claimed_by = None
+            if still_activated:
+                item.state = WorkItemState.OFFERED
+            else:
+                item.state = WorkItemState.WITHDRAWN
+                pair = (item.instance_id, item.activity_id)
+                if pair in self._open_pairs:
+                    self._drop_open_pair(pair)
+
+    def complete(
+        self,
+        item_id: str,
+        outputs: Optional[Mapping[str, Any]] = None,
+        auto_outputs: bool = False,
+        worker: Optional[Any] = None,
+        refresh: bool = True,
+    ) -> WorkItem:
+        """Complete a claimed work item through the engine.
+
+        ``auto_outputs=True`` generates outputs the way scripted
+        execution does (via ``worker``, or the engine's plausible
+        defaults) — the worker pool uses it so loop conditions and
+        guards keep progressing.  ``refresh=False`` synchronises only
+        this item's case instead of the whole population.
+        """
+        with self._lock:
+            item = self._item(item_id)
+            if item.state is not WorkItemState.CLAIMED or item_id in self._completing:
+                raise EngineError(
+                    f"work item {item_id!r} is not claimed (state={item.state.value})"
+                )
+            self._completing.add(item_id)
+        try:
+            with self._execution(item.instance_id) as instance:
+                if outputs is None and auto_outputs:
+                    outputs = self.engine.outputs_for(instance, item.activity_id, worker)
+                self.engine.complete_activity(
+                    instance, item.activity_id, outputs=outputs, user=item.claimed_by
+                )
+            with self._lock:
+                item.state = WorkItemState.COMPLETED
+                if (item.instance_id, item.activity_id) in self._open_pairs:
+                    self._drop_open_pair((item.instance_id, item.activity_id))
+        finally:
+            with self._lock:
+                self._completing.discard(item_id)
+        if refresh:
+            self.refresh()
+        else:
+            self.sync_instance(instance)
         return item
 
     def open_items(self) -> List[WorkItem]:
         """All currently offered or claimed items."""
-        return [
-            item
-            for item in self._items.values()
-            if item.state in (WorkItemState.OFFERED, WorkItemState.CLAIMED)
-        ]
+        with self._lock:
+            return [
+                item
+                for item in self._items.values()
+                if item.state in (WorkItemState.OFFERED, WorkItemState.CLAIMED)
+            ]
 
     def items_for_instance(self, instance_id: str) -> List[WorkItem]:
         """All items (any state) belonging to one instance."""
-        return [item for item in self._items.values() if item.instance_id == instance_id]
+        with self._lock:
+            return [item for item in self._items.values() if item.instance_id == instance_id]
 
     def _item(self, item_id: str) -> WorkItem:
         try:
@@ -206,4 +434,5 @@ class WorklistManager:
             raise EngineError(f"unknown work item {item_id!r}") from None
 
     def __len__(self) -> int:
-        return len(self._items)
+        with self._lock:
+            return len(self._items)

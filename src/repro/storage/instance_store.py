@@ -8,6 +8,7 @@ secondary indexes (efficient querying by type / version / status).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
@@ -52,6 +53,10 @@ class InstanceStore:
         self._store = store or KeyValueStore()
         self._wal = wal
         self.index = InstanceIndex()
+        # one reentrant lock serialises record/index mutations and makes
+        # every query a consistent snapshot — the store is shared by all
+        # worker threads of the façade (innermost in its lock hierarchy)
+        self._lock = threading.RLock()
         self._rebuild_index()
 
     # ------------------------------------------------------------------ #
@@ -79,8 +84,9 @@ class InstanceStore:
         }
         if self._wal is not None:
             self._wal.append({"action": "save", "record": record})
-        self._store.put(_NAMESPACE, instance.instance_id, record)
-        self.index.add(instance.instance_id, record)
+        with self._lock:
+            self._store.put(_NAMESPACE, instance.instance_id, record)
+            self.index.add(instance.instance_id, record)
         return StoredInstance(
             instance_id=instance.instance_id,
             total_bytes=len(self._render(record)),
@@ -102,12 +108,14 @@ class InstanceStore:
         accounting and validation.
         """
         record = self.encode_record(instance)
-        self._store.put(_NAMESPACE, instance.instance_id, record, validate=False)
-        self.index.add(instance.instance_id, record)
+        with self._lock:
+            self._store.put(_NAMESPACE, instance.instance_id, record, validate=False)
+            self.index.add(instance.instance_id, record)
 
     def load(self, instance_id: str) -> ProcessInstance:
         """Re-load an instance (materialising its execution schema if biased)."""
-        record = self._store.get(_NAMESPACE, instance_id)
+        with self._lock:
+            record = self._store.get(_NAMESPACE, instance_id)
         if record is None:
             raise StorageError(f"unknown instance {instance_id!r}")
         return self._instantiate(record)
@@ -121,19 +129,23 @@ class InstanceStore:
         """Remove a stored instance; returns True when it existed."""
         if self._wal is not None:
             self._wal.append({"action": "delete", "instance_id": instance_id})
-        existed = self._store.delete(_NAMESPACE, instance_id)
-        self.index.remove(instance_id)
+        with self._lock:
+            existed = self._store.delete(_NAMESPACE, instance_id)
+            self.index.remove(instance_id)
         return existed
 
     def contains(self, instance_id: str) -> bool:
-        return self._store.contains(_NAMESPACE, instance_id)
+        with self._lock:
+            return self._store.contains(_NAMESPACE, instance_id)
 
     def instance_ids(self) -> List[str]:
-        return sorted(self._store.keys(_NAMESPACE))
+        with self._lock:
+            return sorted(self._store.keys(_NAMESPACE))
 
     def record(self, instance_id: str) -> Dict[str, Any]:
         """The raw stored record (tests and the storage benchmark use this)."""
-        record = self._store.get(_NAMESPACE, instance_id)
+        with self._lock:
+            record = self._store.get(_NAMESPACE, instance_id)
         if record is None:
             raise StorageError(f"unknown instance {instance_id!r}")
         return record
@@ -145,12 +157,14 @@ class InstanceStore:
         to the write-ahead log — the record *is* the durable form.
         """
         payload = dict(record)
-        self._store.put(_NAMESPACE, payload["instance_id"], payload)
-        self.index.add(payload["instance_id"], payload)
+        with self._lock:
+            self._store.put(_NAMESPACE, payload["instance_id"], payload)
+            self.index.add(payload["instance_id"], payload)
 
     def scan_records(self) -> Iterable[tuple]:
-        """Iterate over ``(instance_id, record)`` pairs of all stored instances."""
-        return self._store.scan(_NAMESPACE)
+        """``(instance_id, record)`` pairs of all stored instances (a snapshot)."""
+        with self._lock:
+            return list(self._store.scan(_NAMESPACE))
 
     def instantiate(self, record: Mapping[str, Any]) -> ProcessInstance:
         """Rebuild a live :class:`ProcessInstance` from a raw stored record."""
@@ -162,26 +176,30 @@ class InstanceStore:
 
     def instances_of_type(self, process_type: str, version: Optional[int] = None) -> List[str]:
         """Instance ids of one type (optionally restricted to a schema version)."""
-        if version is None:
-            return self.index.by_type(process_type)
-        return self.index.by_version(process_type, version)
+        with self._lock:
+            if version is None:
+                return self.index.by_type(process_type)
+            return self.index.by_version(process_type, version)
 
     def running_instances(self) -> List[str]:
         """Instance ids that are still active."""
-        return sorted(
-            set(self.index.by_status("running"))
-            | set(self.index.by_status("created"))
-            | set(self.index.by_status("suspended"))
-        )
+        with self._lock:
+            return sorted(
+                set(self.index.by_status("running"))
+                | set(self.index.by_status("created"))
+                | set(self.index.by_status("suspended"))
+            )
 
     def running_instances_of_type(self, process_type: str) -> List[str]:
         """Active instance ids of one process type (migration candidates)."""
-        return sorted(
-            set(self.running_instances()) & set(self.index.by_type(process_type))
-        )
+        with self._lock:
+            return sorted(
+                set(self.running_instances()) & set(self.index.by_type(process_type))
+            )
 
     def biased_instances(self) -> List[str]:
-        return self.index.biased_instances()
+        with self._lock:
+            return self.index.biased_instances()
 
     # ------------------------------------------------------------------ #
     # accounting & recovery
@@ -250,4 +268,5 @@ class InstanceStore:
         return json.dumps(record, sort_keys=True)
 
     def __len__(self) -> int:
-        return self._store.count(_NAMESPACE)
+        with self._lock:
+            return self._store.count(_NAMESPACE)

@@ -9,6 +9,7 @@ representation redundancy free.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.evolution import EvolutionError, ProcessType, TypeChange
@@ -24,18 +25,23 @@ class SchemaRepository:
     def __init__(self, store: Optional[KeyValueStore] = None) -> None:
         self._store = store or KeyValueStore()
         self._types: Dict[str, ProcessType] = {}
+        # registrations and releases are rare next to lookups, but they
+        # race under a multi-threaded façade (two deploys, a deploy vs a
+        # checkpoint snapshot) — one reentrant lock keeps them atomic
+        self._lock = threading.RLock()
         self._load()
 
     # ------------------------------------------------------------------ #
 
     def register_type(self, schema: ProcessSchema) -> ProcessType:
         """Register a new process type with ``schema`` as its first version."""
-        if schema.name in self._types:
-            raise EvolutionError(f"process type {schema.name!r} is already registered")
-        process_type = ProcessType(schema.name, initial_schema=schema)
-        self._types[schema.name] = process_type
-        self._persist(schema)
-        return process_type
+        with self._lock:
+            if schema.name in self._types:
+                raise EvolutionError(f"process type {schema.name!r} is already registered")
+            process_type = ProcessType(schema.name, initial_schema=schema)
+            self._types[schema.name] = process_type
+            self._persist(schema)
+            return process_type
 
     def adopt_type(self, process_type: ProcessType) -> ProcessType:
         """Adopt an externally managed process type (all versions are persisted).
@@ -44,19 +50,21 @@ class SchemaRepository:
         evolved outside the repository (e.g. by a workload generator) and its
         instances should now be stored.
         """
-        if process_type.name in self._types:
-            raise EvolutionError(f"process type {process_type.name!r} is already registered")
-        self._types[process_type.name] = process_type
-        for version in process_type.versions:
-            self._persist(process_type.schema_for(version))
-        return process_type
+        with self._lock:
+            if process_type.name in self._types:
+                raise EvolutionError(f"process type {process_type.name!r} is already registered")
+            self._types[process_type.name] = process_type
+            for version in process_type.versions:
+                self._persist(process_type.schema_for(version))
+            return process_type
 
     def release_version(self, type_name: str, type_change: TypeChange) -> ProcessSchema:
         """Release a new version of ``type_name`` by applying ``type_change``."""
-        process_type = self.process_type(type_name)
-        new_schema = process_type.release_new_version(type_change)
-        self._persist(new_schema)
-        return new_schema
+        with self._lock:
+            process_type = self.process_type(type_name)
+            new_schema = process_type.release_new_version(type_change)
+            self._persist(new_schema)
+            return new_schema
 
     def process_type(self, type_name: str) -> ProcessType:
         try:
@@ -75,7 +83,8 @@ class SchemaRepository:
         return self.process_type(type_name).latest_schema
 
     def type_names(self) -> List[str]:
-        return sorted(self._types)
+        with self._lock:
+            return sorted(self._types)
 
     def versions_of(self, type_name: str) -> List[int]:
         return self.process_type(type_name).versions

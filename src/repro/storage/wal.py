@@ -6,56 +6,129 @@ top of the last checkpoint.  The log is deliberately simple (JSON lines)
 — its purpose in the reproduction is to demonstrate that the hybrid
 storage representation composes with standard recovery techniques, and to
 give the failure-injection tests something real to exercise.
+
+**Thread safety and group commit.**  The log is safe to append from many
+threads.  Appends are split into two phases: :meth:`enqueue` serialises
+the record and adds its line to a pending buffer (cheap, under a mutex),
+:meth:`commit` makes it durable.  When several threads commit at once,
+the first to reach the flush lock becomes the *leader* and writes and
+flushes every pending line in one batch; the followers find their record
+already durable and return without touching the file.  This is classic
+group commit: journaling many concurrent mutations costs one buffered
+write + flush per *batch* instead of per record, so the WAL does not
+re-serialise an otherwise parallel execution.  A record is committed —
+and its mutation may be acknowledged — only once its complete line is in
+the OS file; a crash can tear at most the batch currently being written,
+and recovery ignores the torn tail.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 
 class WriteAheadLog:
-    """Append-only JSON-lines log with checkpoint support.
+    """Append-only JSON-lines log with checkpoint and group-commit support.
 
-    The log keeps one append handle open between writes (every append is
-    flushed to the OS, so the file content is always current for readers)
-    — opening the file per record would dominate the cost of journaling
-    high-frequency step records.  :meth:`close` releases the handle; the
-    log transparently reopens it on the next append.
+    The log keeps one append handle open between writes (every committed
+    batch is flushed to the OS, so the file content is always current for
+    readers) — opening the file per record would dominate the cost of
+    journaling high-frequency step records.  :meth:`close` releases the
+    handle; the log transparently reopens it on the next append.
     """
 
     def __init__(self, path: Optional[str] = None) -> None:
         self._path = Path(path) if path else None
         self._memory: List[Dict[str, Any]] = []
         self._handle = None
+        #: guards the pending buffer, counters and the in-memory list
+        self._mutex = threading.Lock()
+        #: serialises physical writes; the holder is the batch leader
+        self._flush_lock = threading.Lock()
+        self._pending: List[str] = []
+        self._enqueued = 0
+        self._committed = 0
+        #: number of physical write+flush batches (group-commit telemetry)
+        self.flush_count = 0
+        #: number of records ever enqueued (group-commit telemetry)
+        self.append_count = 0
         if self._path is not None:
             self._path.parent.mkdir(parents=True, exist_ok=True)
             if not self._path.exists():
                 self._path.touch()
 
     # ------------------------------------------------------------------ #
+    # appending (enqueue + group commit)
+    # ------------------------------------------------------------------ #
+
+    def enqueue(self, record: Mapping[str, Any]) -> int:
+        """Buffer one record (must be JSON serialisable); returns a ticket.
+
+        The record is *not* durable until :meth:`commit` is called with
+        the ticket (or any later ticket).  Callers that must order their
+        records relative to their own bookkeeping (the persistence
+        backend's sequence numbers) enqueue under their own lock — the
+        pending buffer preserves enqueue order — and commit outside it.
+        """
+        entry = dict(record)
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with self._mutex:
+            self.append_count += 1
+            if self._path is None:
+                self._memory.append(entry)
+                self._enqueued += 1
+                self._committed = self._enqueued
+                return self._committed
+            self._pending.append(line)
+            self._enqueued += 1
+            return self._enqueued
+
+    def commit(self, ticket: int) -> None:
+        """Make every record up to ``ticket`` durable (group commit)."""
+        if self._path is None:
+            return
+        while True:
+            with self._mutex:
+                if self._committed >= ticket:
+                    return
+            with self._flush_lock:
+                with self._mutex:
+                    if self._committed >= ticket:
+                        return
+                    batch = self._pending
+                    self._pending = []
+                    if self._handle is None:
+                        self._handle = self._path.open("a", encoding="utf-8")
+                    handle = self._handle
+                # the physical write happens outside the mutex (so new
+                # appends keep buffering) but under the flush lock (so
+                # close/truncate cannot pull the handle away mid-write)
+                handle.write("".join(batch))
+                handle.flush()
+                with self._mutex:
+                    self._committed += len(batch)
+                    self.flush_count += 1
 
     def append(self, record: Mapping[str, Any]) -> None:
-        """Append one record (must be JSON serialisable)."""
-        entry = dict(record)
-        line = json.dumps(entry, sort_keys=True)
-        if self._path is not None:
-            if self._handle is None:
-                self._handle = self._path.open("a", encoding="utf-8")
-            self._handle.write(line + "\n")
-            self._handle.flush()
-        else:
-            self._memory.append(entry)
+        """Append one record and wait until it is durable."""
+        self.commit(self.enqueue(record))
+
+    # ------------------------------------------------------------------ #
+    # reading / maintenance
+    # ------------------------------------------------------------------ #
 
     def records(self) -> List[Dict[str, Any]]:
-        """All records currently in the log (oldest first).
+        """All committed records currently in the log (oldest first).
 
-        Torn trailing lines (from a crash in the middle of a write) are
-        ignored.
+        Torn trailing lines (from a crash in the middle of a batch write)
+        are ignored.
         """
         if self._path is None:
-            return list(self._memory)
+            with self._mutex:
+                return [dict(entry) for entry in self._memory]
         entries: List[Dict[str, Any]] = []
         if not self._path.exists():
             return entries
@@ -70,18 +143,31 @@ class WriteAheadLog:
         return entries
 
     def truncate(self) -> None:
-        """Drop all records (called after a successful checkpoint)."""
-        if self._path is not None:
-            self.close()
+        """Drop all records (called after a successful checkpoint).
+
+        Pending (enqueued but uncommitted) records are dropped with the
+        rest — a checkpoint runs with every mutator quiesced, so the
+        buffer is empty in correct use.
+        """
+        with self._flush_lock:
+            with self._mutex:
+                self._pending = []
+                self._committed = self._enqueued
+                if self._path is None:
+                    self._memory.clear()
+                    return
+                if self._handle is not None:
+                    self._handle.close()
+                    self._handle = None
             self._path.write_text("", encoding="utf-8")
-        else:
-            self._memory.clear()
 
     def close(self) -> None:
         """Release the append handle (reopened transparently on next append)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._flush_lock:
+            with self._mutex:
+                if self._handle is not None:
+                    self._handle.close()
+                    self._handle = None
 
     def size_bytes(self) -> int:
         """Current size of the log in bytes (0 for in-memory logs)."""

@@ -18,12 +18,27 @@ migration manager, organisational model, monitoring) into a single
 * **durability** — :meth:`AdeptSystem.open` attaches a
   :class:`PersistentBackend` (typed write-ahead log + atomic snapshots)
   so the system survives restarts and crashes, with an LRU-bounded live
-  cache hydrating cases from the instance store on access.
+  cache hydrating cases from the instance store on access;
+* **a concurrent multi-worker runtime** — every public method is
+  thread-safe (striped per-instance locks, one read-write lock per
+  process type, group-committed journaling); ``system.serve(workers=N)``
+  runs a :class:`WorkerPool` that claims and completes work items in
+  parallel with work-stealing across types, while ``evolve`` quiesces
+  only the affected type.
 
-See ``docs/api.md`` and ``docs/persistence.md`` for the full tour.
+See ``docs/api.md``, ``docs/persistence.md`` and the concurrency section
+of ``docs/architecture.md`` for the full tour.
 """
 
 from repro.system.changes import ChangeSet
+from repro.system.concurrency import (
+    LockTable,
+    PoolStats,
+    RWLock,
+    VirtualScheduler,
+    WorkerPool,
+    simulated_latency_worker,
+)
 from repro.system.events import ALL_CATEGORIES, EventBus, SystemEvent
 from repro.system.facade import (
     MIGRATE_COMPLIANT,
@@ -59,4 +74,10 @@ __all__ = [
     "PersistenceError",
     "RecoveryError",
     "RecoveryReport",
+    "WorkerPool",
+    "PoolStats",
+    "LockTable",
+    "RWLock",
+    "VirtualScheduler",
+    "simulated_latency_worker",
 ]

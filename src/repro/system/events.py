@@ -19,6 +19,7 @@ dashboard must not abort a migration run); they are recorded on
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
@@ -97,7 +98,21 @@ class _Subscription:
 
 
 class EventBus:
-    """In-process publish/subscribe hub for :class:`SystemEvent` objects."""
+    """In-process publish/subscribe hub for :class:`SystemEvent` objects.
+
+    Publishing is thread-safe: sequence allocation, history retention and
+    subscriber dispatch happen under one reentrant lock, so every
+    subscriber observes all events in strictly ascending ``seq`` order
+    even when many threads publish concurrently.  Dispatch is therefore
+    serialised, and events fire from inside the façade's locked regions
+    (an ``instance_migrated`` fires while its type is quiesced under the
+    write lock).  Two hard rules for subscribers follow: they must stay
+    cheap (the built-in :class:`~repro.monitoring.EventFeed` is an
+    appender), and they must **never call back into the system
+    synchronously** — doing so from inside a quiesce deadlocks.  Slow or
+    re-entrant consumers belong behind a queue-forwarding subscriber
+    that processes events on their own thread.
+    """
 
     def __init__(self, max_history: int = 10000) -> None:
         self._subscriptions: List[_Subscription] = []
@@ -105,6 +120,8 @@ class EventBus:
         self._token = 0
         self._history: List[SystemEvent] = []
         self.max_history = max_history
+        # reentrant: a subscriber may itself publish (or subscribe)
+        self._lock = threading.RLock()
         #: ``(subscriber, event, exception)`` triples of failed deliveries.
         self.delivery_errors: List[Tuple[Subscriber, SystemEvent, Exception]] = []
 
@@ -119,16 +136,18 @@ class EventBus:
 
         Returns an opaque token accepted by :meth:`unsubscribe`.
         """
-        self._token += 1
-        wanted = frozenset(categories) if categories is not None else None
-        self._subscriptions.append(_Subscription(self._token, handler, wanted))
-        return self._token
+        with self._lock:
+            self._token += 1
+            wanted = frozenset(categories) if categories is not None else None
+            self._subscriptions.append(_Subscription(self._token, handler, wanted))
+            return self._token
 
     def unsubscribe(self, token: int) -> bool:
         """Remove a subscription; returns True when it existed."""
-        before = len(self._subscriptions)
-        self._subscriptions = [s for s in self._subscriptions if s.token != token]
-        return len(self._subscriptions) < before
+        with self._lock:
+            before = len(self._subscriptions)
+            self._subscriptions = [s for s in self._subscriptions if s.token != token]
+            return len(self._subscriptions) < before
 
     @property
     def subscriber_count(self) -> int:
@@ -147,26 +166,27 @@ class EventBus:
         **payload: Any,
     ) -> SystemEvent:
         """Create a :class:`SystemEvent` and deliver it to all subscribers."""
-        self._seq += 1
-        event = SystemEvent(
-            seq=self._seq,
-            category=category,
-            name=name,
-            instance_id=instance_id,
-            type_id=type_id,
-            payload=payload,
-        )
-        self._history.append(event)
-        if len(self._history) > self.max_history:
-            del self._history[: len(self._history) - self.max_history]
-        for subscription in list(self._subscriptions):
-            if not subscription.wants(event):
-                continue
-            try:
-                subscription.handler(event)
-            except Exception as exc:  # noqa: BLE001 - subscriber isolation
-                self.delivery_errors.append((subscription.handler, event, exc))
-        return event
+        with self._lock:
+            self._seq += 1
+            event = SystemEvent(
+                seq=self._seq,
+                category=category,
+                name=name,
+                instance_id=instance_id,
+                type_id=type_id,
+                payload=payload,
+            )
+            self._history.append(event)
+            if len(self._history) > self.max_history:
+                del self._history[: len(self._history) - self.max_history]
+            for subscription in list(self._subscriptions):
+                if not subscription.wants(event):
+                    continue
+                try:
+                    subscription.handler(event)
+                except Exception as exc:  # noqa: BLE001 - subscriber isolation
+                    self.delivery_errors.append((subscription.handler, event, exc))
+            return event
 
     def publish_engine_event(self, event: EngineEvent) -> SystemEvent:
         """Bridge one :class:`repro.runtime.EngineEvent` onto the bus."""
@@ -192,18 +212,21 @@ class EventBus:
     @property
     def events(self) -> List[SystemEvent]:
         """The retained event history (bounded by ``max_history``)."""
-        return list(self._history)
+        with self._lock:
+            return list(self._history)
 
     def events_of(
         self, category: Optional[str] = None, name: Optional[str] = None
     ) -> List[SystemEvent]:
         """Retained events filtered by category and/or name."""
-        return [
-            event
-            for event in self._history
-            if (category is None or event.category == category)
-            and (name is None or event.name == name)
-        ]
+        with self._lock:
+            return [
+                event
+                for event in self._history
+                if (category is None or event.category == category)
+                and (name is None or event.name == name)
+            ]
 
     def __len__(self) -> int:
-        return len(self._history)
+        with self._lock:
+            return len(self._history)

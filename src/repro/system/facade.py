@@ -24,10 +24,28 @@ Typical use::
 
 Everything is addressed by ID — handles are thin references that stay
 valid across save/load cycles and migrations.
+
+**Concurrency.**  One system may be driven from many threads; every
+public method is thread-safe.  The locking discipline (see
+``docs/architecture.md`` for the full contract):
+
+* one **read-write lock per process type** — executions and per-case
+  changes hold the read side and run in parallel; :meth:`evolve` holds
+  the write side and thereby quiesces exactly the affected type;
+* a striped **per-instance lock table** — each case is executed by at
+  most one thread at a time; multi-case operations (migration) acquire
+  all involved stripes in canonical order;
+* a **registry lock** for the live-instance LRU, the dirty set and the
+  case-id counters (innermost, never held across engine work).
+
+:meth:`serve` / :meth:`drain` run a :class:`~repro.system.concurrency.
+WorkerPool` over the worklist — the multi-worker runtime that actually
+exploits this.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Union
@@ -52,6 +70,7 @@ from repro.storage.repository import SchemaRepository
 from repro.storage.representations import RepresentationStrategy, strategy_by_name
 from repro.storage.serialization import instance_from_dict, instance_to_dict
 from repro.storage.wal import WriteAheadLog
+from repro.system.concurrency import LockTable, PoolStats, RWLock, WorkerPool
 from repro.system.persistence import (
     KIND_ADHOC_CHANGE,
     KIND_EVOLUTION,
@@ -185,10 +204,105 @@ class AdeptSystem:
         self._backend: Optional[PersistentBackend] = None
         #: Report of the recovery performed by :meth:`open` (``None`` otherwise).
         self.last_recovery: Optional[RecoveryReport] = None
+
+        # ---- concurrency plumbing (lock hierarchy: schema lock → type
+        # RW locks → worklist manager lock → instance stripes → registry
+        # lock → storage/bus internals; only ever acquired downwards) ----
+        #: Striped per-instance execution locks.
+        self._locks = LockTable()
+        self._type_locks: Dict[str, RWLock] = {}
+        self._type_locks_guard = threading.Lock()
+        #: Read: deploy/adopt; write: checkpoint (quiesces the whole system).
+        self._schema_lock = RWLock()
+        #: Guards the live-instance LRU, dirty set, pins and id counters.
+        self._registry = threading.RLock()
+        #: Per-id pin counts — a pinned case is mid-execution and must not
+        #: be evicted (the named eviction-vs-step race).
+        self._pinned_ids: Dict[str, int] = {}
+        #: Explicit id reservations between allocation and registration.
+        self._reserved_ids: Set[str] = set()
+        self._pool: Optional[WorkerPool] = None
+        # serve()/drain() are check-then-act on _pool; racing callers
+        # must resolve to one pool, not two (one of which would leak)
+        self._pool_guard = threading.Lock()
+
         # journaling + dirty tracking for every committed activity transition
         self.engine.step_listener = self._on_engine_step
         # claiming a work item of an evicted case re-hydrates it transparently
         self.worklists.instance_resolver = self.get_instance
+        # worklist engine calls run under the same locks as direct calls
+        self.worklists.execution_guard = self._case_execution
+        # worklist reads of a case's activations hold its stripe
+        self.worklists.lock_table = self._locks
+
+    # ------------------------------------------------------------------ #
+    # locking helpers
+    # ------------------------------------------------------------------ #
+
+    def _type_lock(self, type_id: str) -> RWLock:
+        with self._type_locks_guard:
+            lock = self._type_locks.get(type_id)
+            if lock is None:
+                lock = self._type_locks[type_id] = RWLock()
+            return lock
+
+    @contextmanager
+    def _type_read(self, type_id: str) -> Iterator[None]:
+        """Shared execution scope of one type ('' skips — unknown cases)."""
+        if not type_id:
+            yield
+            return
+        with self._type_lock(type_id).read():
+            yield
+
+    @contextmanager
+    def _case_execution(self, instance_id: str) -> Iterator[ProcessInstance]:
+        """The canonical execution scope for one case.
+
+        Holds the case's type read lock (so an ``evolve`` quiesces it),
+        pins the case against eviction and holds its stripe — the
+        per-instance mutual exclusion that makes the engine's
+        thread-safety contract hold.  Yields the live instance.
+        """
+        type_id = self._type_of(instance_id)
+        self._pin(instance_id)
+        try:
+            with self._type_read(type_id):
+                with self._locks.holding(instance_id):
+                    yield self.get_instance(instance_id)
+        finally:
+            self._unpin(instance_id)
+
+    def _pin(self, instance_id: str) -> None:
+        with self._registry:
+            self._pinned_ids[instance_id] = self._pinned_ids.get(instance_id, 0) + 1
+
+    def _unpin(self, instance_id: str) -> None:
+        with self._registry:
+            count = self._pinned_ids.get(instance_id, 0) - 1
+            if count <= 0:
+                self._pinned_ids.pop(instance_id, None)
+            else:
+                self._pinned_ids[instance_id] = count
+
+    @contextmanager
+    def _quiesced(self) -> Iterator[None]:
+        """Stop-the-world scope: no deploy, step, change or evolve runs.
+
+        Takes the schema write lock (excludes new deployments) and then
+        every type's write lock in canonical (sorted) order — the only
+        multi-type acquisition in the system, so it cannot deadlock
+        against single-type holders.  Used by :meth:`checkpoint`.
+        """
+        with self._schema_lock.write():
+            locks = [self._type_lock(name) for name in sorted(self.repository.type_names())]
+            for lock in locks:
+                lock.acquire_write()
+            try:
+                yield
+            finally:
+                for lock in reversed(locks):
+                    lock.release_write()
 
     # ------------------------------------------------------------------ #
     # durability: open / journaling / checkpoint / close
@@ -242,11 +356,17 @@ class AdeptSystem:
     def close(self, checkpoint: bool = True) -> None:
         """Checkpoint (by default) and release the durability backend.
 
-        A no-op for purely in-memory systems.  The system object remains
-        usable afterwards, but further mutations are journaled to a WAL
-        whose handle reopens transparently — call :meth:`close` again
-        before discarding it.
+        Stops a still-serving worker pool first.  A no-op for purely
+        in-memory systems (apart from the pool stop).  The system object
+        remains usable afterwards, but further mutations are journaled to
+        a WAL whose handle reopens transparently — call :meth:`close`
+        again before discarding it.
         """
+        with self._pool_guard:
+            pool = self._pool
+            self._pool = None
+        if pool is not None and pool.active:
+            pool.stop()
         if self._backend is None:
             return
         if checkpoint:
@@ -265,7 +385,11 @@ class AdeptSystem:
 
     @contextmanager
     def _journal_suspended(self) -> Iterator[None]:
-        """Suppress WAL journaling (compound mutations journal one typed record)."""
+        """Suppress WAL journaling (compound mutations journal one typed record).
+
+        Suspension is per thread — concurrent mutations of *other* cases
+        on other threads keep journaling their own records.
+        """
         if self._backend is None:
             yield
         else:
@@ -281,9 +405,10 @@ class AdeptSystem:
         user: Optional[str],
     ) -> None:
         instance_id = instance.instance_id
-        if instance_id not in self._instances:
-            return  # scratch/clone instance driven through the shared engine
-        self._dirty.add(instance_id)
+        with self._registry:
+            if instance_id not in self._instances:
+                return  # scratch/clone instance driven through the shared engine
+            self._dirty.add(instance_id)
         if self._backend is not None:
             self._backend.journal(
                 KIND_STEP,
@@ -301,37 +426,56 @@ class AdeptSystem:
     @contextmanager
     def _pinned_hydration(self) -> Iterator[None]:
         """Keep every hydrated case live until the block ends (bulk migration)."""
-        self._pin_count += 1
+        with self._registry:
+            self._pin_count += 1
         try:
             yield
         finally:
-            self._pin_count -= 1
+            with self._registry:
+                self._pin_count -= 1
             self._enforce_cache_cap()
 
     def _enforce_cache_cap(self) -> None:
         cap = self.cache_instances
-        if cap is None or self._pin_count:
+        if cap is None:
             return
         cap = max(cap, 1)  # the most recently touched case always stays live
-        while len(self._instances) > cap:
-            instance_id = next(iter(self._instances))
-            self._evict(instance_id)
-
-    def _evict(self, instance_id: str) -> None:
-        """Drop one live case (saving it first when dirty)."""
-        instance = self._instances[instance_id]
-        if instance_id in self._dirty:
-            # the logical WAL records already cover this state — the save is
-            # a cache write-back, not a durability point
-            self.store.write_back(instance)
-            self._dirty.discard(instance_id)
-        del self._instances[instance_id]
-        self.worklists.unregister_instance(instance_id)
-        self.bus.publish(CATEGORY_SYSTEM, "instance_evicted", instance_id=instance_id)
+        # victim selection holds the registry lock (tiny: dict pops only);
+        # the expensive write-backs run after it is released, under each
+        # victim's stripe — which was acquired (non-blocking) during
+        # selection and is what keeps a racing re-hydration of the same id
+        # waiting until the store copy is current
+        victims: List[tuple] = []  # (instance_id, instance, dirty)
+        with self._registry:
+            if self._pin_count:
+                return
+            for instance_id in list(self._instances):
+                if len(self._instances) <= cap:
+                    break
+                if self._pinned_ids.get(instance_id):
+                    continue  # mid-execution on another thread
+                if not self._locks.try_acquire(instance_id):
+                    continue  # its stripe is busy; try again next time
+                instance = self._instances.pop(instance_id)
+                dirty = instance_id in self._dirty
+                self._dirty.discard(instance_id)
+                victims.append((instance_id, instance, dirty))
+        for instance_id, instance, dirty in victims:
+            try:
+                if dirty:
+                    # the logical WAL records already cover this state —
+                    # the save is a cache write-back, not a durability point
+                    self.store.write_back(instance)
+                self.worklists.unregister_instance(instance_id)
+            finally:
+                self._locks.release(instance_id)
+        for instance_id, _, _ in victims:
+            self.bus.publish(CATEGORY_SYSTEM, "instance_evicted", instance_id=instance_id)
 
     def _type_of(self, instance_id: str) -> str:
         """Process type of a live or stored case ('' when unknown)."""
-        instance = self._instances.get(instance_id)
+        with self._registry:
+            instance = self._instances.get(instance_id)
         if instance is not None:
             return instance.process_type
         try:
@@ -356,8 +500,9 @@ class AdeptSystem:
                 raise SchemaError(
                     f"schema {schema.name!r} fails buildtime verification:\n" + report.summary()
                 )
-        self.repository.register_type(schema)
-        self._journal(KIND_TYPE_DEPLOYED, type_id=schema.name, schema=schema.to_dict())
+        with self._schema_lock.read():
+            self.repository.register_type(schema)
+            self._journal(KIND_TYPE_DEPLOYED, type_id=schema.name, schema=schema.to_dict())
         self.bus.publish(
             CATEGORY_SCHEMA,
             "type_deployed",
@@ -369,15 +514,16 @@ class AdeptSystem:
 
     def adopt(self, process_type: ProcessType) -> TypeHandle:
         """Adopt an externally built :class:`ProcessType` (all versions)."""
-        self.repository.adopt_type(process_type)
-        self._journal(
-            KIND_TYPE_ADOPTED,
-            type_id=process_type.name,
-            schemas=[
-                process_type.schema_for(version).to_dict()
-                for version in process_type.versions
-            ],
-        )
+        with self._schema_lock.read():
+            self.repository.adopt_type(process_type)
+            self._journal(
+                KIND_TYPE_ADOPTED,
+                type_id=process_type.name,
+                schemas=[
+                    process_type.schema_for(version).to_dict()
+                    for version in process_type.versions
+                ],
+            )
         self.bus.publish(
             CATEGORY_SCHEMA,
             "type_deployed",
@@ -425,32 +571,53 @@ class AdeptSystem:
         keyword arguments become initial data-element values.
         """
         process_type = self.repository.process_type(type_id)
-        schema = (
-            process_type.latest_schema if version is None else process_type.schema_for(version)
-        )
-        if case_id is None:
-            case_id = self._next_case_id(type_id)
-        elif case_id in self._instances or self.store.contains(case_id):
-            raise EngineError(f"instance id {case_id!r} is already in use")
-        instance = self.engine.create_instance(schema, case_id, initial_data=data or None)
-        self._instances[case_id] = instance
-        self._dirty.add(case_id)
-        self.worklists.register_instance(instance)
-        self._journal(
-            KIND_INSTANCE_STARTED,
-            instance_id=case_id,
-            type_id=type_id,
-            version=schema.version,
-            data=dict(data),
-        )
+        with self._type_read(type_id):
+            schema = (
+                process_type.latest_schema if version is None else process_type.schema_for(version)
+            )
+            with self._registry:
+                if case_id is None:
+                    case_id = self._next_case_id(type_id)
+                elif (
+                    case_id in self._instances
+                    or case_id in self._reserved_ids
+                    or self.store.contains(case_id)
+                ):
+                    raise EngineError(f"instance id {case_id!r} is already in use")
+                self._reserved_ids.add(case_id)
+            try:
+                instance = self.engine.create_instance(schema, case_id, initial_data=data or None)
+                with self._registry:
+                    self._instances[case_id] = instance
+                    self._dirty.add(case_id)
+            finally:
+                with self._registry:
+                    self._reserved_ids.discard(case_id)
+            # journal before the case becomes claimable through the
+            # worklist — a pool worker must never journal a step of a
+            # case whose start record is not durable yet
+            self._journal(
+                KIND_INSTANCE_STARTED,
+                instance_id=case_id,
+                type_id=type_id,
+                version=schema.version,
+                data=dict(data),
+            )
+            self.worklists.register_instance(instance)
+        self._notify_pool(case_id)
         self._enforce_cache_cap()
         return InstanceHandle(self, case_id)
 
     def _next_case_id(self, type_id: str) -> str:
+        """Allocate the next free generated id (registry lock held)."""
         while True:
             self._case_counters[type_id] = self._case_counters.get(type_id, 0) + 1
             case_id = f"{type_id}-{self._case_counters[type_id]:05d}"
-            if case_id not in self._instances and not self.store.contains(case_id):
+            if (
+                case_id not in self._instances
+                and case_id not in self._reserved_ids
+                and not self.store.contains(case_id)
+            ):
                 return case_id
 
     def instance(self, instance_id: str) -> InstanceHandle:
@@ -465,40 +632,54 @@ class AdeptSystem:
         generators use this to hand their populations to the system.
         """
         self.repository.process_type(instance.process_type)  # raises when unknown
-        if instance.instance_id in self._instances:
-            raise EngineError(f"instance id {instance.instance_id!r} is already in use")
-        self._instances[instance.instance_id] = instance
-        self._dirty.add(instance.instance_id)
-        self.worklists.register_instance(instance)
-        self._journal(
-            KIND_INSTANCE_ADOPTED,
-            instance_id=instance.instance_id,
-            record=self.store.encode_record(instance),
-        )
+        instance_id = instance.instance_id
+        with self._type_read(instance.process_type):
+            with self._registry:
+                if instance_id in self._instances or instance_id in self._reserved_ids:
+                    raise EngineError(f"instance id {instance_id!r} is already in use")
+                self._instances[instance_id] = instance
+                self._dirty.add(instance_id)
+            self._journal(
+                KIND_INSTANCE_ADOPTED,
+                instance_id=instance_id,
+                record=self.store.encode_record(instance),
+            )
+            self.worklists.register_instance(instance)
+        self._notify_pool(instance_id)
         self._enforce_cache_cap()
-        return InstanceHandle(self, instance.instance_id)
+        return InstanceHandle(self, instance_id)
 
     def get_instance(self, instance_id: str) -> ProcessInstance:
         """The live :class:`ProcessInstance` behind an id.
 
         Cases known only to the instance store are loaded (and registered
-        with the worklist manager) transparently.
+        with the worklist manager) transparently.  Hydration of one id is
+        serialised on its stripe, so two threads racing for an evicted
+        case agree on one live object.
         """
-        instance = self._instances.get(instance_id)
-        if instance is not None:
-            self._instances.move_to_end(instance_id)
-            return instance
-        if self.store.contains(instance_id):
+        with self._registry:
+            instance = self._instances.get(instance_id)
+            if instance is not None:
+                self._instances.move_to_end(instance_id)
+                return instance
+        with self._locks.holding(instance_id):
+            with self._registry:
+                instance = self._instances.get(instance_id)
+                if instance is not None:
+                    self._instances.move_to_end(instance_id)
+                    return instance
+            if not self.store.contains(instance_id):
+                raise EngineError(f"unknown instance {instance_id!r}")
             instance = self.store.load(instance_id)
-            self._instances[instance_id] = instance
+            with self._registry:
+                self._instances[instance_id] = instance
             # register without an immediate refresh: worklist views refresh
             # on read, and refreshing per hydration would make bulk stepping
             # of large populations quadratic
             self.worklists.register_instance(instance, refresh=False)
-            self.bus.publish(CATEGORY_SYSTEM, "instance_loaded", instance_id=instance_id)
-            self._enforce_cache_cap()
-            return instance
-        raise EngineError(f"unknown instance {instance_id!r}")
+        self.bus.publish(CATEGORY_SYSTEM, "instance_loaded", instance_id=instance_id)
+        self._enforce_cache_cap()
+        return instance
 
     def instances_of(
         self, type_id: str, version: Optional[int] = None
@@ -510,34 +691,39 @@ class AdeptSystem:
         — handles are resolved lazily on first use.  For ids that are both
         live and stored the live state decides the version filter.
         """
+        with self._registry:
+            live = list(self._instances.values())
         ids = {
             instance.instance_id
-            for instance in self._instances.values()
+            for instance in live
             if instance.process_type == type_id
             and (version is None or instance.schema_version == version)
         }
+        live_ids = {instance.instance_id for instance in live}
         stored = (
             self.store.instances_of_type(type_id)
             if version is None
             else self.store.instances_of_type(type_id, version)
         )
         for instance_id in stored:
-            if instance_id not in self._instances:
+            if instance_id not in live_ids:
                 ids.add(instance_id)
         return [InstanceHandle(self, instance_id) for instance_id in sorted(ids)]
 
     def _instance_ids_of_type(self, type_id: str) -> List[str]:
         """Ids of every live or stored case of one type (no hydration)."""
-        ids = {
-            instance.instance_id
-            for instance in self._instances.values()
-            if instance.process_type == type_id
-        }
+        with self._registry:
+            ids = {
+                instance.instance_id
+                for instance in self._instances.values()
+                if instance.process_type == type_id
+            }
         ids.update(self.store.instances_of_type(type_id))
         return sorted(ids)
 
     def live_instance_ids(self) -> List[str]:
-        return sorted(self._instances)
+        with self._registry:
+            return sorted(self._instances)
 
     # ------------------------------------------------------------------ #
     # execution (addressed by id)
@@ -545,19 +731,20 @@ class AdeptSystem:
 
     def activated(self, instance_id: str) -> List[str]:
         """Activity ids of a case that could be started right now."""
-        return self.get_instance(instance_id).activated_activities()
+        with self._case_execution(instance_id) as instance:
+            return instance.activated_activities()
 
     def start_activity(
         self, instance_id: str, activity_id: str, user: Optional[str] = None
     ) -> StepResult:
-        instance = self.get_instance(instance_id)
-        self.engine.start_activity(instance, activity_id, user=user)
-        return StepResult(
-            instance_id=instance_id,
-            activity_id=activity_id,
-            status=instance.status,
-            activated=instance.activated_activities(),
-        )
+        with self._case_execution(instance_id) as instance:
+            self.engine.start_activity(instance, activity_id, user=user)
+            return StepResult(
+                instance_id=instance_id,
+                activity_id=activity_id,
+                status=instance.status,
+                activated=instance.activated_activities(),
+            )
 
     def complete(
         self,
@@ -567,24 +754,26 @@ class AdeptSystem:
         user: Optional[str] = None,
     ) -> StepResult:
         """Complete one activity of a case and return the resulting state."""
-        instance = self.get_instance(instance_id)
-        self.engine.complete_activity(instance, activity_id, outputs=outputs, user=user)
+        with self._case_execution(instance_id) as instance:
+            self.engine.complete_activity(instance, activity_id, outputs=outputs, user=user)
+            result = StepResult(
+                instance_id=instance_id,
+                activity_id=activity_id,
+                status=instance.status,
+                activated=instance.activated_activities(),
+            )
         self.worklists.refresh()
-        return StepResult(
-            instance_id=instance_id,
-            activity_id=activity_id,
-            status=instance.status,
-            activated=instance.activated_activities(),
-        )
+        return result
 
     def run(
         self, instance_id: str, worker: Optional[Worker] = None, max_steps: int = 10000
     ) -> RunResult:
         """Drive a case until it completes (or no activity is activated)."""
-        instance = self.get_instance(instance_id)
-        steps = self.engine.run_to_completion(instance, worker=worker, max_steps=max_steps)
+        with self._case_execution(instance_id) as instance:
+            steps = self.engine.run_to_completion(instance, worker=worker, max_steps=max_steps)
+            result = RunResult(instance_id=instance_id, steps=steps, status=instance.status)
         self.worklists.refresh()
-        return RunResult(instance_id=instance_id, steps=steps, status=instance.status)
+        return result
 
     def step_many(
         self,
@@ -620,15 +809,15 @@ class AdeptSystem:
         try:
             for position in order:
                 instance_id = ids[position]
-                instance = self.get_instance(instance_id)
-                executed = (
-                    self.engine.advance_instance(instance, steps, worker=worker)
-                    if instance.status.is_active
-                    else 0
-                )
-                results[position] = RunResult(
-                    instance_id=instance_id, steps=executed, status=instance.status
-                )
+                with self._case_execution(instance_id) as instance:
+                    executed = (
+                        self.engine.advance_instance(instance, steps, worker=worker)
+                        if instance.status.is_active
+                        else 0
+                    )
+                    results[position] = RunResult(
+                        instance_id=instance_id, steps=executed, status=instance.status
+                    )
         finally:
             # instances advanced before a mid-batch failure (e.g. an unknown
             # id) must still be reflected in the worklists
@@ -637,10 +826,69 @@ class AdeptSystem:
 
     def abort(self, instance_id: str) -> None:
         """Abort a case (the baseline policy of non-adaptive systems)."""
-        self.engine.abort_instance(self.get_instance(instance_id))
-        self._dirty.add(instance_id)
-        self._journal(KIND_INSTANCE_ABORTED, instance_id=instance_id)
+        with self._case_execution(instance_id) as instance:
+            self.engine.abort_instance(instance)
+            with self._registry:
+                self._dirty.add(instance_id)
+            self._journal(KIND_INSTANCE_ABORTED, instance_id=instance_id)
         self.worklists.refresh()
+
+    # ------------------------------------------------------------------ #
+    # the multi-worker runtime
+    # ------------------------------------------------------------------ #
+
+    def serve(
+        self,
+        workers: int = 4,
+        worker: Optional[Worker] = None,
+    ) -> WorkerPool:
+        """Start ``workers`` threads claiming and completing work items.
+
+        The returned :class:`~repro.system.concurrency.WorkerPool` is
+        already running: it seeds its per-type queues from the currently
+        offered work items and steps cases concurrently (stealing across
+        types when a queue runs dry).  ``worker`` maps an activity node
+        and the case data to its outputs, exactly like
+        :meth:`step_many` — omit it for the engine's plausible defaults.
+
+        Call :meth:`drain` to complete all outstanding work and stop the
+        pool; an :meth:`evolve` issued while serving quiesces only the
+        affected type and the pool carries on.
+        """
+        with self._pool_guard:
+            if self._pool is not None and not self._pool.finished:
+                raise EngineError("a worker pool is already serving this system")
+            pool = WorkerPool(self, workers=workers, worker=worker)
+            self._pool = pool
+        return pool.start()
+
+    def drain(self, timeout: Optional[float] = None) -> PoolStats:
+        """Complete all outstanding work items, stop the pool, return stats."""
+        with self._pool_guard:
+            pool = self._pool
+            if pool is None:
+                raise EngineError("serve() was not called on this system")
+            self._pool = None
+        try:
+            return pool.drain(timeout=timeout)
+        except BaseException:
+            # a failed drain (timeout) leaves the pool re-drainable
+            with self._pool_guard:
+                if self._pool is None:
+                    self._pool = pool
+            raise
+
+    def _notify_pool(self, instance_id: Optional[str] = None) -> None:
+        """Feed work created outside the pool's own completions to the pool."""
+        pool = self._pool
+        if pool is None or not pool.active:
+            return
+        if instance_id is None:
+            pool.resync()
+            return
+        type_id = self._type_of(instance_id)
+        for item in self.worklists.offered_items_for_instance(instance_id):
+            pool.submit(item.item_id, type_id or "")
 
     # ------------------------------------------------------------------ #
     # worklists
@@ -652,7 +900,11 @@ class AdeptSystem:
         return self.worklists.worklist_for(user)
 
     def claim(self, item_id: str, user: str) -> WorkItem:
-        """Claim an offered work item (starts the activity)."""
+        """Claim an offered work item (starts the activity).
+
+        The claim is atomic: under contention exactly one caller wins;
+        the losers receive an :class:`EngineError`.
+        """
         return self.worklists.claim(item_id, user)
 
     def complete_item(
@@ -678,23 +930,24 @@ class AdeptSystem:
         a :class:`repro.core.AdHocChangeError` is raised and the instance
         is untouched.
         """
-        instance = self.get_instance(changeset.instance_id)
         change_log = changeset.to_change_log()
-        with self._journal_suspended():
-            result = self._changer.apply(
-                instance, change_log, comment=change_log.comment, user=user
+        with self._case_execution(changeset.instance_id) as instance:
+            with self._journal_suspended():
+                result = self._changer.apply(
+                    instance, change_log, comment=change_log.comment, user=user
+                )
+            with self._registry:
+                self._dirty.add(instance.instance_id)
+            self._journal(
+                KIND_ADHOC_CHANGE,
+                instance_id=instance.instance_id,
+                change=change_log.to_dict(),
+                user=user,
             )
-        self._dirty.add(instance.instance_id)
-        self._journal(
-            KIND_ADHOC_CHANGE,
-            instance_id=instance.instance_id,
-            change=change_log.to_dict(),
-            user=user,
-        )
         self.worklists.refresh()
         return ChangeResult(
             ok=True,
-            instance_id=instance.instance_id,
+            instance_id=changeset.instance_id,
             operations=result.operation_count,
             comment=change_log.comment,
         )
@@ -739,12 +992,46 @@ class AdeptSystem:
           checks that *every* active instance can migrate; if any cannot,
           :class:`MigrationError` is raised and neither the repository nor
           any instance is modified.
+
+        The evolution holds the type's write lock for its whole duration:
+        steps, ad-hoc changes, starts and deletions of this type *quiesce*
+        until the migration committed, while every other type keeps
+        executing at full speed.  The candidate set is therefore an exact
+        snapshot — no step can slip between compliance check and
+        migration.
         """
         if migrate not in (MIGRATE_COMPLIANT, MIGRATE_NONE, MIGRATE_STRICT):
             raise ValueError(
                 f"unknown migration policy {migrate!r}; "
                 f"expected one of 'compliant', 'none', 'strict'"
             )
+        with self._type_lock(type_id).write():
+            # while the type is quiesced, worklist refreshes triggered by
+            # other types' completions must not read its mid-migration
+            # markings; the global refresh below resynchronises its items
+            self.worklists.begin_quiesce(type_id)
+            try:
+                report = self._evolve_locked(type_id, change, migrate)
+            finally:
+                self.worklists.end_quiesce(type_id)
+        self.worklists.refresh()
+        self._notify_pool()
+        if migrate != MIGRATE_NONE:
+            self.bus.publish(
+                CATEGORY_MIGRATION,
+                "migration_completed",
+                type_id=type_id,
+                from_version=report.from_version,
+                to_version=report.to_version,
+                migrated=report.migrated_count,
+                total=report.total,
+            )
+        return report
+
+    def _evolve_locked(
+        self, type_id: str, change: ChangeLike, migrate: str
+    ) -> MigrationReport:
+        """The evolution body; the caller holds the type's write lock."""
         process_type = self.repository.process_type(type_id)
         type_change = self._as_type_change(process_type, change)
 
@@ -775,17 +1062,20 @@ class AdeptSystem:
             # cases resident only in the instance store — finished stored
             # cases can never migrate, so hydrating them would only defeat
             # the bounded live cache
-            candidate_ids = {
-                instance.instance_id
-                for instance in self._instances.values()
-                if instance.process_type == type_id
-            }
-            candidate_ids.update(
-                instance_id
-                for instance_id in self.store.running_instances_of_type(type_id)
-                if instance_id not in self._instances
-            )
-            candidate_ids = sorted(candidate_ids)
+            with self._registry:
+                candidates = {
+                    instance.instance_id
+                    for instance in self._instances.values()
+                    if instance.process_type == type_id
+                }
+            candidates.update(self.store.running_instances_of_type(type_id))
+            candidate_ids = sorted(candidates)
+            # No stripe capture: the type write lock already excludes
+            # every façade mutator of these cases, the hydration pin
+            # blocks eviction write-backs, and the quiesce flag keeps
+            # worklist refreshes away from their markings — so cases of
+            # *other* types keep executing at full speed regardless of
+            # how many candidates migrate.
             instances = [self.get_instance(instance_id) for instance_id in candidate_ids]
 
             if migrate == MIGRATE_STRICT:
@@ -804,6 +1094,11 @@ class AdeptSystem:
                     )
 
             new_schema = self.repository.release_version(type_id, type_change)
+            # published in causal order (before the instance_migrated
+            # engine events the migration emits).  This — like those
+            # engine events — runs under the type's write lock, which
+            # is why bus subscribers must never call back into the
+            # system synchronously (see the EventBus contract).
             self.bus.publish(
                 CATEGORY_SCHEMA,
                 "schema_version_released",
@@ -817,29 +1112,20 @@ class AdeptSystem:
                 report = self._migrator.migrate_type(
                     process_type, type_change, instances, release=False
                 )
-            for result in report.results:
-                # migrated covers rollback migrations, which compensate
-                # activities and therefore also change the instance state
-                if result.migrated:
-                    self._dirty.add(result.instance_id)
-        self._journal(
-            KIND_EVOLUTION,
-            type_id=type_id,
-            change=type_change.to_dict(),
-            policy=migrate,
-            to_version=new_schema.version,
-            candidates=candidate_ids,
-        )
-        self.worklists.refresh()
-        self.bus.publish(
-            CATEGORY_MIGRATION,
-            "migration_completed",
-            type_id=type_id,
-            from_version=report.from_version,
-            to_version=report.to_version,
-            migrated=report.migrated_count,
-            total=report.total,
-        )
+            with self._registry:
+                for result in report.results:
+                    # migrated covers rollback migrations, which compensate
+                    # activities and therefore also change the instance state
+                    if result.migrated:
+                        self._dirty.add(result.instance_id)
+            self._journal(
+                KIND_EVOLUTION,
+                type_id=type_id,
+                change=type_change.to_dict(),
+                policy=migrate,
+                to_version=new_schema.version,
+                candidates=candidate_ids,
+            )
         return report
 
     def _as_type_change(self, process_type: ProcessType, change: ChangeLike) -> TypeChange:
@@ -888,19 +1174,21 @@ class AdeptSystem:
 
     def save(self, instance_id: str) -> StoredInstance:
         """Persist one case through the instance store."""
-        stored = self.store.save(self.get_instance(instance_id))
-        self._dirty.discard(instance_id)
-        self._journal(
-            KIND_INSTANCE_SAVED,
-            instance_id=instance_id,
-            record=self.store.record(instance_id),
-        )
+        with self._case_execution(instance_id) as instance:
+            stored = self.store.save(instance)
+            with self._registry:
+                self._dirty.discard(instance_id)
+            self._journal(
+                KIND_INSTANCE_SAVED,
+                instance_id=instance_id,
+                record=self.store.record(instance_id),
+            )
         self.bus.publish(CATEGORY_SYSTEM, "instance_saved", instance_id=instance_id)
         return stored
 
     def save_all(self) -> List[StoredInstance]:
         """Persist every live case."""
-        return [self.save(instance_id) for instance_id in sorted(self._instances)]
+        return [self.save(instance_id) for instance_id in self.live_instance_ids()]
 
     def load(self, instance_id: str) -> InstanceHandle:
         """Load a stored case into the live set and return its handle."""
@@ -910,13 +1198,20 @@ class AdeptSystem:
         """Remove a case from the live set and the instance store.
 
         Returns True when the case existed anywhere.  The deletion is
-        journaled, so it survives recovery.
+        journaled, so it survives recovery.  Holding the type's read lock
+        and the case's stripe serialises the deletion against steps of
+        the case and against an evolve of its type — a migration never
+        sees a half-deleted candidate.
         """
-        existed_live = self._instances.pop(instance_id, None) is not None
-        self._dirty.discard(instance_id)
+        type_id = self._type_of(instance_id)
+        with self._type_read(type_id):
+            with self._locks.holding(instance_id):
+                with self._registry:
+                    existed_live = self._instances.pop(instance_id, None) is not None
+                    self._dirty.discard(instance_id)
+                existed_stored = self.store.delete(instance_id)
+                self._journal(KIND_INSTANCE_DELETED, instance_id=instance_id)
         self.worklists.discard_instance(instance_id)
-        existed_stored = self.store.delete(instance_id)
-        self._journal(KIND_INSTANCE_DELETED, instance_id=instance_id)
         self.bus.publish(CATEGORY_SYSTEM, "instance_deleted", instance_id=instance_id)
         return existed_live or existed_stored
 
@@ -929,19 +1224,24 @@ class AdeptSystem:
         With an attached backend: write every dirty live case back to the
         instance store, capture one atomic snapshot (schemas, instance
         records, case counters) and truncate the write-ahead log — after
-        this, recovery loads the snapshot and replays nothing.  Without a
-        backend this flushes the instance store and truncates its legacy
-        WAL (the pre-durability behaviour).
+        this, recovery loads the snapshot and replays nothing.  The
+        checkpoint runs under a stop-the-world quiesce (every type's
+        write lock), so the snapshot is a consistent cut and no record is
+        lost between write-back and truncation.  Without a backend this
+        flushes the instance store and truncates its legacy WAL (the
+        pre-durability behaviour).
         """
         if self._backend is None:
             self.store.checkpoint()
             return
-        for instance_id in sorted(self._dirty):
-            instance = self._instances.get(instance_id)
-            if instance is not None:
-                self.store.write_back(instance)
-        self._dirty.clear()
-        self._backend.write_snapshot(self)
+        with self._quiesced():
+            with self._registry:
+                for instance_id in sorted(self._dirty):
+                    instance = self._instances.get(instance_id)
+                    if instance is not None:
+                        self.store.write_back(instance)
+                self._dirty.clear()
+            self._backend.write_snapshot(self)
         self.bus.publish(
             CATEGORY_SYSTEM,
             "checkpoint_completed",
@@ -985,8 +1285,14 @@ class AdeptSystem:
         return InstanceMonitor(self.get_instance(instance_id))
 
     def statistics(self, type_id: Optional[str] = None) -> PopulationStatistics:
-        """Population statistics over the live cases (optionally one type)."""
-        instances: Iterable[ProcessInstance] = self._instances.values()
+        """Population statistics over the live cases (optionally one type).
+
+        Under concurrent load the collection is a best-effort snapshot —
+        cases stepped while the statistics are computed may be counted at
+        either side of the step.
+        """
+        with self._registry:
+            instances: Iterable[ProcessInstance] = list(self._instances.values())
         if type_id is not None:
             instances = [i for i in instances if i.process_type == type_id]
         return PopulationStatistics.collect(instances)

@@ -38,6 +38,7 @@ crash-consistency contract.
 from __future__ import annotations
 
 import json
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -137,7 +138,15 @@ class PersistentBackend:
         self.wal = WriteAheadLog(str(self.directory / "wal.jsonl"))
         self.snapshot_path = self.directory / "snapshot.json"
         self._seq = 0
-        self._suspended = 0
+        # sequence allocation + WAL enqueue happen atomically under this
+        # lock, so the file order of records always matches their seq
+        # order; the (potentially blocking) group-commit flush happens
+        # outside it — see :meth:`journal`
+        self._seq_lock = threading.Lock()
+        # suspension is per *thread*: while one thread replays or applies
+        # a compound mutation (an evolve whose typed record covers every
+        # inner step), other threads must keep journaling their own work
+        self._suspension = threading.local()
         self._bootstrap_seq()
 
     def _bootstrap_seq(self) -> None:
@@ -154,27 +163,40 @@ class PersistentBackend:
 
     @property
     def active(self) -> bool:
-        """True when journal calls are being recorded (not suspended)."""
-        return self._suspended == 0
+        """True when this thread's journal calls are being recorded."""
+        return getattr(self._suspension, "count", 0) == 0
 
     @contextmanager
     def suspended(self) -> Iterator[None]:
-        """Suppress journaling (recovery replay, internal evictions)."""
-        self._suspended += 1
+        """Suppress journaling *on the calling thread* (recovery replay,
+        compound mutations covered by one typed record).  Other threads'
+        records keep flowing — a concurrent step of an unrelated type
+        must not be dropped because an evolve is quiescing its own type.
+        """
+        self._suspension.count = getattr(self._suspension, "count", 0) + 1
         try:
             yield
         finally:
-            self._suspended -= 1
+            self._suspension.count -= 1
 
     def journal(self, kind: str, **fields: Any) -> Optional[int]:
-        """Append one typed record; returns its sequence number (or None)."""
-        if self._suspended:
+        """Append one typed record; returns its sequence number (or None).
+
+        Safe to call from many threads.  The sequence number is allocated
+        and the record enqueued in one critical section (file order ==
+        seq order); the durability wait is a group commit — concurrent
+        journal calls share one write + flush.
+        """
+        if not self.active:
             return None
-        self._seq += 1
-        record = {"kind": kind, "seq": self._seq}
-        record.update(fields)
-        self.wal.append(record)
-        return self._seq
+        with self._seq_lock:
+            self._seq += 1
+            seq = self._seq
+            record = {"kind": kind, "seq": seq}
+            record.update(fields)
+            ticket = self.wal.enqueue(record)
+        self.wal.commit(ticket)
+        return seq
 
     def wal_records(self) -> List[Dict[str, Any]]:
         """All complete records currently in the log (torn tail ignored)."""

@@ -1,0 +1,138 @@
+"""Shared helpers for the concurrency test suite.
+
+``STRESS_REPEATS`` (environment, default 1; CI's concurrency job sets 3)
+controls how often the stress-marked tests repeat their randomized
+schedules — locally they stay cheap, in CI they hunt.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from typing import Callable, List, Optional
+
+from repro.errors import ReproError
+from repro.schema import templates
+from repro.system import AdeptSystem
+
+#: Repeat count for stress tests (parametrised via ``stress_rounds``).
+STRESS_REPEATS = max(1, int(os.environ.get("STRESS_REPEATS", "1")))
+
+#: Seeds for one round of a seeded stress test.
+def stress_seeds(base: int) -> List[int]:
+    return [base + round_index for round_index in range(STRESS_REPEATS)]
+
+
+def run_threads(functions: List[Callable[[], None]], timeout: float = 60.0) -> None:
+    """Run every function on its own thread; re-raise the first failure."""
+    failures: List[BaseException] = []
+
+    def wrapped(fn: Callable[[], None]) -> None:
+        try:
+            fn()
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            failures.append(exc)
+
+    threads = [threading.Thread(target=wrapped, args=(fn,), daemon=True) for fn in functions]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout)
+        assert not thread.is_alive(), "worker thread did not finish (deadlock?)"
+    if failures:
+        raise failures[0]
+
+
+def system_fingerprint(system: AdeptSystem) -> dict:
+    """Observable durable state: every known case + the version chain."""
+    ids = set(system.live_instance_ids()) | set(system.stored_instance_ids())
+    instances = {
+        instance_id: system.get_instance(instance_id).state_fingerprint()
+        for instance_id in sorted(ids)
+    }
+    types = {
+        name: system.repository.versions_of(name) for name in system.repository.type_names()
+    }
+    return {"instances": instances, "types": types}
+
+
+class RandomOps:
+    """One logical actor of the linearizability workload.
+
+    Performs a seeded sequence of façade operations against shared
+    cases.  Contention failures (claiming a just-finished activity,
+    completing a case another actor just advanced, evolving a version
+    that already moved on) are *expected* under concurrency and are
+    swallowed — the oracle judges the journaled end state, not the
+    losers of benign races.
+    """
+
+    def __init__(
+        self,
+        system: AdeptSystem,
+        type_id: str,
+        case_ids: List[str],
+        seed: int,
+        operations: int = 25,
+        allow_evolve: bool = True,
+        switch: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.system = system
+        self.type_id = type_id
+        self.case_ids = case_ids
+        self.rng = random.Random(seed)
+        self.operations = operations
+        self.allow_evolve = allow_evolve
+        self.switch = switch
+        self.performed = 0
+
+    def _one_op(self) -> None:
+        roll = self.rng.random()
+        case_id = self.rng.choice(self.case_ids)
+        system = self.system
+        if roll < 0.55:
+            system.step_many([case_id], steps=1)
+        elif roll < 0.7:
+            activated = system.get_instance(case_id).activated_activities()
+            if activated:
+                system.complete(case_id, self.rng.choice(activated))
+        elif roll < 0.8:
+            suffix = f"{self.rng.randrange(10**6)}"
+            system.change(case_id, comment=f"adhoc-{suffix}").serial_insert(
+                f"extra_{suffix}", pred="step_1", succ="step_2"
+            ).try_apply()
+        elif roll < 0.9:
+            handle = system.start(self.type_id)
+            self.case_ids.append(handle.instance_id)
+        elif roll < 0.95 and self.allow_evolve:
+            from repro.core.operations import SerialInsertActivity
+            from repro.schema.nodes import Node
+
+            suffix = f"{self.rng.randrange(10**6)}"
+            try:
+                self.system.evolve(
+                    self.type_id,
+                    [
+                        SerialInsertActivity(
+                            activity=Node(node_id=f"evo_{suffix}"),
+                            pred="step_3",
+                            succ="step_4",
+                        )
+                    ],
+                )
+            except ReproError:
+                pass  # concurrent evolutions may conflict; that's the point
+        else:
+            if system.get_instance(case_id).status.is_active:
+                system.abort(case_id)
+
+    def __call__(self) -> None:
+        for _ in range(self.operations):
+            if self.switch is not None:
+                self.switch()
+            try:
+                self._one_op()
+            except ReproError:
+                pass  # benign loser of a race (state moved under us)
+            self.performed += 1

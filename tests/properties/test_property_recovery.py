@@ -152,6 +152,87 @@ class TestCrashRecoveryProperty:
             recovered.backend.close()
 
     @RELAXED
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        cut_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_crash_under_concurrency_recovers_prefix_consistent_state(
+        self, tmp_path_factory, seed, cut_fraction
+    ):
+        """Kill mid-group-commit: recovery applies exactly the complete-line
+        prefix — never part of a torn batch — and per-case progress in the
+        recovered state matches that prefix record for record."""
+        import threading
+
+        directory = tmp_path_factory.mktemp("concurrent-crash")
+        store = str(directory / "store")
+        system = AdeptSystem.open(store)
+        orders = system.deploy(templates.sequential_process())
+        case_ids = [orders.start().instance_id for _ in range(9)]
+
+        rounds = 3 + seed % 3
+
+        def stepper(part):
+            for case_id in part:
+                for _ in range(rounds):
+                    # concurrent appends share group-commit batches; a cut
+                    # can land inside a batch another thread is flushing
+                    system.step_many([case_id], steps=1)
+
+        threads = [
+            threading.Thread(target=stepper, args=(case_ids[i::3],), daemon=True)
+            for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+
+        wal_path = system.backend.wal.path
+        system.backend.wal.close()  # crash: no further writes reach the log
+        raw = wal_path.read_bytes()
+        cut = int(len(raw) * cut_fraction)
+        wal_path.write_bytes(raw[:cut])
+
+        from repro.storage.wal import WriteAheadLog
+
+        surviving = WriteAheadLog(str(wal_path)).records()
+        completes_per_case = {}
+        for record in surviving:
+            if record["kind"] == "step" and record["action"] == "complete":
+                completes_per_case[record["instance_id"]] = (
+                    completes_per_case.get(record["instance_id"], 0) + 1
+                )
+
+        recovered = AdeptSystem.open(store)
+        try:
+            # exactly the complete-line prefix replayed — a torn batch is
+            # cut at its first incomplete line, never applied partially
+            assert recovered.last_recovery.replayed_records == len(surviving)
+            for case_id in case_ids:
+                if case_id not in set(recovered.live_instance_ids()) | set(
+                    recovered.stored_instance_ids()
+                ):
+                    assert case_id not in completes_per_case
+                    continue
+                instance = recovered.get_instance(case_id)
+                assert (
+                    len(instance.completed_activities())
+                    == completes_per_case.get(case_id, 0)
+                )
+            first_fingerprint = system_fingerprint(recovered)
+        finally:
+            recovered.backend.close()
+
+        # recovery from the same prefix is deterministic
+        again = AdeptSystem.open(store)
+        try:
+            assert system_fingerprint(again) == first_fingerprint
+        finally:
+            again.backend.close()
+
+    @RELAXED
     @given(seed=st.integers(min_value=0, max_value=10**6))
     def test_uncut_recovery_is_exact_and_idempotent(self, tmp_path_factory, seed):
         """Without a crash, recovery reproduces the final state — twice."""
