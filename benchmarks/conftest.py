@@ -4,21 +4,61 @@ Each benchmark regenerates one of the paper's figures (or a measurable
 claim) and, besides the pytest-benchmark timing table, appends the
 paper-style rows it produced to ``benchmarks/results/<experiment>.txt``
 so the numbers quoted in EXPERIMENTS.md can be reproduced verbatim.
+
+Every :func:`write_rows` call additionally merges its rows into a
+machine-readable ``BENCH_<experiment>.json`` at the repository root —
+one file per experiment with all sections, the acceptance gates (their
+threshold, the measured value and pass/fail) and the schema sizes the
+section ran on.  CI uploads these as artifacts, so the performance
+trajectory stays trackable across PRs.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, Iterable, List, Mapping, Optional
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
 
 
-def write_rows(experiment: str, title: str, rows: Iterable[Mapping[str, object]]) -> str:
-    """Append a small formatted table for ``experiment`` and return it."""
+def gate_result(name: str, threshold: float, measured: float, higher_is_better: bool = True) -> Dict[str, object]:
+    """A structured acceptance-gate record for :func:`write_rows`.
+
+    In smoke mode (tiny populations, no timing assertions) the measured
+    value is meaningless as a verdict, so ``passed`` is ``None`` and
+    ``enforced`` is False — smoke artifacts carry the numbers without
+    pretending a pass/fail judgement.
+    """
+    passed = measured >= threshold if higher_is_better else measured <= threshold
+    return {
+        "name": name,
+        "threshold": threshold,
+        "measured": measured,
+        "higher_is_better": higher_is_better,
+        "passed": None if SMOKE else bool(passed),
+        "enforced": not SMOKE,
+    }
+
+
+def write_rows(
+    experiment: str,
+    title: str,
+    rows: Iterable[Mapping[str, object]],
+    gate: Optional[Mapping[str, object]] = None,
+    schema_sizes: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Append a small formatted table for ``experiment`` and return it.
+
+    ``gate`` (see :func:`gate_result`) and ``schema_sizes`` are recorded
+    in the experiment's ``BENCH_<experiment>.json`` alongside the rows.
+    """
     rows = [dict(row) for row in rows]
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     lines = [f"== {title} =="]
@@ -36,13 +76,54 @@ def write_rows(experiment: str, title: str, rows: Iterable[Mapping[str, object]]
     with path.open("a", encoding="utf-8") as handle:
         handle.write(text)
     print("\n" + text)
+    _merge_bench_json(experiment, title, rows, gate, schema_sizes)
     return text
+
+
+def _merge_bench_json(
+    experiment: str,
+    title: str,
+    rows: List[Dict[str, object]],
+    gate: Optional[Mapping[str, object]],
+    schema_sizes: Optional[Mapping[str, object]],
+) -> Path:
+    """Merge one section into the experiment's JSON result file."""
+    file_stem = experiment if experiment.startswith("BENCH_") else f"BENCH_{experiment}"
+    path = REPO_ROOT / f"{file_stem}.json"
+    payload: Dict[str, object] = {"experiment": experiment, "sections": {}}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            pass
+    payload["experiment"] = experiment
+    payload["smoke"] = SMOKE
+    sections = payload.setdefault("sections", {})
+    section: Dict[str, object] = {"rows": rows}
+    if gate is not None:
+        section["gate"] = dict(gate)
+    if schema_sizes is not None:
+        section["schema_sizes"] = dict(schema_sizes)
+    sections[title] = section
+    gates = [
+        section.get("gate")
+        for section in sections.values()
+        if isinstance(section, dict) and section.get("gate")
+    ]
+    # only enforced gates carry a verdict; smoke gates are informational
+    payload["gates_passed"] = all(
+        g.get("passed", True) for g in gates if g.get("enforced")
+    )
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return path
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _clean_results_dir():
-    """Start every benchmark session with a fresh results directory."""
+    """Start every benchmark session with fresh result files."""
     if RESULTS_DIR.exists():
         for path in RESULTS_DIR.glob("*.txt"):
             path.unlink()
+    for path in REPO_ROOT.glob("BENCH_*.json"):
+        path.unlink()
     yield

@@ -1,0 +1,264 @@
+"""Bulk evolution benchmark: compiled plans + fingerprint memoization at scale.
+
+Measures what the bulk evolution engine was built for: evolving a large
+*durable* population whose cases cluster into a small number of distinct
+execution states.  The per-instance PR-4 path hydrates every stored case
+and pays one full compliance check + state adaptation each; the bulk
+engine compiles the change once, classifies candidates by compliance
+fingerprint straight from their stored records, computes one verdict and
+one adapted-marking template per class, and rewrites store-resident
+members in place — O(distinct states + residue) instead of O(population).
+
+Scenario: a 50k-case durable population of a sequential process, spread
+over every progress level (~20 distinct execution states incl. biased
+variants), with a type change that part of the population conflicts
+with.  Measured under a bounded live-instance cache:
+
+* **wall time** — bulk engine vs the hydrate-everything per-instance
+  path on an identical copy of the store.  Acceptance gate: **>= 5x**.
+* **bounded hydration** — the peak number of live instances during the
+  bulk evolve stays within ``cache cap + one batch``.
+* **identical outcomes** — both paths produce the same outcome counters
+  and exactly the same set of cases ends up on the new version.
+* **durability** — a fresh ``AdeptSystem.open`` replays the journaled
+  evolution and reproduces the post-evolution population exactly.
+
+Rows land in ``benchmarks/results/BENCH_bulk_evolution.txt`` and the
+machine-readable ``BENCH_bulk_evolution.json`` at the repo root.
+
+Smoke mode (``BENCH_SMOKE=1``): a tiny population and no timing
+assertions.
+"""
+
+import gc
+import json
+import os
+import shutil
+import time
+
+import pytest
+
+from benchmarks.conftest import SMOKE, gate_result, write_rows
+from repro.schema import templates
+from repro.system import AdeptSystem
+from repro.core.evolution import TypeChange
+from repro.core.operations import SerialInsertActivity
+from repro.schema.nodes import Node, NodeType
+
+EXPERIMENT = "BENCH_bulk_evolution"
+
+POPULATION = 300 if SMOKE else 50_000
+CACHE_CAP = 16 if SMOKE else 2_000
+#: 20 progress levels -> the ~20 distinct execution states of the scenario
+SCHEMA_LENGTH = 20
+#: conflicting cases advanced beyond the insertion point (step_11 started)
+INSERT_PRED, INSERT_SUCC = "step_10", "step_11"
+#: biased templates (ad-hoc modified) and their share of the population —
+#: the non-shareable residue every path must migrate per instance
+BIASED_TEMPLATES = 4
+BIASED_FRACTION = 0.02
+MIN_SPEEDUP = 5.0
+
+
+def _type_change() -> TypeChange:
+    return TypeChange.of(
+        1,
+        [
+            SerialInsertActivity(
+                activity=Node(
+                    node_id="review", node_type=NodeType.ACTIVITY, name="review", staff_assignment="worker"
+                ),
+                pred=INSERT_PRED,
+                succ=INSERT_SUCC,
+            )
+        ],
+        comment="insert review before step_6",
+    )
+
+
+def _no_outputs(node, data):
+    return {}
+
+
+def _seed_store(path: str) -> dict:
+    """Build the durable population: templates through the façade, clones via records.
+
+    Every distinct execution state is produced by genuinely executing a
+    template case through the engine; the population then clones the
+    template *records* (fresh ids) straight into the store and a
+    checkpoint makes them durable — the fast, honest way to lay down
+    50k cases without 50k engine executions.
+    """
+    system = AdeptSystem.open(path, cache_instances=CACHE_CAP)
+    handle = system.deploy(templates.sequential_process(length=SCHEMA_LENGTH, schema_id="bulk_seq"))
+    template_ids = []
+    # one template per progress level 0..SCHEMA_LENGTH-1 (10 distinct
+    # states, all still running — finished cases are never candidates)
+    for progress in range(SCHEMA_LENGTH):
+        case = handle.start()
+        if progress:
+            system.step_many([case.instance_id], steps=progress, worker=_no_outputs)
+        template_ids.append(case.instance_id)
+    # biased variants: an ad-hoc insert at varying positions (residue cases)
+    for index in range(BIASED_TEMPLATES):
+        case = handle.start()
+        system.step_many([case.instance_id], steps=index, worker=_no_outputs)
+        system.change(case.instance_id, comment="deviation").serial_insert(
+            f"extra_{index}", pred=f"step_{index + 12}", succ=f"step_{index + 13}"
+        ).apply()
+        template_ids.append(case.instance_id)
+    for instance_id in template_ids:
+        system.save(instance_id)
+    records = [system.store.record(instance_id) for instance_id in template_ids]
+    unbiased_records = records[: SCHEMA_LENGTH]
+    biased_records = records[SCHEMA_LENGTH :]
+    clones = POPULATION - len(template_ids)
+    biased_clones = int(clones * BIASED_FRACTION)
+    for index in range(clones):
+        if index < biased_clones:
+            template = biased_records[index % len(biased_records)]
+        else:
+            template = unbiased_records[index % len(unbiased_records)]
+        record = json.loads(json.dumps(template))
+        record["instance_id"] = f"clone-{index:06d}"
+        system.store.put_record(record)
+    system.checkpoint()
+    counts = system.store.index.counts_by_version("sequence")
+    system.close()
+    return {"templates": len(template_ids), "population": POPULATION, "versions": counts}
+
+
+def _outcome_counts(report) -> dict:
+    return {name: count for name, count in report.outcome_counts().items() if count}
+
+
+@pytest.fixture(autouse=True)
+def _release_population_memory():
+    """Return the 50k-record heaps before the next (latency-sensitive) benchmark.
+
+    The populations seeded here are the largest allocations of the whole
+    benchmark session; without an explicit collection the follow-on
+    concurrency benchmark measures GC pressure instead of worker scaling.
+    """
+    yield
+    gc.collect()
+
+
+def test_bulk_evolution_speedup_and_exactness(tmp_path):
+    """The headline gate: >=5x vs the per-instance path, bounded memory, exact."""
+    bulk_store = str(tmp_path / "bulk")
+    seeded = _seed_store(bulk_store)
+    baseline_store = str(tmp_path / "baseline")
+    shutil.copytree(bulk_store, baseline_store)
+
+    # ---- bulk engine ------------------------------------------------- #
+    system = AdeptSystem.open(bulk_store, cache_instances=CACHE_CAP)
+    peak = {"live": 0}
+
+    def watch(event):
+        if getattr(event, "name", "") == "instance_loaded":
+            peak["live"] = max(peak["live"], len(system._instances))
+
+    system.bus.subscribe(watch, categories=["system"])
+    started = time.perf_counter()
+    bulk_report = system.evolve("sequence", _type_change(), collect_results=False)
+    bulk_seconds = time.perf_counter() - started
+    assert bulk_report.total == POPULATION
+    bulk_outcomes = _outcome_counts(bulk_report)
+    bulk_new_version = set(
+        system.store.instances_of_type("sequence", bulk_report.to_version)
+    )
+    for instance in system._instances.values():
+        if instance.schema_version == bulk_report.to_version:
+            bulk_new_version.add(instance.instance_id)
+    assert bulk_report.migrated_count == len(bulk_new_version)
+    # mixed population: migrations, state conflicts and biased cases all present
+    assert bulk_report.migrated_count > 0
+    sample_ids = sorted(bulk_new_version)[:: max(1, len(bulk_new_version) // 200)]
+    expected_fingerprints = {
+        instance_id: system.get_instance(instance_id).state_fingerprint()
+        for instance_id in sample_ids
+    }
+    live_after = len(system._instances)
+    system.close()
+
+    # ---- per-instance PR-4 baseline on the identical store ----------- #
+    baseline = AdeptSystem.open(
+        baseline_store,
+        cache_instances=CACHE_CAP,
+        bulk_evolution=False,
+        memoize_migrations=False,
+    )
+    started = time.perf_counter()
+    baseline_report = baseline.evolve("sequence", _type_change())
+    baseline_seconds = time.perf_counter() - started
+    baseline_outcomes = _outcome_counts(baseline_report)
+    baseline_new_version = {r.instance_id for r in baseline_report.results if r.migrated}
+    baseline.close()
+
+    # identical outcomes: same counters, same new-version membership
+    assert bulk_outcomes == baseline_outcomes
+    assert bulk_new_version == baseline_new_version
+
+    # ---- durability: WAL replay reproduces the evolved population ---- #
+    recovery_started = time.perf_counter()
+    recovered = AdeptSystem.open(bulk_store, cache_instances=CACHE_CAP)
+    recovery_seconds = time.perf_counter() - recovery_started
+    try:
+        recovered_new_version = set(
+            recovered.store.instances_of_type("sequence", bulk_report.to_version)
+        )
+        for instance in recovered._instances.values():
+            if instance.schema_version == bulk_report.to_version:
+                recovered_new_version.add(instance.instance_id)
+        assert recovered_new_version == bulk_new_version
+        mismatches = [
+            instance_id
+            for instance_id in sample_ids
+            if recovered.get_instance(instance_id).state_fingerprint()
+            != expected_fingerprints[instance_id]
+        ]
+        assert not mismatches, f"{len(mismatches)} case(s) diverge after WAL replay"
+    finally:
+        recovered.close()
+
+    speedup = baseline_seconds / bulk_seconds if bulk_seconds else float("inf")
+    hydration_bound = CACHE_CAP + min(CACHE_CAP, 1024)
+    write_rows(
+        EXPERIMENT,
+        f"bulk evolution over {POPULATION} durable cases (cache cap {CACHE_CAP})",
+        [
+            {"metric": "population", "value": POPULATION},
+            {"metric": "template states", "value": seeded["templates"]},
+            {"metric": "migrated", "value": bulk_report.migrated_count},
+            {"metric": "state conflicts", "value": bulk_outcomes.get("state_conflict", 0)},
+            {"metric": "biased outcomes", "value": sum(
+                count
+                for name, count in bulk_outcomes.items()
+                if name in ("migrated_with_bias", "structural_conflict", "semantic_conflict")
+            )},
+            {"metric": "bulk evolve (s)", "value": f"{bulk_seconds:.3f}"},
+            {"metric": "per-instance evolve (s)", "value": f"{baseline_seconds:.3f}"},
+            {"metric": "speedup", "value": f"{speedup:.2f}x"},
+            {"metric": "peak live instances", "value": peak["live"]},
+            {"metric": "live after evolve", "value": live_after},
+            {"metric": "recovery incl. bulk replay (s)", "value": f"{recovery_seconds:.3f}"},
+        ],
+        gate=gate_result("bulk_evolution_speedup", MIN_SPEEDUP, speedup),
+        schema_sizes={
+            "activities": SCHEMA_LENGTH,
+            "population": POPULATION,
+            "cache_cap": CACHE_CAP,
+            "distinct_states": seeded["templates"],
+        },
+    )
+    # memory bound: the streaming engine never hydrates beyond cap + batch
+    assert peak["live"] <= hydration_bound, (
+        f"peak live instances {peak['live']} exceeds the bound {hydration_bound}"
+    )
+    if not SMOKE:
+        assert bulk_outcomes.get("state_conflict", 0) > 0
+        assert speedup >= MIN_SPEEDUP, (
+            f"bulk evolution is only {speedup:.2f}x faster than the "
+            f"per-instance path (gate: {MIN_SPEEDUP}x)"
+        )

@@ -31,7 +31,7 @@ assertions.
 import os
 import time
 
-from benchmarks.conftest import write_rows
+from benchmarks.conftest import gate_result, write_rows
 from repro.schema import templates
 from repro.system import AdeptSystem, simulated_latency_worker
 from repro.workloads.order_process import order_type_change_v2
@@ -84,6 +84,8 @@ def test_worker_scaling_throughput():
             }
             for workers in WORKER_COUNTS
         ],
+        gate=gate_result("worker_scaling_speedup", MIN_SPEEDUP, speedup),
+        schema_sizes={"population": POPULATION, "workers": max(WORKER_COUNTS)},
     )
     if not SMOKE:
         assert speedup >= MIN_SPEEDUP, (

@@ -23,7 +23,7 @@ runnable without paying for (or flaking on) real measurements.
 import os
 import time
 
-from benchmarks.conftest import write_rows
+from benchmarks.conftest import gate_result, write_rows
 from repro.core.migration import MigrationManager
 from repro.runtime.engine import ProcessEngine
 from repro.schema.index import without_index
@@ -109,6 +109,8 @@ def test_stepping_throughput_indexed_vs_scan():
         f"Engine stepping throughput — {len(schema)}-node schema, "
         f"{STEPPING_INSTANCES} instances (SchemaIndex vs edge scans)",
         rows,
+        gate=gate_result("indexed_stepping_speedup", REQUIRED_STEPPING_SPEEDUP, speedup),
+        schema_sizes={"nodes": len(schema), "instances": STEPPING_INSTANCES},
     )
     if not SMOKE:
         assert speedup >= REQUIRED_STEPPING_SPEEDUP, (

@@ -13,7 +13,7 @@ re-applying the change log on every access.
 
 import pytest
 
-from benchmarks.conftest import write_rows
+from benchmarks.conftest import gate_result, write_rows
 from repro.baselines.storage_baselines import compare_representations
 from repro.schema.templates import online_order_process
 from repro.storage.instance_store import InstanceStore
@@ -95,6 +95,13 @@ def test_fig2_representation_table(benchmark, storage_setup):
         f"E2 / Fig.2 — instance storage representations "
         f"({INSTANCES} instances, {BIASED_FRACTION:.0%} ad-hoc modified)",
         [comparison.row() for comparison in comparisons],
+        gate=gate_result(
+            "hybrid_load_vs_materialize_ratio",
+            1.5,
+            hybrid.load_seconds / on_access.load_seconds if on_access.load_seconds else 0.0,
+            higher_is_better=False,
+        ),
+        schema_sizes={"instances": INSTANCES, "biased_fraction": BIASED_FRACTION},
     )
 
 

@@ -23,7 +23,7 @@ assertions — CI uses it to keep the harness runnable without paying for
 import os
 import time
 
-from benchmarks.conftest import write_rows
+from benchmarks.conftest import gate_result, write_rows
 from repro.schema import templates
 from repro.system import AdeptSystem
 
@@ -139,6 +139,13 @@ def test_hydrated_stepping_throughput_vs_all_in_ram():
                 "slowdown": f"{ram_batch / lru_batch:.2f}x",
             },
         ],
+        gate=gate_result(
+            "hydrated_step_many_slowdown",
+            MAX_HYDRATED_SLOWDOWN,
+            ram_batch / lru_batch,
+            higher_is_better=False,
+        ),
+        schema_sizes={"population": POPULATION, "live_cap": LIVE_CAP},
     )
     if not SMOKE:
         assert ram_batch / lru_batch <= MAX_HYDRATED_SLOWDOWN, (

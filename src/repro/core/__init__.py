@@ -49,6 +49,7 @@ from repro.core.migration import (
     MigrationOutcome,
     MigrationReport,
 )
+from repro.core.migration_plan import ClassVerdict, FingerprintCache, MigrationPlan
 from repro.core.adhoc import AdHocChangeError, AdHocChanger
 from repro.core.rollback import RollbackError, RollbackManager, RollbackPlan, RollbackPlanner
 
@@ -80,6 +81,9 @@ __all__ = [
     "MigrationManager",
     "MigrationOutcome",
     "MigrationReport",
+    "MigrationPlan",
+    "FingerprintCache",
+    "ClassVerdict",
     "InstanceMigrationResult",
     "AdHocChanger",
     "AdHocChangeError",

@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.changelog import ChangeLog
 from repro.core.compliance import ComplianceChecker
@@ -88,29 +88,58 @@ class InstanceMigrationResult:
 
 @dataclass
 class MigrationReport:
-    """Summary of one migration run over all instances of a process type."""
+    """Summary of one migration run over all instances of a process type.
+
+    With ``collect_results=False`` (bulk runs over very large
+    populations) only the aggregate counters and a bounded sample of
+    conflicting results are kept — a 100k-case migration then holds a
+    handful of counters instead of 100k result dataclasses.  All counting
+    accessors (:meth:`count`, :attr:`total`, :attr:`migrated_count`,
+    :meth:`outcome_counts`) work in both modes; the per-instance views
+    (:attr:`results`, :attr:`migrated_instances`, …) are only populated
+    when results are collected.
+    """
 
     process_type: str
     from_version: int
     to_version: int
     results: List[InstanceMigrationResult] = field(default_factory=list)
     duration_seconds: float = 0.0
+    #: keep every per-instance result (default) or only counters + samples
+    collect_results: bool = True
+    #: bounded detail kept for conflict reporting when results are dropped
+    conflict_samples: List[InstanceMigrationResult] = field(default_factory=list)
+    conflict_sample_limit: int = 25
+    _counts: Dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        # reports constructed with a pre-filled results list stay consistent
+        for result in self.results:
+            self._counts[result.outcome.value] = self._counts.get(result.outcome.value, 0) + 1
 
     def add(self, result: InstanceMigrationResult) -> None:
-        self.results.append(result)
+        self._counts[result.outcome.value] = self._counts.get(result.outcome.value, 0) + 1
+        if self.collect_results:
+            self.results.append(result)
+        elif result.conflicts and len(self.conflict_samples) < self.conflict_sample_limit:
+            self.conflict_samples.append(result)
 
     # -- aggregate views -------------------------------------------------- #
 
     def count(self, outcome: MigrationOutcome) -> int:
-        return sum(1 for result in self.results if result.outcome is outcome)
+        return self._counts.get(outcome.value, 0)
 
     @property
     def migrated_count(self) -> int:
-        return sum(1 for result in self.results if result.migrated)
+        return (
+            self.count(MigrationOutcome.MIGRATED)
+            + self.count(MigrationOutcome.MIGRATED_WITH_BIAS)
+            + self.count(MigrationOutcome.MIGRATED_WITH_ROLLBACK)
+        )
 
     @property
     def total(self) -> int:
-        return len(self.results)
+        return sum(self._counts.values())
 
     @property
     def migrated_instances(self) -> List[str]:
@@ -126,10 +155,7 @@ class MigrationReport:
 
     def outcome_counts(self) -> Dict[str, int]:
         """Mapping of outcome name to count (the report's headline numbers)."""
-        counts: Dict[str, int] = {}
-        for outcome in MigrationOutcome:
-            counts[outcome.value] = self.count(outcome)
-        return counts
+        return {outcome.value: self.count(outcome) for outcome in MigrationOutcome}
 
     def results_by_outcome(self, outcome: MigrationOutcome) -> List[InstanceMigrationResult]:
         return [result for result in self.results if result.outcome is outcome]
@@ -150,15 +176,19 @@ class MigrationReport:
             f"  already finished:         {self.count(MigrationOutcome.FINISHED)}",
             f"  duration:                 {self.duration_seconds:.3f}s",
         ]
-        conflicting = [result for result in self.results if result.conflicts]
+        detail_source = self.results if self.collect_results else self.conflict_samples
+        conflicting = [result for result in detail_source if result.conflicts]
         if conflicting:
-            lines.append("  conflict details:")
+            header = "  conflict details:" if self.collect_results else (
+                f"  conflict details (first {len(conflicting)}):"
+            )
+            lines.append(header)
             for result in conflicting:
                 lines.append(f"    - {result.describe()}")
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "process_type": self.process_type,
             "from_version": self.from_version,
             "to_version": self.to_version,
@@ -174,6 +204,17 @@ class MigrationReport:
                 for result in self.results
             ],
         }
+        if not self.collect_results:
+            payload["collect_results"] = False
+            payload["conflict_samples"] = [
+                {
+                    "instance_id": result.instance_id,
+                    "outcome": result.outcome.value,
+                    "conflicts": [str(conflict) for conflict in result.conflicts],
+                }
+                for result in self.conflict_samples
+            ]
+        return payload
 
 
 class MigrationManager:
@@ -206,11 +247,29 @@ class MigrationManager:
         type_change: TypeChange,
         instances: Iterable[ProcessInstance],
         release: bool = True,
+        memoize: bool = False,
+        collect_results: bool = True,
+        parallel: int = 0,
+        plan: Optional["MigrationPlan"] = None,
+        cache: Optional["FingerprintCache"] = None,
+        job_context: Optional[Callable[[], Any]] = None,
     ) -> MigrationReport:
         """Release ΔT as a new version and migrate all given instances.
 
         With ``release=False`` the new version must already have been
         released (e.g. by a previous call) and is looked up instead.
+
+        ``memoize=True`` switches to the bulk path: the change is
+        compiled once into a :class:`~repro.core.migration_plan.
+        MigrationPlan` and unbiased instances share one verdict and one
+        adapted-marking template per compliance fingerprint class; the
+        non-shareable residue (biased instances, rollback attempts) runs
+        the classic per-instance path — optionally fanned over
+        ``parallel`` threads.  Reports are identical to the unmemoized
+        run (property-tested).  ``collect_results=False`` keeps only
+        counters and a bounded conflict sample (large populations).
+        ``plan``/``cache`` allow the caller to reuse a compiled plan and
+        verdict cache across batches of one evolution.
         """
         if release:
             new_schema = process_type.release_new_version(type_change)
@@ -227,6 +286,7 @@ class MigrationManager:
             process_type=process_type.name,
             from_version=type_change.from_version,
             to_version=new_schema.version,
+            collect_results=collect_results,
         )
         started = time.perf_counter()
         # Compile both type schemas once up front: every per-instance
@@ -235,10 +295,184 @@ class MigrationManager:
         if indexing_enabled():
             old_schema.index
             new_schema.index
-        for instance in instances:
-            report.add(self.migrate_instance(instance, old_schema, new_schema, type_change))
+        if memoize:
+            self.migrate_batch(
+                list(instances),
+                old_schema,
+                new_schema,
+                type_change,
+                report,
+                plan=plan,
+                cache=cache,
+                parallel=parallel,
+                job_context=job_context,
+            )
+        else:
+            for instance in instances:
+                report.add(self.migrate_instance(instance, old_schema, new_schema, type_change))
         report.duration_seconds = time.perf_counter() - started
         return report
+
+    # ------------------------------------------------------------------ #
+    # bulk migration: fingerprint-memoized batch processing
+    # ------------------------------------------------------------------ #
+
+    def compile_plan(
+        self, old_schema: ProcessSchema, new_schema: ProcessSchema, type_change: TypeChange
+    ) -> "MigrationPlan":
+        """Compile ΔT once for this manager's compliance method."""
+        from repro.core.migration_plan import MigrationPlan
+
+        return MigrationPlan.compile(
+            old_schema, new_schema, type_change, compliance_method=self.compliance_method
+        )
+
+    def migrate_batch(
+        self,
+        instances: Sequence[ProcessInstance],
+        old_schema: ProcessSchema,
+        new_schema: ProcessSchema,
+        type_change: TypeChange,
+        report: Optional[MigrationReport] = None,
+        plan: Optional["MigrationPlan"] = None,
+        cache: Optional["FingerprintCache"] = None,
+        parallel: int = 0,
+        emit: bool = True,
+        job_context: Optional[Callable[[], Any]] = None,
+    ) -> List[InstanceMigrationResult]:
+        """Migrate one batch of instances with fingerprint memoization.
+
+        Unbiased instances are fingerprinted; the first member of each
+        class computes the verdict (compiled plan check + one state
+        adaptation), every further member applies it O(1).  Instances the
+        verdict cannot be shared for — biased ones and state-conflicting
+        instances under the rollback policy (the rollback mutates the
+        case) — run the classic :meth:`migrate_instance`, optionally in
+        ``parallel`` worker threads (each case is touched by exactly one
+        thread; the engine contract the concurrent runtime established).
+        Results are reported in input order regardless of parallelism and
+        events are emitted in the same order.
+
+        ``job_context`` is an optional context-manager factory entered
+        around every classic residue migration.  The façade passes its
+        per-thread WAL journal suspension here: worker threads would
+        otherwise escape the *calling* thread's suspension and journal
+        rollback compensations as separate step records inside an
+        evolution whose typed record already covers them.
+        """
+        from repro.core.migration_plan import FingerprintCache
+
+        if plan is None:
+            plan = self.compile_plan(old_schema, new_schema, type_change)
+        if cache is None:
+            cache = FingerprintCache()
+        ordered = list(instances)
+        results: List[Optional[InstanceMigrationResult]] = [None] * len(ordered)
+        residue: List[int] = []
+        for position, instance in enumerate(ordered):
+            result = self._memoized_fast_path(instance, new_schema, plan, cache)
+            if result is None:
+                residue.append(position)
+            else:
+                results[position] = result
+        if residue:
+
+            def run_classic(position: int) -> InstanceMigrationResult:
+                if job_context is None:
+                    return self.migrate_instance(
+                        ordered[position], old_schema, new_schema, type_change, emit=False
+                    )
+                with job_context():
+                    return self.migrate_instance(
+                        ordered[position], old_schema, new_schema, type_change, emit=False
+                    )
+
+            if parallel > 1 and len(residue) > 1:
+                from concurrent.futures import ThreadPoolExecutor
+
+                with ThreadPoolExecutor(max_workers=parallel) as pool:
+                    for position, result in zip(residue, pool.map(run_classic, residue)):
+                        results[position] = result
+            else:
+                for position in residue:
+                    results[position] = run_classic(position)
+        emitted: List[InstanceMigrationResult] = []
+        for result in results:
+            assert result is not None  # every position is filled above
+            if report is not None:
+                report.add(result)
+            if emit:
+                self._emit(result)
+            emitted.append(result)
+        return emitted
+
+    def _memoized_fast_path(
+        self,
+        instance: ProcessInstance,
+        new_schema: ProcessSchema,
+        plan: "MigrationPlan",
+        cache: "FingerprintCache",
+    ) -> Optional[InstanceMigrationResult]:
+        """Decide one instance from its fingerprint class, or defer.
+
+        Returns ``None`` when the instance must run the classic path:
+        biased cases, un-fingerprintable states and state conflicts under
+        the rollback policy (compensation is a per-case mutation).
+        """
+        from repro.core.migration_plan import ClassVerdict
+
+        started = time.perf_counter()
+        if not instance.status.is_active:
+            return InstanceMigrationResult(
+                instance_id=instance.instance_id,
+                outcome=MigrationOutcome.FINISHED,
+                was_biased=instance.is_biased,
+                duration_seconds=time.perf_counter() - started,
+            )
+        if instance.is_biased:
+            return None
+        fingerprint = plan.fingerprint_of_instance(instance)
+        if fingerprint is None:
+            return None
+        verdict = cache.get(fingerprint)
+        if verdict is None:
+            compliance = plan.check(instance)
+            adapted = (
+                self.adapter.adapt(instance, new_schema) if compliance.compliant else None
+            )
+            verdict = cache.put(
+                ClassVerdict(
+                    fingerprint=fingerprint,
+                    compliance=compliance,
+                    adapted_marking=adapted,
+                    outcome=(
+                        MigrationOutcome.MIGRATED
+                        if compliance.compliant
+                        else self._outcome_for_conflicts(compliance.conflicts)
+                    ),
+                )
+            )
+        if verdict.compliant:
+            instance.marking = verdict.adapted_marking.copy()
+            instance.rebind_schema(new_schema)
+            return InstanceMigrationResult(
+                instance_id=instance.instance_id,
+                outcome=MigrationOutcome.MIGRATED,
+                was_biased=False,
+                duration_seconds=time.perf_counter() - started,
+            )
+        if (
+            verdict.outcome is MigrationOutcome.STATE_CONFLICT
+            and self.rollback_on_state_conflict
+        ):
+            return None  # the rollback attempt compensates work: per-case
+        return InstanceMigrationResult(
+            instance_id=instance.instance_id,
+            outcome=verdict.outcome,
+            conflicts=list(verdict.conflicts),
+            was_biased=False,
+            duration_seconds=time.perf_counter() - started,
+        )
 
     # ------------------------------------------------------------------ #
     # single-instance migration
@@ -250,8 +484,13 @@ class MigrationManager:
         old_schema: ProcessSchema,
         new_schema: ProcessSchema,
         type_change: TypeChange,
+        emit: bool = True,
     ) -> InstanceMigrationResult:
-        """Check one instance and migrate it if possible."""
+        """Check one instance and migrate it if possible.
+
+        ``emit=False`` defers the migration event — the bulk path emits
+        all events in report order after a (possibly parallel) batch.
+        """
         started = time.perf_counter()
         was_biased = instance.is_biased
         if not instance.status.is_active:
@@ -266,7 +505,8 @@ class MigrationManager:
         else:
             result = self._migrate_unbiased(instance, new_schema, type_change)
         result.duration_seconds = time.perf_counter() - started
-        self._emit(result)
+        if emit:
+            self._emit(result)
         return result
 
     def _migrate_unbiased(

@@ -1,0 +1,774 @@
+"""Compiled migration plans: pay per change operation, not per instance.
+
+The paper's scalability argument is that compliance is decided by
+"precise and easy to implement compliance conditions" per change
+operation instead of replaying histories.  This module pushes the same
+idea one level further for *bulk* migration: a :class:`TypeChange` is
+compiled **once** into a :class:`MigrationPlan` —
+
+* every structural question an operation's compliance condition asks
+  (does the insertion position exist? which successors follow the
+  wrapped activity?) is answered once against the old schema's compiled
+  :class:`~repro.schema.index.SchemaIndex` and becomes a constant of the
+  plan;
+* what remains per instance is a tiny *residual predicate* over the
+  instance marking (and, for the few operations that need it, the data
+  context or the reduced history) — a handful of dict lookups;
+* the plan also knows the exact **state projection** those residual
+  predicates and the subsequent marking adaptation read, and derives a
+  compliance **fingerprint** from it.  Two unbiased instances with equal
+  fingerprints are indistinguishable to the whole migration pipeline:
+  they receive the same :class:`~repro.core.compliance.ComplianceResult`
+  and — when compliant — the same adapted marking.  Bulk migration
+  therefore computes one verdict per *equivalence class* and applies it
+  O(1) per member (see :class:`FingerprintCache`).
+
+Soundness contract
+------------------
+
+``fingerprint_of_instance``/``fingerprint_of_record`` cover every input
+of the per-instance work (verdict *and* adapted marking):
+
+* the complete marking (node and edge states),
+* the loop iteration counters (the adaptation's loop-end decisions),
+* the values of the *relevant* data elements — the variables read by any
+  guard or loop condition of the target schema plus every element a
+  change operation's condition inspects,
+* the instance status and schema version, and
+* the reduced-history projection — only when the plan actually reads
+  history: the ``insertSyncEdge`` condition orders events, and the
+  ``replay``/``both`` compliance methods re-execute the trace (their
+  fingerprints include the entries *with* their data values).
+
+Biased instances are fingerprinted only together with their canonical
+bias payload (``fingerprint_of_record(..., include_bias=True)``): their
+combined-schema checks are a pure function of (bias, projected state),
+with the data projection widened by the bias's own guard and data
+elements (:meth:`MigrationPlan.bias_extras`).  Rollback migrations are
+never shared (they mutate the instance).  The property suite
+cross-checks the contract by migrating randomized populations with
+memoization on and off and asserting byte-identical reports and end
+states.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import marshal
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.core.compliance import ComplianceChecker, ComplianceResult
+from repro.core.conflicts import Conflict
+from repro.core.evolution import TypeChange
+from repro.core.operations import (
+    AddDataEdge,
+    AddDataElement,
+    ChangeActivityAttributes,
+    ChangeOperation,
+    ConditionalInsertActivity,
+    DeleteActivity,
+    DeleteDataEdge,
+    DeleteDataElement,
+    DeleteSyncEdge,
+    InsertSyncEdge,
+    MoveActivity,
+    ParallelInsertActivity,
+    SerialInsertActivity,
+)
+from repro.runtime.instance import ProcessInstance
+from repro.runtime.markings import Marking
+from repro.runtime.states import NodeState
+from repro.schema.data import DataAccess
+from repro.schema.graph import ProcessSchema
+from repro.schema.index import indexing_enabled
+
+#: Node states counting as "started" (mirrors ``NodeState.is_started``);
+#: the residual predicates test membership on the raw marking dict.
+_STARTED_STATES = frozenset(
+    state for state in NodeState if state.is_started
+)
+
+#: Residual predicate: marking node-states + a tiny instance view -> compliant?
+#: ``None`` means "cannot be decided from the projection" (fall back to the
+#: interpreted condition).
+Residual = Callable[[Mapping[str, NodeState], ProcessInstance], Optional[bool]]
+
+
+def _expression_names(expression: str) -> Set[str]:
+    """Variable names referenced by a guard / loop-condition expression."""
+    try:
+        tree = ast.parse(expression, mode="eval")
+    except SyntaxError:
+        return set()
+    return {node.id for node in ast.walk(tree) if isinstance(node, ast.Name)}
+
+
+def _not_started_in(states: Mapping[str, NodeState], node_id: str) -> bool:
+    state = states.get(node_id)
+    return state is None or state not in _STARTED_STATES
+
+
+def _stable(value: Any) -> Any:
+    """Order-canonical form of a (possibly nested) data value.
+
+    Snapshots re-serialise records with ``sort_keys=True`` while live
+    values keep insertion order — dicts are therefore hashed as sorted
+    item tuples so equal values fingerprint equally on every provenance.
+    """
+    if isinstance(value, dict):
+        return tuple((key, _stable(item)) for key, item in sorted(value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_stable(item) for item in value)
+    return value
+
+
+@dataclass
+class CompiledOperation:
+    """One change operation specialised against the old type schema."""
+
+    operation: ChangeOperation
+    #: node ids introduced by *earlier* operations of the same change
+    introduced: Set[str] = field(default_factory=set)
+    #: compile-time verdict (the structural facts are instance-independent):
+    #: ``False`` when every unbiased instance of the old version conflicts
+    #: structurally, ``True`` when the operation is always compliant.
+    constant: Optional[bool] = None
+    #: residual marking predicate (``None``: always consult ``constant``)
+    residual: Optional[Residual] = None
+
+    def fast_verdict(
+        self, states: Mapping[str, NodeState], instance: ProcessInstance
+    ) -> Optional[bool]:
+        if self.constant is not None:
+            return self.constant
+        if self.residual is not None:
+            return self.residual(states, instance)
+        return None
+
+
+class MigrationPlan:
+    """A :class:`TypeChange` compiled for one old → new schema pair.
+
+    Built once per evolution via :meth:`compile`; shared by every
+    unbiased instance still running on ``old_schema``'s version.
+    """
+
+    def __init__(
+        self,
+        old_schema: ProcessSchema,
+        new_schema: ProcessSchema,
+        operations: Sequence[ChangeOperation],
+        compliance_method: str,
+        compiled: List[CompiledOperation],
+        relevant_elements: Optional[Set[str]],
+        include_history: bool,
+        include_history_values: bool,
+    ) -> None:
+        self.old_schema = old_schema
+        self.new_schema = new_schema
+        self.operations = list(operations)
+        self.compliance_method = compliance_method
+        self.compiled = compiled
+        #: data elements whose values the plan may read (``None`` = all)
+        self.relevant_elements = relevant_elements
+        self.include_history = include_history
+        self.include_history_values = include_history_values
+        self._checker = ComplianceChecker()
+        self._compliant_result = ComplianceResult(
+            compliant=True,
+            conflicts=[],
+            method=compliance_method,
+            checked_operations=len(self.operations),
+        )
+        # canonical extraction order for the hot fingerprint path: node
+        # and edge states are projected positionally in the old schema's
+        # index order, so no per-instance sorting (and no key strings)
+        # enter the digest.  ``None`` when indexing is disabled.
+        self._node_order: Optional[tuple] = None
+        self._edge_order: Optional[tuple] = None
+        if indexing_enabled():
+            index = old_schema.index
+            self._node_order = tuple(index.node_ids)
+            self._edge_order = tuple(index.non_loop_edge_keys())
+        #: per-distinct-bias projection extensions (see :meth:`bias_extras`)
+        self._bias_extras: Dict[Any, "BiasExtras"] = {}
+
+    # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def compile(
+        cls,
+        old_schema: ProcessSchema,
+        new_schema: ProcessSchema,
+        type_change: TypeChange,
+        compliance_method: str = "conditions",
+    ) -> "MigrationPlan":
+        """Specialise every operation of ``type_change`` against the schemas."""
+        operations = list(type_change.operations)
+        compiled: List[CompiledOperation] = []
+        relevant: Set[str] = set()
+        history_needed = compliance_method != "conditions"
+        introduced: Set[str] = set()
+        for operation in operations:
+            compiled.append(
+                _compile_operation(operation, old_schema, set(introduced), relevant)
+            )
+            if isinstance(operation, InsertSyncEdge):
+                history_needed = True
+            introduced |= operation.added_node_ids()
+        # the adaptation's propagation pass evaluates guards and loop
+        # conditions of the *target* schema over the instance data
+        for edge in new_schema.edges:
+            if edge.guard is not None:
+                relevant |= _expression_names(edge.guard)
+            if edge.loop_condition is not None:
+                relevant |= _expression_names(edge.loop_condition)
+        include_history_values = compliance_method != "conditions"
+        return cls(
+            old_schema=old_schema,
+            new_schema=new_schema,
+            operations=operations,
+            compliance_method=compliance_method,
+            compiled=compiled,
+            relevant_elements=relevant,
+            include_history=history_needed,
+            include_history_values=include_history_values,
+        )
+
+    # ------------------------------------------------------------------ #
+    # per-instance evaluation
+    # ------------------------------------------------------------------ #
+
+    def applies_to(self, instance: ProcessInstance) -> bool:
+        """True when the compiled residuals may decide this instance."""
+        return (
+            not instance.is_biased
+            and instance.schema_version == self.old_schema.version
+        )
+
+    def check(self, instance: ProcessInstance) -> ComplianceResult:
+        """Compliance of one unbiased instance — cheap plan evaluation.
+
+        When every compiled residual proves compliance the (shared)
+        positive result is returned without touching the interpreted
+        conditions; any conflict or undecidable residual falls back to
+        the exact interpreted check, so conflicts carry the identical
+        :class:`Conflict` descriptions the per-instance path produces.
+        """
+        if self.compliance_method == "conditions" and self.applies_to(instance):
+            states = instance.marking.node_states
+            verdict: Optional[bool] = True
+            for compiled in self.compiled:
+                decided = compiled.fast_verdict(states, instance)
+                if decided is True:
+                    continue
+                verdict = decided
+                break
+            if verdict is True:
+                return self._compliant_result
+        return self._checker.check(
+            instance,
+            self.operations,
+            target_schema=self.new_schema,
+            method=self.compliance_method,
+        )
+
+    # ------------------------------------------------------------------ #
+    # fingerprints
+    # ------------------------------------------------------------------ #
+
+    # -- biased classes ------------------------------------------------- #
+
+    def bias_extras(self, bias_payload: Mapping[str, Any]) -> "BiasExtras":
+        """Projection extension for one canonical bias change log.
+
+        A biased instance's migration additionally reads (a) the bias
+        itself — overlap, structural and semantic checks, the combined
+        schema — and (b) the data elements the bias's own guards and data
+        edges introduce (the adaptation propagates over the *combined*
+        schema).  Both are pure functions of the bias payload, computed
+        once per distinct bias and cached.
+        """
+        key = _stable(bias_payload)
+        extras = self._bias_extras.get(key)
+        if extras is None:
+            from repro.core.operations import operation_from_dict
+
+            elements: Set[str] = set()
+            parse_failed = False
+            for op_payload in bias_payload.get("operations", []):
+                try:
+                    operation = operation_from_dict(op_payload)
+                except Exception:
+                    parse_failed = True
+                    break
+                guard = getattr(operation, "guard", None)
+                if guard:
+                    elements |= _expression_names(guard)
+                affected = getattr(operation, "affected_elements", None)
+                if affected is not None:
+                    elements |= set(affected())
+            extras = BiasExtras(
+                key=key, elements=frozenset(elements), supported=not parse_failed
+            )
+            self._bias_extras[key] = extras
+        return extras
+
+    def fingerprint_of_instance(self, instance: ProcessInstance) -> Optional[str]:
+        """Compliance fingerprint of a live unbiased instance.
+
+        Biased instances are not fingerprinted on this path (their
+        verdict additionally depends on their private execution schema;
+        the façade's record-level bias classes use
+        :meth:`fingerprint_of_record` with ``include_bias=True``).
+        """
+        if instance.is_biased:
+            return None
+        history = None
+        if self.include_history:
+            history = [
+                [
+                    entry.sequence,
+                    entry.event.value,
+                    entry.activity,
+                    entry.iteration,
+                    dict(entry.values),
+                    entry.user,
+                    entry.timestamp,
+                ]
+                for entry in instance.history.reduced()
+            ]
+        initial_writes = None
+        if self.compliance_method != "conditions":
+            initial_writes = [
+                [write.element, write.value]
+                for write in instance.data.writes
+                if write.writer == "<initial>"
+            ]
+        node_states = instance.marking.node_states
+        edge_states = instance.marking.edge_states
+        marking_part: Any = None
+        if (
+            self._node_order is not None
+            and instance.schema_version == self.old_schema.version
+            and len(node_states) == len(self._node_order)
+            and len(edge_states) == len(self._edge_order)
+        ):
+            # positional projection in index order — no sorting, no keys
+            marking_part = (
+                "ix",
+                tuple(
+                    node_states[node_id].value if node_id in node_states else None
+                    for node_id in self._node_order
+                ),
+                tuple(
+                    edge_states[key].value if key in edge_states else None
+                    for key in self._edge_order
+                ),
+            )
+        else:
+            marking_part = (
+                "sorted",
+                tuple(sorted((n, s.value) for n, s in node_states.items())),
+                tuple(sorted((k[0], k[1], k[2], s.value) for k, s in edge_states.items())),
+            )
+        return self._digest(
+            schema_version=instance.schema_version,
+            status=instance.status.value,
+            marking_part=marking_part,
+            loop_iterations=instance.loop_iterations,
+            values=instance.data.values,
+            history=history,
+            initial_writes=initial_writes,
+        )
+
+    def fingerprint_of_record(
+        self, record: Mapping[str, Any], include_bias: bool = False
+    ) -> Optional[str]:
+        """Compliance fingerprint straight from a stored instance record.
+
+        Produces exactly the digest :meth:`fingerprint_of_instance` would
+        produce for the hydrated instance — without materialising it.
+        The stored ``marking`` *is* the canonical ``Marking.to_dict``
+        form, so the hot path hashes it without any transformation.
+
+        ``include_bias=True`` additionally fingerprints *biased* records:
+        the canonical bias payload joins the digest and the data
+        projection is widened by the bias's own guard/data elements
+        (:meth:`bias_extras`) — two biased records with equal fingerprints
+        then receive identical migration outcomes, adapted markings and
+        re-encoded representations.  Without it, biased records return
+        ``None``.
+        """
+        bias_part = None
+        extra_elements: Optional[frozenset] = None
+        if record.get("biased"):
+            if not include_bias:
+                return None
+            bias_payload = record.get("bias")
+            if not bias_payload:
+                return None
+            extras = self.bias_extras(bias_payload)
+            if not extras.supported:
+                return None
+            bias_part = extras.key
+            extra_elements = extras.elements
+        history = None
+        if self.include_history:
+            history = [
+                [
+                    entry.get("sequence", 0),
+                    entry.get("event"),
+                    entry.get("activity"),
+                    entry.get("iteration", 0),
+                    entry.get("values", {}),
+                    entry.get("user"),
+                    entry.get("timestamp", 0),
+                ]
+                for entry in record.get("history", {}).get("entries", [])
+                if not entry.get("superseded", False)
+            ]
+        initial_writes = None
+        if self.compliance_method != "conditions":
+            initial_writes = [
+                [write.get("element"), write.get("value")]
+                for write in record.get("data", {}).get("writes", [])
+                if write.get("writer") == "<initial>"
+            ]
+        marking = record.get("marking", {})
+        node_states = marking.get("node_states", {})
+        edge_list = marking.get("edge_states", [])
+        marking_part: Any = None
+        version = record.get("schema_version", 0)
+        if (
+            self._node_order is not None
+            and version == self.old_schema.version
+            and len(node_states) == len(self._node_order)
+            and len(edge_list) == len(self._edge_order)
+            and self._edge_list_in_index_order(edge_list)
+        ):
+            # the stored edge list keeps its Marking.initial insertion
+            # order through every round trip (JSON sorts dict keys, never
+            # list elements) — states can be read positionally
+            marking_part = (
+                "ix",
+                tuple([node_states.get(node_id) for node_id in self._node_order]),
+                tuple([entry["state"] for entry in edge_list]),
+            )
+        else:
+            marking_part = (
+                "sorted",
+                tuple(sorted(node_states.items())),
+                tuple(
+                    sorted(
+                        (e["source"], e["target"], e["edge_type"], e["state"])
+                        for e in edge_list
+                    )
+                ),
+            )
+        return self._digest(
+            schema_version=version,
+            status=record.get("status", "running"),
+            marking_part=marking_part,
+            loop_iterations=record.get("loop_iterations", {}),
+            values=record.get("data", {}).get("values", {}),
+            history=history,
+            initial_writes=initial_writes,
+            bias_part=bias_part,
+            extra_elements=extra_elements,
+        )
+
+    def _edge_list_in_index_order(self, edge_list: List[Mapping[str, Any]]) -> bool:
+        """Spot-check that a stored edge list follows the index order.
+
+        Unbiased instances of the plan's old version always keep their
+        ``Marking.initial`` edge order (only ad-hoc change — bias — adds
+        or removes marking edges); the first and last entries are checked
+        so a surprising record safely falls back to the sorted
+        canonicalisation instead of fingerprinting positionally.
+        """
+        if not edge_list:
+            return True
+        first, last = edge_list[0], edge_list[-1]
+        return (
+            (first["source"], first["target"], first["edge_type"]) == self._edge_order[0]
+            and (last["source"], last["target"], last["edge_type"]) == self._edge_order[-1]
+        )
+
+    def _digest(
+        self,
+        schema_version: int,
+        status: str,
+        marking_part: Any,
+        loop_iterations: Mapping[str, int],
+        values: Mapping[str, Any],
+        history: Optional[List[Any]],
+        initial_writes: Optional[List[Any]],
+        bias_part: Any = None,
+        extra_elements: Optional[frozenset] = None,
+    ) -> str:
+        if self.relevant_elements is None:
+            names = sorted(values)
+        else:
+            relevant = self.relevant_elements
+            if extra_elements:
+                relevant = relevant | extra_elements
+            names = sorted(name for name in relevant if name in values)
+        payload = (
+            schema_version,
+            status,
+            marking_part,
+            sorted(loop_iterations.items()),
+            [(name, _stable(values[name])) for name in names],
+            [entry[:4] + [_stable(entry[4])] + entry[5:] for entry in history]
+            if history is not None
+            else None,
+            [[element, _stable(value)] for element, value in initial_writes]
+            if initial_writes is not None
+            else None,
+            bias_part,
+        )
+        # marshal is the fastest deterministic serialiser for the
+        # JSON-shaped payloads both fingerprint sources produce; the
+        # fingerprint only lives for the duration of one evolution, so
+        # cross-version marshal stability is irrelevant.  Format version
+        # 2 is required: version 3+ encodes object *identity*
+        # (backreferences for shared objects), which would fingerprint
+        # equal values differently depending on string interning.
+        # ``_stable`` canonicalises nested container values (snapshots
+        # re-serialise records with sorted keys, so raw dict order is not
+        # provenance-stable).  Payloads holding unmarshalable in-memory
+        # objects fall back to json — object identity then keeps
+        # distinct objects in distinct classes, which costs sharing,
+        # never soundness.
+        try:
+            rendered = marshal.dumps(payload, 2)
+        except (ValueError, TypeError):
+            rendered = json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
+        return hashlib.sha256(rendered).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# per-operation residual compilers
+# --------------------------------------------------------------------------- #
+
+
+def _compile_operation(
+    operation: ChangeOperation,
+    old_schema: ProcessSchema,
+    introduced: Set[str],
+    relevant: Set[str],
+) -> CompiledOperation:
+    """Specialise one operation; collects its relevant data elements."""
+    affected = getattr(operation, "affected_elements", None)
+    if affected is not None:
+        relevant |= set(affected())
+
+    def exists(node_id: str) -> bool:
+        return old_schema.has_node(node_id) or node_id in introduced
+
+    compiled = CompiledOperation(operation=operation, introduced=introduced)
+
+    if isinstance(operation, (SerialInsertActivity, ConditionalInsertActivity)):
+        if not exists(operation.succ) or not exists(operation.pred):
+            compiled.constant = False
+            return compiled
+        succ = operation.succ
+        if succ in introduced:
+            compiled.constant = True
+            return compiled
+        compiled.residual = lambda states, _i: _not_started_in(states, succ)
+        return compiled
+
+    if isinstance(operation, ParallelInsertActivity):
+        if not exists(operation.parallel_to):
+            compiled.constant = False
+            return compiled
+        successors = tuple(
+            s
+            for s in old_schema.successors(operation.parallel_to)
+            if s not in introduced
+        )
+        if not successors:
+            compiled.constant = True
+            return compiled
+        compiled.residual = lambda states, _i: all(
+            _not_started_in(states, s) for s in successors
+        )
+        return compiled
+
+    if isinstance(operation, DeleteActivity):
+        if not exists(operation.activity_id):
+            compiled.constant = False
+            return compiled
+        activity_id = operation.activity_id
+        written = tuple(
+            write.element
+            for write in old_schema.writes_of(activity_id)
+            if write.element not in operation.supply_values
+        )
+        relevant |= set(written)
+        if not written:
+            compiled.residual = lambda states, _i: (
+                True if _not_started_in(states, activity_id) else None
+            )
+            return compiled
+
+        def delete_residual(
+            states: Mapping[str, NodeState], instance: ProcessInstance
+        ) -> Optional[bool]:
+            if not _not_started_in(states, activity_id):
+                return None  # started: exact conflict text from the slow path
+            if all(instance.data.has_value(element) for element in written):
+                return True
+            return None  # potential data conflict: delegate
+
+        compiled.residual = delete_residual
+        return compiled
+
+    if isinstance(operation, MoveActivity):
+        nodes = (operation.activity_id, operation.new_pred, operation.new_succ)
+        if not all(exists(n) for n in nodes):
+            compiled.constant = False
+            return compiled
+        activity_id, new_succ = operation.activity_id, operation.new_succ
+        succ_free = new_succ in introduced
+        compiled.residual = lambda states, _i: (
+            _not_started_in(states, activity_id)
+            and (succ_free or _not_started_in(states, new_succ))
+        )
+        return compiled
+
+    if isinstance(operation, InsertSyncEdge):
+        if not exists(operation.source) or not exists(operation.target):
+            compiled.constant = False
+            return compiled
+        target = operation.target
+        if target in introduced:
+            compiled.constant = True
+            return compiled
+        # started targets need the history-ordering check: delegate
+        compiled.residual = lambda states, _i: (
+            True if _not_started_in(states, target) else None
+        )
+        return compiled
+
+    if isinstance(operation, AddDataEdge):
+        if not exists(operation.activity):
+            compiled.constant = False
+            return compiled
+        activity, element = operation.activity, operation.element
+        if operation.access is DataAccess.READ and not operation.mandatory:
+            compiled.constant = True
+            return compiled
+        if operation.access is DataAccess.READ:
+
+            def read_residual(
+                states: Mapping[str, NodeState], instance: ProcessInstance
+            ) -> Optional[bool]:
+                if _not_started_in(states, activity):
+                    return True
+                return True if instance.data.has_value(element) else None
+
+            compiled.residual = read_residual
+        else:
+            compiled.residual = lambda states, _i: (
+                True if _not_started_in(states, activity) else None
+            )
+        return compiled
+
+    if isinstance(
+        operation,
+        (DeleteSyncEdge, AddDataElement, DeleteDataElement, DeleteDataEdge, ChangeActivityAttributes),
+    ):
+        compiled.constant = True
+        return compiled
+
+    # unknown / future operation: no residual — the plan falls back to the
+    # interpreted conditions for every instance (still memoizable, because
+    # the fingerprint then covers marking, data and history conservatively)
+    return compiled
+
+
+# --------------------------------------------------------------------------- #
+# the per-class verdict cache
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class BiasExtras:
+    """Cached projection extension for one distinct bias change log."""
+
+    #: canonical (hashable) form of the bias payload — joins the digest
+    key: Any
+    #: data elements the bias's guards and data edges read or write
+    elements: frozenset
+    #: False when the payload could not be parsed (never share then)
+    supported: bool = True
+
+
+@dataclass
+class ClassVerdict:
+    """The shared outcome of one fingerprint equivalence class."""
+
+    fingerprint: str
+    compliance: ComplianceResult
+    #: adapted marking template (``None`` when not compliant)
+    adapted_marking: Optional[Marking] = None
+    #: members that received this verdict so far (for telemetry)
+    members: int = 0
+    #: the per-instance ``MigrationOutcome`` this class maps to, cached
+    #: by the migration manager so members never re-derive it
+    outcome: Any = None
+
+    @property
+    def compliant(self) -> bool:
+        return self.compliance.compliant
+
+    @property
+    def conflicts(self) -> List[Conflict]:
+        return self.compliance.conflicts
+
+    def adapted_marking_dict(self) -> Dict[str, Any]:
+        """Serialised template (cached) for direct stored-record rewrites."""
+        if self.adapted_marking is None:
+            raise ValueError("non-compliant classes have no adapted marking")
+        cached = getattr(self, "_marking_dict", None)
+        if cached is None:
+            cached = self.adapted_marking.to_dict()
+            self._marking_dict = cached  # type: ignore[attr-defined]
+        return cached
+
+
+class FingerprintCache:
+    """Verdicts per fingerprint class, with hit/miss telemetry."""
+
+    def __init__(self) -> None:
+        self._verdicts: Dict[str, ClassVerdict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, fingerprint: str) -> Optional[ClassVerdict]:
+        verdict = self._verdicts.get(fingerprint)
+        if verdict is not None:
+            self.hits += 1
+            verdict.members += 1
+        return verdict
+
+    def put(self, verdict: ClassVerdict) -> ClassVerdict:
+        self.misses += 1
+        verdict.members += 1
+        self._verdicts[verdict.fingerprint] = verdict
+        return verdict
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+    @property
+    def classes(self) -> int:
+        return len(self._verdicts)

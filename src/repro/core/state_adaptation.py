@@ -87,6 +87,17 @@ class StateAdapter:
         before the split), the skip must disappear — exactly as a history
         replay would leave the branch undecided.
 
+        The states of structural nodes are likewise *derived*, never
+        performed work: a join is COMPLETED because its incoming edges
+        were signalled, a loop start because the flow reached it.  Such a
+        state is only carried while its justification survives the change:
+        every incoming non-loop edge that was signalled in the old marking
+        must originate from a node that is itself carried.  Nodes are
+        visited in topological order, so a reset region (e.g. an activity
+        inserted before a join) transitively un-carries everything whose
+        state depended on it — exactly the states a history replay would
+        not reproduce until the new region has executed.
+
         Signalled edges are carried when they still exist and their source
         node's state was carried; new outgoing edges of carried, finished
         nodes are signalled according to that state.  One engine propagation
@@ -96,16 +107,20 @@ class StateAdapter:
         old_schema = instance.execution_schema
         marking = Marking.initial(target_schema)
         carried_nodes = set()
-        for node_id in target_schema.node_ids():
+        for node_id in target_schema.topological_order():
             old_state = old_marking.node_state(node_id)
             if not old_state.is_started:
                 continue
             node = target_schema.node(node_id)
-            if not node.is_activity and not self._incident_edges_unchanged(
-                old_schema, target_schema, node_id
-            ):
-                # structural node whose branching situation changed: re-derive
-                continue
+            if not node.is_activity:
+                if not self._incident_edges_unchanged(old_schema, target_schema, node_id):
+                    # structural node whose branching situation changed: re-derive
+                    continue
+                if not self._signals_justified(
+                    old_marking, target_schema, node_id, carried_nodes
+                ):
+                    # derived state whose upstream justification was reset
+                    continue
             marking.set_node_state(node_id, old_state)
             carried_nodes.add(node_id)
         for edge in target_schema.edges:
@@ -124,6 +139,27 @@ class StateAdapter:
                 # new outgoing edge of an already completed node: it fires now
                 marking.set_edge_state(edge.source, edge.target, EdgeState.TRUE_SIGNALED, edge.edge_type)
         return marking
+
+    @staticmethod
+    def _signals_justified(
+        old_marking: Marking, target_schema: ProcessSchema, node_id: str, carried: set
+    ) -> bool:
+        """True when every signalled input of a structural node survives.
+
+        A structural node's state is a consequence of the signals it
+        received; if any of those signals came from a node whose own state
+        is being re-derived (not carried), the consequence no longer holds
+        and the propagation pass must re-decide it.
+        """
+        for edge in target_schema.edges_to(node_id):
+            if edge.is_loop:
+                continue
+            old_edge_state = old_marking.edge_states.get(edge.key)
+            if old_edge_state is None or old_edge_state is EdgeState.NOT_SIGNALED:
+                continue
+            if edge.source not in carried:
+                return False
+        return True
 
     @staticmethod
     def _incident_edges_unchanged(

@@ -15,7 +15,8 @@ must stay importable on its own); it only relies on the event's
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
 
 
 class EventFeed:
@@ -34,15 +35,17 @@ class EventFeed:
 
     def __init__(self, max_events: int = 50000) -> None:
         self.max_events = max_events
-        self._events: List[Any] = []
+        # a bounded deque: appending beyond the cap drops the oldest
+        # event in O(1) — a list with a head-deletion would make every
+        # append O(cap) once the feed is full (bulk migrations publish
+        # hundreds of thousands of events)
+        self._events: Deque[Any] = deque(maxlen=max_events)
         self._lock = threading.Lock()
 
     def __call__(self, event: Any) -> None:
         """Bus subscriber entry point."""
         with self._lock:
             self._events.append(event)
-            if len(self._events) > self.max_events:
-                del self._events[: len(self._events) - self.max_events]
 
     # ------------------------------------------------------------------ #
 

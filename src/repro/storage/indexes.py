@@ -34,6 +34,20 @@ class InstanceIndex:
         if record.get("biased"):
             self._biased.add(instance_id)
 
+    def change_version(
+        self, instance_id: str, process_type: str, old_version: int, new_version: int
+    ) -> None:
+        """Move one instance to a new schema version (bulk-migration hot path).
+
+        Equivalent to a full re-``add`` of the rewritten record, but only
+        the two affected version buckets are touched — type, status and
+        bias flags are unchanged by an unbiased migration.
+        """
+        bucket = self._by_version.get((process_type, old_version))
+        if bucket is not None:
+            bucket.discard(instance_id)
+        self._by_version.setdefault((process_type, new_version), set()).add(instance_id)
+
     def remove(self, instance_id: str) -> None:
         """Drop an instance from every index."""
         for bucket in self._by_type.values():

@@ -166,6 +166,68 @@ class InstanceStore:
         with self._lock:
             return list(self._store.scan(_NAMESPACE))
 
+    def records_for(self, instance_ids: Iterable[str]) -> List[tuple]:
+        """``(instance_id, record)`` pairs for a batch of ids, one lock trip.
+
+        Unknown ids are silently skipped — the bulk-evolution scan uses
+        this to classify a candidate batch from the stored representations
+        without hydrating instances (and without taking the store lock
+        once per candidate).
+        """
+        with self._lock:
+            pairs = []
+            for instance_id in instance_ids:
+                record = self._store.get(_NAMESPACE, instance_id)
+                if record is not None:
+                    pairs.append((instance_id, record))
+            return pairs
+
+    def migrate_record(
+        self,
+        instance_id: str,
+        schema_version: int,
+        marking: Mapping[str, Any],
+        updates: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Re-link a *stored* case to a new schema version in O(record).
+
+        The bulk-evolution fast path applies a fingerprint class's shared
+        verdict to store-resident members without materialising them: the
+        record's ``schema_version`` and ``marking`` are rewritten in place
+        (everything else — history, data, status — is untouched by an
+        unbiased migration) and the secondary indexes move the case to the
+        new version.  ``marking`` is the class's adapted-marking template
+        in serialised form; it may be shared across members and must be
+        treated as immutable.
+
+        ``updates`` carries additional shared fields for *biased* class
+        members (``bias``, ``biased``, ``representation`` — re-encoded
+        once from the class representative); a key mapped to ``None`` is
+        removed from the record.  Returns the rewritten record.
+        """
+        with self._lock:
+            record = self._store.get(_NAMESPACE, instance_id)
+            if record is None:
+                raise StorageError(f"unknown instance {instance_id!r}")
+            old_version = record.get("schema_version", 0)
+            record = dict(record)
+            record["schema_version"] = schema_version
+            record["marking"] = marking
+            if updates:
+                for key, value in updates.items():
+                    if value is None:
+                        record.pop(key, None)
+                    else:
+                        record[key] = value
+                self._store.put(_NAMESPACE, instance_id, record, validate=False)
+                self.index.add(instance_id, record)
+            else:
+                self._store.put(_NAMESPACE, instance_id, record, validate=False)
+                self.index.change_version(
+                    instance_id, record.get("process_type", ""), old_version, schema_version
+                )
+        return record
+
     def instantiate(self, record: Mapping[str, Any]) -> ProcessInstance:
         """Rebuild a live :class:`ProcessInstance` from a raw stored record."""
         return self._instantiate(record)

@@ -33,6 +33,11 @@ class RepresentationStrategy(ABC):
     """How the (possibly instance-specific) schema of an instance is stored."""
 
     name: str = "abstract"
+    #: True when :meth:`encode` output depends only on the *schemas* (no
+    #: instance ids inside) — two same-bias instances then share one
+    #: payload verbatim, which the bulk evolution engine exploits to
+    #: rewrite migrated biased records without materialising them.
+    instance_independent_payload: bool = True
 
     @abstractmethod
     def encode(self, instance: ProcessInstance) -> Dict[str, Any]:
@@ -53,6 +58,8 @@ class FullCopyRepresentation(RepresentationStrategy):
     """Baseline: store a complete schema copy for every instance."""
 
     name = "full_copy"
+    # the copied schema embeds the per-instance ``schema_id``
+    instance_independent_payload = False
 
     def encode(self, instance: ProcessInstance) -> Dict[str, Any]:
         return {"schema_copy": instance.execution_schema.to_dict()}

@@ -20,8 +20,9 @@ dashboard must not abort a migration run); they are recorded on
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.runtime.events import EngineEvent, EventType
 
@@ -118,7 +119,11 @@ class EventBus:
         self._subscriptions: List[_Subscription] = []
         self._seq = 0
         self._token = 0
-        self._history: List[SystemEvent] = []
+        # bounded deque: appending beyond the cap drops the oldest event
+        # in O(1) — a capped list with head deletions would make every
+        # publish O(max_history) once full (bulk migrations publish one
+        # event per migrated case)
+        self._history: Deque[SystemEvent] = deque(maxlen=max_history)
         self.max_history = max_history
         # reentrant: a subscriber may itself publish (or subscribe)
         self._lock = threading.RLock()
@@ -177,8 +182,6 @@ class EventBus:
                 payload=payload,
             )
             self._history.append(event)
-            if len(self._history) > self.max_history:
-                del self._history[: len(self._history) - self.max_history]
             for subscription in list(self._subscriptions):
                 if not subscription.wants(event):
                     continue

@@ -146,6 +146,18 @@ class AdeptSystem:
             on access and the least-recently-used clean cases are evicted
             (dirty ones are saved first) — populations larger than memory
             stay addressable.  ``None`` (default) keeps every case live.
+        memoize_migrations: Use fingerprint memoization during
+            :meth:`evolve` — instances in the same execution state share
+            one compliance verdict and one adapted marking (identical
+            reports, property-tested).  Default True.
+        bulk_evolution: Stream evolution candidates from the instance
+            store in bounded batches instead of hydrating the whole
+            population up front (default True).  ``False`` restores the
+            hydrate-everything path (baselines, benchmarks).
+        migration_workers: Fan the non-shareable migration residue
+            (biased cases, rollback attempts) of an evolve over this many
+            threads while the type is quiesced.  0 (default) migrates
+            inline.
     """
 
     def __init__(
@@ -159,6 +171,9 @@ class AdeptSystem:
         kv_store: Optional[KeyValueStore] = None,
         monitor: bool = True,
         cache_instances: Optional[int] = None,
+        memoize_migrations: bool = True,
+        bulk_evolution: bool = True,
+        migration_workers: int = 0,
     ) -> None:
         # an empty EventBus is falsy (it has __len__), so test for None explicitly
         self.bus = bus if bus is not None else EventBus()
@@ -200,6 +215,9 @@ class AdeptSystem:
         self._dirty: Set[str] = set()
         self._case_counters: Dict[str, int] = {}
         self.cache_instances = cache_instances
+        self.memoize_migrations = memoize_migrations
+        self.bulk_evolution = bulk_evolution
+        self.migration_workers = migration_workers
         self._pin_count = 0
         self._backend: Optional[PersistentBackend] = None
         #: Report of the recovery performed by :meth:`open` (``None`` otherwise).
@@ -979,6 +997,7 @@ class AdeptSystem:
         type_id: str,
         change: ChangeLike,
         migrate: str = MIGRATE_COMPLIANT,
+        collect_results: bool = True,
     ) -> MigrationReport:
         """Release a new schema version and migrate running instances.
 
@@ -993,12 +1012,25 @@ class AdeptSystem:
           :class:`MigrationError` is raised and neither the repository nor
           any instance is modified.
 
+        ``collect_results=False`` returns a counters-only report (plus a
+        bounded conflict sample) — for very large populations the report
+        then does not hold one result object per case.
+
         The evolution holds the type's write lock for its whole duration:
         steps, ad-hoc changes, starts and deletions of this type *quiesce*
         until the migration committed, while every other type keeps
         executing at full speed.  The candidate set is therefore an exact
         snapshot — no step can slip between compliance check and
         migration.
+
+        With the default *bulk evolution engine* the candidate population
+        is streamed from the instance store in bounded batches: the change
+        is compiled once into a :class:`~repro.core.migration_plan.
+        MigrationPlan`, unbiased candidates are classified by compliance
+        fingerprint straight from their stored records, and only one
+        representative per execution-state class (plus the biased /
+        rollback residue) is ever hydrated — memory stays bounded by
+        ``cache_instances`` no matter how large the population is.
         """
         if migrate not in (MIGRATE_COMPLIANT, MIGRATE_NONE, MIGRATE_STRICT):
             raise ValueError(
@@ -1011,7 +1043,7 @@ class AdeptSystem:
             # markings; the global refresh below resynchronises its items
             self.worklists.begin_quiesce(type_id)
             try:
-                report = self._evolve_locked(type_id, change, migrate)
+                report = self._evolve_locked(type_id, change, migrate, collect_results)
             finally:
                 self.worklists.end_quiesce(type_id)
         self.worklists.refresh()
@@ -1029,7 +1061,7 @@ class AdeptSystem:
         return report
 
     def _evolve_locked(
-        self, type_id: str, change: ChangeLike, migrate: str
+        self, type_id: str, change: ChangeLike, migrate: str, collect_results: bool = True
     ) -> MigrationReport:
         """The evolution body; the caller holds the type's write lock."""
         process_type = self.repository.process_type(type_id)
@@ -1056,20 +1088,44 @@ class AdeptSystem:
                 from_version=type_change.from_version,
                 to_version=new_schema.version,
             )
+        # the streaming engine *is* fingerprint sharing — with
+        # memoization disabled, evolve honestly falls back to the
+        # hydrate-everything per-instance path instead of silently
+        # ignoring the knob
+        if (
+            migrate == MIGRATE_COMPLIANT
+            and self.bulk_evolution
+            and self.memoize_migrations
+        ):
+            return self._evolve_streaming(process_type, type_change, collect_results)
+        return self._evolve_hydrated(process_type, type_change, migrate, collect_results)
 
+    def _evolution_candidates(self, type_id: str) -> List[str]:
+        """Every live case of the type plus the *running* store-resident ones.
+
+        Finished stored cases can never migrate, so touching them would
+        only defeat the bounded live cache.
+        """
+        with self._registry:
+            candidates = {
+                instance.instance_id
+                for instance in self._instances.values()
+                if instance.process_type == type_id
+            }
+        candidates.update(self.store.running_instances_of_type(type_id))
+        return sorted(candidates)
+
+    def _evolve_hydrated(
+        self,
+        process_type: ProcessType,
+        type_change: TypeChange,
+        migrate: str,
+        collect_results: bool = True,
+    ) -> MigrationReport:
+        """The hydrate-everything evolution (strict policy, baselines)."""
+        type_id = process_type.name
         with self._pinned_hydration():
-            # every live case of the type participates, plus the *running*
-            # cases resident only in the instance store — finished stored
-            # cases can never migrate, so hydrating them would only defeat
-            # the bounded live cache
-            with self._registry:
-                candidates = {
-                    instance.instance_id
-                    for instance in self._instances.values()
-                    if instance.process_type == type_id
-                }
-            candidates.update(self.store.running_instances_of_type(type_id))
-            candidate_ids = sorted(candidates)
+            candidate_ids = self._evolution_candidates(type_id)
             # No stripe capture: the type write lock already excludes
             # every façade mutator of these cases, the hydration pin
             # blocks eviction write-backs, and the quiesce flag keeps
@@ -1110,14 +1166,24 @@ class AdeptSystem:
                 # mutation — rollback compensations inside the migration
                 # must not journal separate step records
                 report = self._migrator.migrate_type(
-                    process_type, type_change, instances, release=False
+                    process_type,
+                    type_change,
+                    instances,
+                    release=False,
+                    memoize=self.memoize_migrations,
+                    collect_results=collect_results,
+                    parallel=self.migration_workers,
+                    # residue worker threads must inherit this thread's
+                    # journal suspension — the evolution's typed record
+                    # already covers their rollback compensations
+                    job_context=self._journal_suspended,
                 )
             with self._registry:
-                for result in report.results:
+                for instance in instances:
                     # migrated covers rollback migrations, which compensate
                     # activities and therefore also change the instance state
-                    if result.migrated:
-                        self._dirty.add(result.instance_id)
+                    if instance.schema_version == new_schema.version:
+                        self._dirty.add(instance.instance_id)
             self._journal(
                 KIND_EVOLUTION,
                 type_id=type_id,
@@ -1127,6 +1193,330 @@ class AdeptSystem:
                 candidates=candidate_ids,
             )
         return report
+
+    def _evolve_streaming(
+        self,
+        process_type: ProcessType,
+        type_change: TypeChange,
+        collect_results: bool = True,
+    ) -> MigrationReport:
+        """The bulk evolution engine (``migrate="compliant"``).
+
+        Releases the new version, then streams the candidate population
+        through :meth:`_run_bulk_migration` and journals one evolution
+        record covering the whole mutation.
+        """
+        type_id = process_type.name
+        candidate_ids = self._evolution_candidates(type_id)
+        new_schema = self.repository.release_version(type_id, type_change)
+        self.bus.publish(
+            CATEGORY_SCHEMA,
+            "schema_version_released",
+            type_id=type_id,
+            version=new_schema.version,
+        )
+        with self._journal_suspended():
+            report = self._run_bulk_migration(
+                process_type, type_change, candidate_ids, collect_results
+            )
+        self._journal(
+            KIND_EVOLUTION,
+            type_id=type_id,
+            change=type_change.to_dict(),
+            policy=MIGRATE_COMPLIANT,
+            to_version=new_schema.version,
+            candidates=candidate_ids,
+        )
+        return report
+
+    def _run_bulk_migration(
+        self,
+        process_type: ProcessType,
+        type_change: TypeChange,
+        candidate_ids: Sequence[str],
+        collect_results: bool = True,
+    ) -> MigrationReport:
+        """Stream ``candidate_ids`` through the compiled migration plan.
+
+        The new schema version must already be released.  Candidates are
+        processed in bounded batches; within a batch
+
+        * live cases go through the manager's memoized batch path (they
+          are pinned for the batch so LRU eviction cannot detach them
+          mid-migration);
+        * store-resident unbiased cases are classified from their raw
+          records: a known fingerprint class applies its shared verdict
+          O(1) — compliant members get their stored record rewritten in
+          place (new version + adapted-marking template), conflicting
+          members just report — while unknown classes and rollback
+          candidates hydrate and run the classic path (becoming the
+          representatives of their class for every later member).
+          Record rewrites require a representation whose payload stays
+          valid across the version change (``instance_independent_payload``
+          — ``full_copy`` embeds a versioned schema copy and therefore
+          hydrates every stored case instead);
+        * store-resident *biased* cases form their own classes (state
+          fingerprint + canonical bias): one representative per class
+          hydrates and migrates classically, then every member shares its
+          outcome, adapted marking and re-encoded representation — the
+          record is rewritten without materialising the case.  This
+          requires an instance-independent representation payload (the
+          default hybrid substitution qualifies; ``full_copy`` falls back
+          to per-case hydration).
+
+        Invariant relied upon: a case that is *not* live has a current
+        store record — eviction writes dirty cases back before dropping
+        them.  Everything here runs under the type's write lock.
+        """
+        import time as _time
+
+        from repro.core.migration import InstanceMigrationResult, MigrationOutcome
+        from repro.core.migration_plan import FingerprintCache
+        from repro.runtime.states import InstanceStatus
+        from repro.schema.index import indexing_enabled
+
+        active_statuses = frozenset(
+            status.value for status in InstanceStatus if status.is_active
+        )
+
+        old_schema = process_type.schema_for(type_change.from_version)
+        new_schema = process_type.schema_for(type_change.to_version)
+        if indexing_enabled():
+            old_schema.index
+            new_schema.index
+        plan = self._migrator.compile_plan(old_schema, new_schema, type_change)
+        cache = FingerprintCache()
+        report = MigrationReport(
+            process_type=process_type.name,
+            from_version=type_change.from_version,
+            to_version=new_schema.version,
+            collect_results=collect_results,
+        )
+        started = _time.perf_counter()
+        cap = self.cache_instances
+        batch_size = max(1, min(cap, 1024)) if cap is not None else 1024
+        template_dicts: Dict[str, Any] = {}
+        # Record-level rewrites require the stored representation to stay
+        # valid across the version change without re-encoding the case.
+        # full_copy fails that for *unbiased* records too (its payload
+        # embeds the old-version schema copy), so it falls back to
+        # hydration everywhere; hydrated cases re-encode on write-back.
+        record_rewrites = bool(
+            getattr(self.store.strategy, "instance_independent_payload", False)
+        )
+        # biased classes: fingerprint -> shared outcome descriptor (None
+        # while the class representative is still being migrated)
+        bias_sharing = record_rewrites
+        bias_classes: Dict[str, Optional[Dict[str, Any]]] = {}
+
+        for offset in range(0, len(candidate_ids), batch_size):
+            batch = list(candidate_ids[offset : offset + batch_size])
+            with self._registry:
+                live_ids = {iid for iid in batch if iid in self._instances}
+            records = dict(self.store.records_for([i for i in batch if i not in live_ids]))
+            results: List[Optional[InstanceMigrationResult]] = [None] * len(batch)
+            hydrate_positions: List[int] = []
+            #: hydrate position -> biased-class fingerprint it represents
+            representative_of: Dict[int, str] = {}
+            #: biased members waiting for their in-batch representative
+            biased_pending: Dict[str, List[int]] = {}
+            for position, instance_id in enumerate(batch):
+                if instance_id in live_ids:
+                    hydrate_positions.append(position)
+                    continue
+                record = records.get(instance_id)
+                if record is None:
+                    # unknown id (defensive): let hydration raise the
+                    # canonical EngineError
+                    hydrate_positions.append(position)
+                    continue
+                if record.get("status", "running") not in active_statuses:
+                    results[position] = InstanceMigrationResult(
+                        instance_id=instance_id,
+                        outcome=MigrationOutcome.FINISHED,
+                        was_biased=bool(record.get("biased")),
+                    )
+                    continue
+                if record.get("biased"):
+                    fingerprint = (
+                        plan.fingerprint_of_record(record, include_bias=True)
+                        if bias_sharing
+                        else None
+                    )
+                    if fingerprint is None:
+                        hydrate_positions.append(position)
+                    elif fingerprint not in bias_classes:
+                        # first of its class: hydrate as representative
+                        bias_classes[fingerprint] = None
+                        representative_of[position] = fingerprint
+                        hydrate_positions.append(position)
+                    elif bias_classes[fingerprint] is None:
+                        biased_pending.setdefault(fingerprint, []).append(position)
+                    else:
+                        results[position] = self._apply_biased_class(
+                            instance_id, bias_classes[fingerprint], new_schema.version
+                        )
+                    continue
+                fingerprint = (
+                    plan.fingerprint_of_record(record) if record_rewrites else None
+                )
+                verdict = cache.get(fingerprint) if fingerprint is not None else None
+                if verdict is None:
+                    # un-rewritable strategy, un-fingerprintable or
+                    # first-of-class: hydrate
+                    hydrate_positions.append(position)
+                    continue
+                if verdict.compliant:
+                    template = template_dicts.get(verdict.fingerprint)
+                    if template is None:
+                        template = verdict.adapted_marking_dict()
+                        template_dicts[verdict.fingerprint] = template
+                    self.store.migrate_record(instance_id, new_schema.version, template)
+                    results[position] = InstanceMigrationResult(
+                        instance_id=instance_id,
+                        outcome=MigrationOutcome.MIGRATED,
+                        was_biased=False,
+                    )
+                    continue
+                outcome = verdict.outcome or self._migrator._outcome_for_conflicts(
+                    verdict.conflicts
+                )
+                if (
+                    outcome is MigrationOutcome.STATE_CONFLICT
+                    and self.rollback_on_state_conflict
+                ):
+                    # compensation mutates the case: per-instance path
+                    hydrate_positions.append(position)
+                    continue
+                results[position] = InstanceMigrationResult(
+                    instance_id=instance_id,
+                    outcome=outcome,
+                    conflicts=list(verdict.conflicts),
+                    was_biased=False,
+                )
+
+            if hydrate_positions:
+                hydrated_ids = [batch[position] for position in hydrate_positions]
+                for instance_id in hydrated_ids:
+                    self._pin(instance_id)
+                try:
+                    instances = [self.get_instance(iid) for iid in hydrated_ids]
+                    batch_results = self._migrator.migrate_batch(
+                        instances,
+                        old_schema,
+                        new_schema,
+                        type_change,
+                        report=None,
+                        plan=plan,
+                        cache=cache,
+                        parallel=self.migration_workers,
+                        emit=False,
+                        # residue worker threads must inherit this
+                        # thread's journal suspension (see migrate_batch)
+                        job_context=self._journal_suspended,
+                    )
+                finally:
+                    for instance_id in hydrated_ids:
+                        self._unpin(instance_id)
+                with self._registry:
+                    for instance, result in zip(instances, batch_results):
+                        if result.migrated:
+                            self._dirty.add(instance.instance_id)
+                for position, result, instance in zip(
+                    hydrate_positions, batch_results, instances
+                ):
+                    results[position] = result
+                    fingerprint = representative_of.get(position)
+                    if fingerprint is not None:
+                        bias_classes[fingerprint] = self._biased_class_descriptor(
+                            instance, result
+                        )
+                self._enforce_cache_cap()
+
+            for fingerprint, positions in biased_pending.items():
+                descriptor = bias_classes.get(fingerprint)
+                for position in positions:
+                    instance_id = batch[position]
+                    if descriptor is None:
+                        # representative did not resolve (defensive):
+                        # migrate this member classically
+                        results[position] = self._migrator.migrate_instance(
+                            self.get_instance(instance_id),
+                            old_schema,
+                            new_schema,
+                            type_change,
+                            emit=False,
+                        )
+                        with self._registry:
+                            if results[position].migrated:
+                                self._dirty.add(instance_id)
+                    else:
+                        results[position] = self._apply_biased_class(
+                            instance_id, descriptor, new_schema.version
+                        )
+
+            for result in results:
+                assert result is not None  # every batch position is decided
+                report.add(result)
+                self._migrator._emit(result)
+
+        report.duration_seconds = _time.perf_counter() - started
+        self.bus.publish(
+            CATEGORY_SYSTEM,
+            "bulk_migration_classes",
+            type_id=process_type.name,
+            classes=cache.classes,
+            hits=cache.hits,
+            misses=cache.misses,
+            candidates=len(candidate_ids),
+        )
+        return report
+
+    def _biased_class_descriptor(self, instance: ProcessInstance, result: Any) -> Dict[str, Any]:
+        """Shared outcome of one biased fingerprint class, from its representative.
+
+        Everything the class members need is a pure function of (bias,
+        state fingerprint): the outcome and conflicts, the adapted
+        marking on the combined schema and — via one re-encoding of the
+        migrated representative — the stored ``bias`` / ``biased`` /
+        ``representation`` fields (bias absorption may have changed
+        them).  The representation payload is instance-independent by
+        the strategy contract checked by the caller.
+        """
+        descriptor: Dict[str, Any] = {
+            "outcome": result.outcome,
+            "conflicts": result.conflicts,
+            "migrated": result.migrated,
+        }
+        if result.migrated:
+            encoded = self.store.encode_record(instance)
+            descriptor["marking"] = encoded["marking"]
+            descriptor["updates"] = {
+                "biased": encoded.get("biased", False),
+                "bias": encoded.get("bias"),
+                "representation": encoded.get("representation"),
+            }
+        return descriptor
+
+    def _apply_biased_class(
+        self, instance_id: str, descriptor: Dict[str, Any], new_version: int
+    ) -> Any:
+        """Apply a biased class's shared verdict to one stored member."""
+        from repro.core.migration import InstanceMigrationResult
+
+        if descriptor["migrated"]:
+            self.store.migrate_record(
+                instance_id,
+                new_version,
+                descriptor["marking"],
+                updates=descriptor["updates"],
+            )
+        return InstanceMigrationResult(
+            instance_id=instance_id,
+            outcome=descriptor["outcome"],
+            conflicts=list(descriptor["conflicts"]),
+            was_biased=True,
+        )
 
     def _as_type_change(self, process_type: ProcessType, change: ChangeLike) -> TypeChange:
         """Normalise the accepted change flavours onto a :class:`TypeChange`."""

@@ -213,3 +213,123 @@ class TestSkipRederivation:
         for activity in target.activity_ids():
             assert incremental.node_state(activity) is replayed.node_state(activity)
         assert incremental.node_state("fast_path") is NodeState.SKIPPED
+
+
+class TestDerivedStateJustification:
+    """Regression: structural-node states are consequences, not work.
+
+    A join (or loop start) is COMPLETED only because its incoming edges
+    were signalled.  When a change resets the region *upstream* of such a
+    node (e.g. an activity inserted into one branch before the join), the
+    node's own incident edges may be untouched — but its justification is
+    gone, and carrying the stale COMPLETED state used to re-activate
+    everything behind the join although the replay baseline leaves the
+    flow parked before the inserted activity.
+    """
+
+    @pytest.fixture
+    def parallel_then_tail(self):
+        from repro.schema.builder import SchemaBuilder
+
+        builder = SchemaBuilder("justify_regression", name="justify_regression")
+        builder.parallel(
+            [
+                lambda seq: seq.activity("left_a").activity("left_b"),
+                lambda seq: seq.activity("right_a").activity("right_b"),
+            ],
+            label="work",
+        )
+        builder.activity("tail")
+        return builder.build()
+
+    def _complete_branches(self, engine, schema):
+        instance = engine.create_instance(schema, "case")
+        for activity in ("left_a", "left_b", "right_a", "right_b"):
+            engine.complete_activity(instance, activity)
+        assert instance.node_state("tail") is NodeState.ACTIVATED
+        return instance
+
+    def test_join_not_carried_when_branch_resets(self, adapter, engine, parallel_then_tail):
+        from repro.core.changelog import ChangeLog
+        from repro.core.operations import SerialInsertActivity
+        from repro.schema.nodes import Node, NodeType
+
+        schema = parallel_then_tail
+        instance = self._complete_branches(engine, schema)
+        join_id = next(
+            node_id
+            for node_id in schema.node_ids()
+            if schema.node(node_id).node_type is NodeType.AND_JOIN
+        )
+        # insert into the right branch, directly before the join: the join
+        # keeps its own incident-edge *count* shape but loses one input
+        change = ChangeLog(
+            [
+                SerialInsertActivity(
+                    activity=Node(node_id="right_c", node_type=NodeType.ACTIVITY, name="right_c"),
+                    pred="right_b",
+                    succ=join_id,
+                )
+            ]
+        )
+        target = change.apply_to(schema)
+        assert ComplianceChecker().check_by_replay(instance, target).compliant
+        incremental = adapter.adapt(instance, target)
+        replayed = adapter.recompute_by_replay(instance, target)
+        assert incremental.differences(replayed) == []
+        # the flow is parked before the inserted activity — nothing behind
+        # the join may stay activated or completed
+        assert incremental.node_state("right_c") is NodeState.ACTIVATED
+        assert incremental.node_state(join_id) is NodeState.NOT_ACTIVATED
+        assert incremental.node_state("tail") is NodeState.NOT_ACTIVATED
+
+    def test_downstream_chain_uncarried_transitively(self, adapter, engine):
+        """A whole chain of derived states behind the reset region resets."""
+        from repro.core.changelog import ChangeLog
+        from repro.core.operations import SerialInsertActivity
+        from repro.schema.builder import SchemaBuilder
+        from repro.schema.nodes import Node, NodeType
+
+        builder = SchemaBuilder("justify_chain", name="justify_chain")
+        builder.parallel(
+            [
+                lambda seq: seq.activity("only_a"),
+                lambda seq: seq.activity("only_b"),
+            ],
+            label="first",
+        )
+        builder.parallel(
+            [
+                lambda seq: seq.activity("late_a"),
+                lambda seq: seq.activity("late_b"),
+            ],
+            label="second",
+        )
+        schema = builder.build()
+        engine_instance = engine.create_instance(schema, "case")
+        for activity in ("only_a", "only_b"):
+            engine.complete_activity(engine_instance, activity)
+        # both joins/splits between the blocks are completed; late_a/late_b activated
+        assert engine_instance.node_state("late_a") is NodeState.ACTIVATED
+        change = ChangeLog(
+            [
+                SerialInsertActivity(
+                    activity=Node(node_id="gate", node_type=NodeType.ACTIVITY, name="gate"),
+                    pred="only_b",
+                    succ=next(
+                        node_id
+                        for node_id in schema.node_ids()
+                        if schema.node(node_id).node_type is NodeType.AND_JOIN
+                        and schema.has_edge("only_b", node_id)
+                    ),
+                )
+            ]
+        )
+        target = change.apply_to(schema)
+        assert ComplianceChecker().check_by_replay(engine_instance, target).compliant
+        incremental = adapter.adapt(engine_instance, target)
+        replayed = adapter.recompute_by_replay(engine_instance, target)
+        assert incremental.differences(replayed) == []
+        # the second parallel block (join -> split -> branches) reset too
+        assert incremental.node_state("late_a") is NodeState.NOT_ACTIVATED
+        assert incremental.node_state("late_b") is NodeState.NOT_ACTIVATED

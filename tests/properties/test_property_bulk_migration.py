@@ -1,0 +1,201 @@
+"""Property-based tests for the bulk evolution engine.
+
+The fingerprint-memoization soundness contract: instances with equal
+compliance fingerprints receive byte-identical ``ComplianceResult``s and
+adapted markings, so migrating a population with memoization on and off
+must produce identical ``MigrationReport``s and identical end states —
+including biased instances, the rollback-on-state-conflict policy and
+mid-stream LRU eviction under a small ``cache_instances`` bound.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.compliance import ComplianceChecker
+from repro.core.evolution import ProcessType
+from repro.core.migration import MigrationManager
+from repro.core.migration_plan import MigrationPlan
+from repro.core.state_adaptation import StateAdapter
+from repro.storage.serialization import instance_to_dict
+from repro.system import AdeptSystem
+from repro.workloads.change_generator import ChangeScenarioGenerator
+from repro.workloads.population import PopulationConfig, PopulationGenerator
+from repro.workloads.schema_generator import RandomSchemaGenerator, SchemaGeneratorConfig
+
+RELAXED = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def _random_schema(seed: int, activities: int):
+    config = SchemaGeneratorConfig(
+        target_activities=activities,
+        parallel_probability=0.25,
+        conditional_probability=0.2,
+        loop_probability=0.1,
+        max_depth=2,
+    )
+    return RandomSchemaGenerator(config, seed=seed).generate(f"bulk_{seed}_{activities}")
+
+
+def _population(schema, seed: int, count: int, biased: float):
+    generator = PopulationGenerator(
+        schema,
+        config=PopulationConfig(
+            instance_count=count, biased_fraction=biased, seed=seed, id_prefix="bulk"
+        ),
+    )
+    return generator.generate()
+
+
+def _type_change(schema, seed: int):
+    try:
+        change = ChangeScenarioGenerator(schema, seed=seed).random_type_change(
+            operation_count=2
+        )
+        change.operations.apply_to(schema, check=True)
+    except Exception:
+        return None
+    return change
+
+
+def _report_dict(report) -> dict:
+    payload = report.to_dict()
+    payload.pop("duration_seconds", None)
+    return payload
+
+
+def _state_digest(instances) -> list:
+    return [json.dumps(instance_to_dict(i), sort_keys=True) for i in instances]
+
+
+class TestMemoizationParity:
+    @RELAXED
+    @given(
+        schema_seed=st.integers(min_value=0, max_value=9999),
+        activities=st.integers(min_value=4, max_value=10),
+        population_seed=st.integers(min_value=0, max_value=9999),
+        change_seed=st.integers(min_value=0, max_value=9999),
+        rollback=st.booleans(),
+    )
+    def test_memoized_equals_per_instance(
+        self, schema_seed, activities, population_seed, change_seed, rollback
+    ):
+        """Identical reports and end states, with and without memoization."""
+        schema = _random_schema(schema_seed, activities)
+        change = _type_change(schema, change_seed)
+        if change is None:
+            return
+        runs = []
+        for memoize in (False, True):
+            fresh_schema = _random_schema(schema_seed, activities)
+            population = _population(fresh_schema, population_seed, 30, biased=0.25)
+            process_type = ProcessType(fresh_schema.name, fresh_schema)
+            manager = MigrationManager(rollback_on_state_conflict=rollback)
+            report = manager.migrate_type(
+                process_type, _type_change(fresh_schema, change_seed), population,
+                memoize=memoize,
+            )
+            runs.append((_report_dict(report), _state_digest(population)))
+        assert runs[0][0] == runs[1][0], "reports diverge with memoization"
+        assert runs[0][1] == runs[1][1], "instance end states diverge with memoization"
+
+    @RELAXED
+    @given(
+        schema_seed=st.integers(min_value=0, max_value=9999),
+        population_seed=st.integers(min_value=0, max_value=9999),
+        change_seed=st.integers(min_value=0, max_value=9999),
+    )
+    def test_fingerprint_classes_share_exact_verdicts(
+        self, schema_seed, population_seed, change_seed
+    ):
+        """Equal fingerprint ⇒ byte-identical compliance result and marking."""
+        schema = _random_schema(schema_seed, 8)
+        change = _type_change(schema, change_seed)
+        if change is None:
+            return
+        new_schema = change.operations.apply_to(schema)
+        new_schema.version = schema.version + 1
+        plan = MigrationPlan.compile(schema, new_schema, change)
+        population = _population(schema, population_seed, 30, biased=0.0)
+        checker = ComplianceChecker()
+        classes = {}
+        for instance in population:
+            if not instance.status.is_active:
+                continue
+            fingerprint = plan.fingerprint_of_instance(instance)
+            assert fingerprint is not None
+            result = checker.check(
+                instance, change.operations, target_schema=new_schema, method="conditions"
+            )
+            marking = None
+            if result.compliant:
+                marking = json.dumps(
+                    StateAdapter().adapt(instance, new_schema).to_dict(), sort_keys=True
+                )
+            observed = (
+                result.compliant,
+                tuple(str(conflict) for conflict in result.conflicts),
+                marking,
+            )
+            if fingerprint in classes:
+                assert classes[fingerprint] == observed, (
+                    "two instances with equal fingerprints computed different "
+                    "verdicts or adapted markings"
+                )
+            else:
+                classes[fingerprint] = observed
+
+    @RELAXED
+    @given(
+        schema_seed=st.integers(min_value=0, max_value=999),
+        population_seed=st.integers(min_value=0, max_value=999),
+        change_seed=st.integers(min_value=0, max_value=999),
+        cache_cap=st.integers(min_value=2, max_value=6),
+    )
+    def test_streaming_evolve_with_eviction_matches_hydrated(
+        self, schema_seed, population_seed, change_seed, cache_cap
+    ):
+        """Facade parity: bulk streaming under a tiny LRU == hydrate-everything."""
+        probe_schema = _random_schema(schema_seed, 6)
+        if _type_change(probe_schema, change_seed) is None:
+            return
+        outcomes = []
+        # same LRU bound on both sides: the candidate set (live cases plus
+        # *running* stored cases) depends on which finished cases are still
+        # live, so differing caps would compare different populations
+        for bulk, memoize, cap in (
+            (True, True, cache_cap),
+            (False, False, cache_cap),
+        ):
+            system = AdeptSystem(
+                bulk_evolution=bulk, memoize_migrations=memoize, cache_instances=cap
+            )
+            schema = _random_schema(schema_seed, 6)
+            handle = system.deploy(schema, verify=False)
+            PopulationGenerator(
+                schema,
+                config=PopulationConfig(
+                    instance_count=25,
+                    biased_fraction=0.2,
+                    seed=population_seed,
+                    id_prefix="case",
+                ),
+                system=system,
+            ).generate()
+            # part of the population rests in the store only (evicted)
+            report = system.evolve(handle.type_id, _type_change(schema, change_seed))
+            states = {
+                handle_.instance_id: system.get_instance(
+                    handle_.instance_id
+                ).state_fingerprint()
+                for handle_ in system.instances_of(handle.type_id)
+            }
+            outcomes.append((_report_dict(report), states))
+            system.close()
+        assert outcomes[0][0] == outcomes[1][0], "reports diverge between paths"
+        assert outcomes[0][1] == outcomes[1][1], "end states diverge between paths"

@@ -1,0 +1,218 @@
+"""Facade-level tests for the streaming bulk evolution engine."""
+
+import pytest
+
+from repro.core.migration import MigrationOutcome
+from repro.schema import templates
+from repro.system import AdeptSystem
+
+
+def _seed(system, population=40, biased_every=4, advanced_every=5):
+    """A mixed population: distinct progress levels, identical-bias clones."""
+    handle = system.deploy(templates.sequential_process(length=6, schema_id="bulk_sys"))
+    ids = []
+    for index in range(population):
+        case = handle.start()
+        ids.append(case.instance_id)
+        system.step_many([case.instance_id], steps=index % advanced_every)
+        if index % biased_every == 0:
+            # every biased case carries the *same* ad-hoc change — they
+            # form one biased fingerprint class per progress level
+            system.change(case.instance_id, comment="dev").serial_insert(
+                "extra", pred="step_5", succ="step_6"
+            ).apply()
+    return handle, ids
+
+
+def _change(handle):
+    from repro.core.evolution import TypeChange
+    from repro.core.operations import SerialInsertActivity
+    from repro.schema.nodes import Node, NodeType
+
+    return TypeChange.of(
+        1,
+        [
+            SerialInsertActivity(
+                activity=Node(node_id="review", node_type=NodeType.ACTIVITY, name="review"),
+                pred="step_2",
+                succ="step_3",
+            )
+        ],
+    )
+
+
+@pytest.mark.parametrize("cache", [3, None])
+def test_streaming_equals_hydrated_with_identical_bias_clones(cache):
+    """Bias-class record sharing must match the per-instance path exactly."""
+    outcomes = []
+    for bulk, memoize in ((True, True), (False, False)):
+        system = AdeptSystem(
+            bulk_evolution=bulk, memoize_migrations=memoize, cache_instances=cache
+        )
+        handle, ids = _seed(system)
+        report = system.evolve(handle.type_id, _change(handle))
+        states = {iid: system.get_instance(iid).state_fingerprint() for iid in ids}
+        payload = report.to_dict()
+        payload.pop("duration_seconds")
+        outcomes.append((payload, states))
+    assert outcomes[0][0] == outcomes[1][0]
+    assert outcomes[0][1] == outcomes[1][1]
+
+
+def test_biased_members_rewritten_records_materialise_correctly():
+    """A record-rewritten biased member hydrates to a working migrated case."""
+    system = AdeptSystem(cache_instances=3)
+    handle, ids = _seed(system, population=24)
+    report = system.evolve(handle.type_id, _change(handle))
+    migrated_biased = [
+        result.instance_id
+        for result in report.results
+        if result.outcome is MigrationOutcome.MIGRATED_WITH_BIAS
+    ]
+    assert len(migrated_biased) >= 2  # the class shares beyond its representative
+    for instance_id in migrated_biased:
+        instance = system.get_instance(instance_id)
+        assert instance.schema_version == report.to_version
+        assert instance.is_biased
+        # the combined execution schema holds both the bias and the change
+        assert instance.execution_schema.has_node("extra")
+        assert instance.execution_schema.has_node("review")
+        # and the case still runs to completion on it
+        system.run(instance_id)
+        assert system.get_instance(instance_id).status.value == "completed"
+
+
+def test_counters_only_report_through_facade():
+    system = AdeptSystem()
+    handle, ids = _seed(system)
+    report = system.evolve(handle.type_id, _change(handle), collect_results=False)
+    assert report.results == []
+    assert report.total == len(ids)
+    assert report.migrated_count > 0
+    on_new_version = {h.instance_id for h in handle.instances(version=report.to_version)}
+    assert len(on_new_version) == report.migrated_count
+
+
+def test_full_copy_strategy_falls_back_to_hydration():
+    """full_copy payloads embed versioned schema copies: no record rewrites.
+
+    Both the biased *and* the unbiased fast paths must disengage — a
+    rewritten record would carry the new ``schema_version`` next to a
+    stale old-version ``schema_copy``.
+    """
+    outcomes = []
+    for bulk in (True, False):
+        system = AdeptSystem(
+            representation="full_copy",
+            bulk_evolution=bulk,
+            memoize_migrations=bulk,
+            cache_instances=3,
+        )
+        handle, ids = _seed(system)
+        report = system.evolve(handle.type_id, _change(handle))
+        states = {iid: system.get_instance(iid).state_fingerprint() for iid in ids}
+        payload = report.to_dict()
+        payload.pop("duration_seconds")
+        outcomes.append((payload, states))
+        # every stored record stays internally consistent: the embedded
+        # schema copy's version matches the record's schema_version
+        for _, record in system.store.scan_records():
+            schema_copy = record.get("representation", {}).get("schema_copy")
+            if schema_copy is not None:
+                assert schema_copy["version"] == record["schema_version"], (
+                    f"record {record['instance_id']} rewritten to "
+                    f"v{record['schema_version']} with a stale "
+                    f"v{schema_copy['version']} schema copy"
+                )
+    assert outcomes[0][0] == outcomes[1][0]
+    assert outcomes[0][1] == outcomes[1][1]
+
+
+def test_streaming_evolution_survives_wal_replay(tmp_path):
+    """Recovery replays the journaled bulk evolution onto the same end state."""
+    store = str(tmp_path / "store")
+    system = AdeptSystem.open(store, cache_instances=4)
+    handle, ids = _seed(system)
+    report = system.evolve(handle.type_id, _change(handle))
+    expected = {iid: system.get_instance(iid).state_fingerprint() for iid in ids}
+    system.backend.close()  # crash without checkpoint: WAL replay must rebuild
+
+    recovered = AdeptSystem.open(store, cache_instances=4)
+    try:
+        mismatches = [
+            iid
+            for iid in ids
+            if recovered.get_instance(iid).state_fingerprint() != expected[iid]
+        ]
+        assert not mismatches
+        on_new = {
+            h.instance_id
+            for h in recovered.type(handle.type_id).instances(version=report.to_version)
+        }
+        migrated = {r.instance_id for r in report.results if r.migrated}
+        assert on_new == migrated
+    finally:
+        recovered.close()
+
+
+def test_parallel_residue_inherits_journal_suspension(tmp_path):
+    """Rollback compensations on migration worker threads must not journal.
+
+    The evolution's single typed WAL record covers the whole mutation;
+    a residue worker thread escaping the evolving thread's per-thread
+    journal suspension would append stray step records that double-apply
+    on recovery.
+    """
+    from repro.workloads.order_process import order_type_change_v2
+
+    store = str(tmp_path / "store")
+    system = AdeptSystem.open(
+        store,
+        rollback_on_state_conflict=True,
+        migration_workers=2,
+        cache_instances=4,
+    )
+    orders = system.deploy(templates.online_order_process())
+    ids = [orders.start().instance_id for _ in range(8)]
+    # advanced past the change region: state conflicts, rollback kicks in
+    system.step_many(ids, steps=4)
+    steps_before = sum(1 for r in system.backend.wal_records() if r["kind"] == "step")
+    report = system.evolve(orders.type_id, order_type_change_v2())
+    assert report.count(MigrationOutcome.MIGRATED_WITH_ROLLBACK) > 0
+    steps_after = sum(1 for r in system.backend.wal_records() if r["kind"] == "step")
+    assert steps_after == steps_before, (
+        "rollback compensations journaled separate step records inside the evolution"
+    )
+    expected = {iid: system.get_instance(iid).state_fingerprint() for iid in ids}
+    system.backend.close()
+
+    recovered = AdeptSystem.open(
+        store,
+        rollback_on_state_conflict=True,
+        migration_workers=2,
+        cache_instances=4,
+    )
+    try:
+        mismatches = [
+            iid
+            for iid in ids
+            if recovered.get_instance(iid).state_fingerprint() != expected[iid]
+        ]
+        assert not mismatches
+    finally:
+        recovered.close()
+
+
+def test_memoize_disabled_falls_back_to_hydrated_path():
+    """memoize_migrations=False must actually disable fingerprint sharing."""
+    system = AdeptSystem(memoize_migrations=False, cache_instances=3)
+    handle, ids = _seed(system, population=16)
+    seen = []
+    system.bus.subscribe(
+        lambda event: seen.append(event.name), categories=["system"]
+    )
+    report = system.evolve(handle.type_id, _change(handle))
+    assert report.total == len(ids)
+    # the streaming engine publishes its class telemetry; the fallback
+    # hydrate-everything path must not have engaged it
+    assert "bulk_migration_classes" not in seen
