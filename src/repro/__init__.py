@@ -133,6 +133,8 @@ from repro.system import (
     PoolStats,
     RecoveryError,
     RecoveryReport,
+    Rollout,
+    RolloutSweeper,
     RunResult,
     StepResult,
     SystemEvent,
@@ -164,6 +166,9 @@ __all__ = [
     "PoolStats",
     "VirtualScheduler",
     "simulated_latency_worker",
+    # progressive rollouts
+    "Rollout",
+    "RolloutSweeper",
     # error hierarchy
     "ReproError",
     "MigrationError",

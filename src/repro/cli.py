@@ -270,10 +270,32 @@ def _run_fig3(args: argparse.Namespace) -> Dict[str, Any]:
     }
 
 
+def _run_rollout(args: argparse.Namespace) -> Dict[str, Any]:
+    """Evolve the order process lazily: cases adopt V2 on touch, a sweep drains the rest."""
+    system, orders, cases = paper_fig3_system(
+        instance_count=args.instances, seed=args.seed
+    )
+    rollout = orders.evolve(order_type_change_v2(), rollout="lazy")
+    # touch half the population (each case adopts — or conflicts — here)
+    for case in cases[: len(cases) // 2]:
+        system.step_many([case.instance_id], steps=1)
+    touched = rollout.progress()
+    while system.rollout_of(orders.type_id) is not None:
+        if system.sweep_rollout(orders.type_id, max_cases=64) == 0:
+            break
+    return {
+        "scenario": "rollout",
+        "touched": touched,
+        "final": system.rollout_status(orders.type_id),
+        "events": system.feed.rollout_summary(),
+    }
+
+
 _RUN_SCENARIOS = {
     "lifecycle": _run_lifecycle,
     "fig1": _run_fig1,
     "fig3": _run_fig3,
+    "rollout": _run_rollout,
 }
 
 

@@ -150,5 +150,27 @@ class ProcessType:
         self._changes[new_schema.version] = type_change
         return new_schema
 
+    def withdraw_version(self, version: int) -> ProcessSchema:
+        """Withdraw the latest released version (canary rollback).
+
+        Only the newest version may be withdrawn — versions are released
+        contiguously and :meth:`release_new_version` insists the next ΔT
+        starts from the latest version, so a rolled-back canary version
+        must disappear from the repository entirely for evolution to
+        continue from its predecessor.  At least one version must remain.
+        """
+        if version != self.latest_version:
+            raise EvolutionError(
+                f"only the latest version (v{self.latest_version}) of {self.name!r} "
+                f"can be withdrawn, not v{version}"
+            )
+        if len(self._versions) == 1:
+            raise EvolutionError(
+                f"cannot withdraw the only version of process type {self.name!r}"
+            )
+        schema = self._versions.pop(version)
+        self._changes.pop(version, None)
+        return schema
+
     def __repr__(self) -> str:
         return f"ProcessType({self.name!r}, versions={self.versions})"

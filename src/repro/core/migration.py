@@ -475,6 +475,39 @@ class MigrationManager:
         )
 
     # ------------------------------------------------------------------ #
+    # on-touch migration (progressive rollout)
+    # ------------------------------------------------------------------ #
+
+    def migrate_on_touch(
+        self,
+        instance: ProcessInstance,
+        old_schema: ProcessSchema,
+        new_schema: ProcessSchema,
+        type_change: TypeChange,
+        plan: "MigrationPlan",
+        cache: "FingerprintCache",
+        emit: bool = False,
+    ) -> InstanceMigrationResult:
+        """Attempt one lazy adoption when a case is touched mid-rollout.
+
+        The memoized fast path decides the case from its fingerprint
+        class in O(1) whenever the class verdict is already cached; the
+        non-shareable residue (biased cases, un-fingerprintable states,
+        rollback-policy state conflicts) runs the classic per-case check.
+        The outcome contract is identical to the eager paths, which is
+        what makes lazy adoption byte-equal to ``migrate="compliant"``
+        per fingerprint class (property-tested).
+        """
+        result = self._memoized_fast_path(instance, new_schema, plan, cache)
+        if result is None:
+            result = self.migrate_instance(
+                instance, old_schema, new_schema, type_change, emit=False
+            )
+        if emit:
+            self._emit(result)
+        return result
+
+    # ------------------------------------------------------------------ #
     # single-instance migration
     # ------------------------------------------------------------------ #
 

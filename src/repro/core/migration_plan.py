@@ -761,10 +761,20 @@ class FingerprintCache:
         return verdict
 
     def put(self, verdict: ClassVerdict) -> ClassVerdict:
-        self.misses += 1
-        verdict.members += 1
-        self._verdicts[verdict.fingerprint] = verdict
-        return verdict
+        """Insert a verdict; the first one per class wins.
+
+        Concurrent touch paths (lazy rollout) may derive the same class
+        verdict twice; ``setdefault`` keeps exactly one so every member
+        shares one template object.  Equal fingerprints produce identical
+        verdicts (property-tested), so losing the race is harmless.
+        """
+        existing = self._verdicts.setdefault(verdict.fingerprint, verdict)
+        if existing is verdict:
+            self.misses += 1
+        else:
+            self.hits += 1
+        existing.members += 1
+        return existing
 
     def __len__(self) -> int:
         return len(self._verdicts)

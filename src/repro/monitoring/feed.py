@@ -97,6 +97,28 @@ class EventFeed:
         counts = self.counts()
         return {name: counts.get(name, 0) for name in self._STORAGE_EVENTS}
 
+    #: Progressive-rollout event names surfaced by :meth:`rollout_summary`.
+    _ROLLOUT_EVENTS = (
+        "rollout_started",
+        "rollout_case_adopted",
+        "rollout_case_conflict",
+        "rollout_promoted",
+        "rollout_rolled_back",
+        "rollout_swept",
+        "rollout_completed",
+    )
+
+    def rollout_summary(self) -> Dict[str, int]:
+        """Counts of the progressive-rollout lifecycle events.
+
+        Adoptions versus conflicts show how a lazy/canary rollout is
+        being received by the population; promoted/rolled-back/completed
+        record the decisions taken.  Names with zero occurrences are
+        included so dashboards get a stable shape.
+        """
+        counts = self.counts()
+        return {name: counts.get(name, 0) for name in self._ROLLOUT_EVENTS}
+
     def tail(self, count: int = 10, category: Optional[str] = None) -> List[Any]:
         """The most recent ``count`` events (optionally of one category)."""
         snapshot = self.events

@@ -150,6 +150,12 @@ class ProcessEngine:
         #: write-ahead log cannot record must reject the step up front,
         #: not diverge the journal from an already-committed transition.
         self.step_outputs_validator: Optional[Callable[[Mapping[str, Any]], None]] = None
+        #: Optional hook invoked with the instance *before* an activity
+        #: transition executes.  The progressive-rollout machinery installs
+        #: its lazy on-touch migration here: a case still on the old schema
+        #: version of an in-flight rollout adopts the new version the moment
+        #: it is actually worked on, before the step runs.
+        self.touch_listener: Optional[Callable[[ProcessInstance], None]] = None
 
     # ------------------------------------------------------------------ #
     # instance lifecycle
@@ -176,6 +182,8 @@ class ProcessEngine:
         self, instance: ProcessInstance, activity_id: str, user: Optional[str] = None
     ) -> None:
         """Move an activated activity to RUNNING and log the start event."""
+        if self.touch_listener is not None:
+            self.touch_listener(instance)
         self._require_active(instance)
         schema = instance.execution_schema
         node = schema.node(activity_id)
@@ -214,6 +222,8 @@ class ProcessEngine:
         The activity may also be completed directly from ACTIVATED state
         (implicit start), which keeps scripted executions short.
         """
+        if self.touch_listener is not None:
+            self.touch_listener(instance)
         self._require_active(instance)
         schema = instance.execution_schema
         node = schema.node(activity_id)

@@ -261,6 +261,18 @@ class WorklistManager:
                 if item.state is WorkItemState.OFFERED and pair not in active:
                     self._drop_open_pair(pair).state = WorkItemState.WITHDRAWN
 
+    def swap_instance(self, instance: ProcessInstance) -> None:
+        """Replace the tracked live object of one case (canary revert).
+
+        A rollout rollback restores a case from its pre-adoption snapshot
+        as a *new* object; the manager must track that object from now
+        on.  The revert runs while the type is quiesced, so re-deriving
+        the case's items is left to the evolve's closing refresh.
+        """
+        with self._registry_lock:
+            if instance.instance_id in self._instances:
+                self._instances[instance.instance_id] = instance
+
     def _has_open_item(self, instance_id: str, activity_id: str) -> bool:
         with self._lock:
             return (instance_id, activity_id) in self._open_pairs

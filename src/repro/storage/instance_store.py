@@ -259,6 +259,19 @@ class InstanceStore:
                 set(self.running_instances()) & set(self.index.by_type(process_type))
             )
 
+    def running_instances_on_version(self, process_type: str, version: int) -> List[str]:
+        """Active instance ids of one type still stored on ``version``.
+
+        The progressive-rollout sweeper uses this as its residue query:
+        cases the lazy touch path has not reached yet are exactly the
+        active stored records still indexed under the old version.
+        """
+        with self._lock:
+            return sorted(
+                set(self.running_instances())
+                & set(self.index.by_version(process_type, version))
+            )
+
     def biased_instances(self) -> List[str]:
         with self._lock:
             return self.index.biased_instances()

@@ -66,6 +66,18 @@ class SchemaRepository:
             self._persist(new_schema)
             return new_schema
 
+    def withdraw_version(self, type_name: str, version: int) -> ProcessSchema:
+        """Withdraw the latest version of ``type_name`` and unpersist it.
+
+        Used by canary auto-rollback: the refused version is removed so a
+        later evolve releases from the restored latest version again.
+        """
+        with self._lock:
+            process_type = self.process_type(type_name)
+            schema = process_type.withdraw_version(version)
+            self._store.delete(_NAMESPACE, f"{type_name}:{version}")
+            return schema
+
     def process_type(self, type_name: str) -> ProcessType:
         try:
             return self._types[type_name]

@@ -101,7 +101,7 @@ class WriteAheadLog:
                     batch = self._pending
                     self._pending = []
                     if self._handle is None:
-                        self._handle = self._path.open("a", encoding="utf-8")
+                        self._open_handle()
                     handle = self._handle
                 # the physical write happens outside the mutex (so new
                 # appends keep buffering) but under the flush lock (so
@@ -115,6 +115,34 @@ class WriteAheadLog:
     def append(self, record: Mapping[str, Any]) -> None:
         """Append one record and wait until it is durable."""
         self.commit(self.enqueue(record))
+
+    def _open_handle(self) -> None:
+        """Open the append handle, dropping any torn tail first.
+
+        A crash can leave a partial line at the end of the file.
+        :meth:`records` tolerates it on read, but appending *after* it
+        would glue the next record onto the unparseable fragment — one
+        bad line that hides the entire post-recovery suffix from every
+        future replay.  Before the first append the log therefore
+        rewrites itself to end at the last complete record (restoring a
+        missing final newline along the way).  Recovery itself never
+        appends, so replaying a cut log is still byte-preserving.
+
+        Caller holds ``_flush_lock`` and ``_mutex``.
+        """
+        raw = self._path.read_bytes()
+        valid = bytearray()
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                break
+            valid += line + b"\n"
+        if bytes(valid) != raw:
+            self._path.write_bytes(bytes(valid))
+        self._handle = self._path.open("a", encoding="utf-8")
 
     # ------------------------------------------------------------------ #
     # reading / maintenance

@@ -34,6 +34,7 @@ from repro.system.changes import ChangeSet
 from repro.system.concurrency import (
     LockTable,
     PoolStats,
+    RolloutSweeper,
     RWLock,
     VirtualScheduler,
     WorkerPool,
@@ -54,6 +55,14 @@ from repro.system.persistence import (
     RecoveryReport,
 )
 from repro.system.results import ChangeResult, DeployResult, RunResult, StepResult
+from repro.system.rollout import (
+    POLICY_PIN,
+    POLICY_REVERT,
+    ROLLOUT_CANARY,
+    ROLLOUT_EAGER,
+    ROLLOUT_LAZY,
+    Rollout,
+)
 
 __all__ = [
     "AdeptSystem",
@@ -80,4 +89,11 @@ __all__ = [
     "RWLock",
     "VirtualScheduler",
     "simulated_latency_worker",
+    "Rollout",
+    "RolloutSweeper",
+    "ROLLOUT_EAGER",
+    "ROLLOUT_LAZY",
+    "ROLLOUT_CANARY",
+    "POLICY_REVERT",
+    "POLICY_PIN",
 ]

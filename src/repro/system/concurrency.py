@@ -55,6 +55,7 @@ __all__ = [
     "RWLock",
     "WorkerPool",
     "PoolStats",
+    "RolloutSweeper",
     "VirtualScheduler",
     "simulated_latency_worker",
 ]
@@ -456,11 +457,87 @@ class WorkerPool:
                 type_id = self.system._type_of(item.instance_id)
                 for follow_up in worklists.offered_items_for_instance(item.instance_id):
                     self.submit(follow_up.item_id, type_id or "")
+                # a touch inside the completion may have tipped a canary
+                # rollout over its decision point; the worker executes the
+                # pending promote/rollback here, outside every lock
+                self.system._drain_rollout_actions()
             except Exception as exc:  # pragma: no cover - defensive
                 with self._mutex:
                     self.stats.errors.append(f"{item_id}: {exc!r}")
             finally:
                 self._finish_item()
+
+
+# --------------------------------------------------------------------------- #
+# the background rollout sweeper
+# --------------------------------------------------------------------------- #
+
+
+class RolloutSweeper:
+    """Background thread draining the residue of a progressive rollout.
+
+    Repeatedly calls ``system.sweep_rollout(type_id, max_cases=batch)``
+    and sleeps ``interval`` between rounds, until the rollout leaves its
+    active states (completed or rolled back) or :meth:`stop` is called.
+    The bounded batch per round is what keeps the drain from starving
+    case execution: each sweep touches at most ``batch`` cases under
+    short per-case locks, never the whole population under one lock.
+    The sweeper also executes pending canary decisions — it calls into
+    the façade holding no locks, the safe point for a promote/rollback.
+    """
+
+    def __init__(
+        self,
+        system: Any,
+        type_id: str,
+        batch: int = 256,
+        interval: float = 0.02,
+    ) -> None:
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.system = system
+        self.type_id = type_id
+        self.batch = batch
+        self.interval = interval
+        self.swept = 0
+        self.rounds = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "RolloutSweeper":
+        if self._thread is not None:
+            raise RuntimeError("rollout sweeper is already started")
+        self._thread = threading.Thread(
+            target=self._run, name=f"rollout-sweeper-{self.type_id}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            swept = self.system.sweep_rollout(self.type_id, max_cases=self.batch)
+            self.rounds += 1
+            self.swept += swept
+            if self.system.rollout_of(self.type_id) is None:
+                return  # completed or rolled back — nothing left to drain
+            if self._stop.wait(self.interval):
+                return
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Stop the sweeper thread and join it."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def __enter__(self) -> "RolloutSweeper":
+        return self.start() if self._thread is None else self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.stop()
 
 
 # --------------------------------------------------------------------------- #

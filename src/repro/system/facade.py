@@ -46,7 +46,7 @@ exploits this.
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from contextlib import contextmanager
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Union
 
@@ -79,11 +79,26 @@ from repro.system.persistence import (
     KIND_INSTANCE_DELETED,
     KIND_INSTANCE_SAVED,
     KIND_INSTANCE_STARTED,
+    KIND_ROLLOUT_COMPLETED,
+    KIND_ROLLOUT_MIGRATED,
+    KIND_ROLLOUT_PROMOTED,
+    KIND_ROLLOUT_ROLLED_BACK,
+    KIND_ROLLOUT_STARTED,
     KIND_STEP,
     KIND_TYPE_ADOPTED,
     KIND_TYPE_DEPLOYED,
     PersistentBackend,
     RecoveryReport,
+)
+from repro.system.rollout import (
+    POLICY_PIN,
+    POLICY_REVERT,
+    ROLLOUT_CANARY,
+    ROLLOUT_EAGER,
+    ROLLOUT_LAZY,
+    STATE_MIGRATING,
+    STATE_OBSERVING,
+    Rollout,
 )
 from repro.system.changes import ChangeSet
 from repro.system.events import (
@@ -244,8 +259,28 @@ class AdeptSystem:
         # must resolve to one pool, not two (one of which would leak)
         self._pool_guard = threading.Lock()
 
+        # ---- progressive rollout state (see repro.system.rollout) ----
+        #: In-flight progressive rollouts, one per type id.
+        self._rollouts: Dict[str, Rollout] = {}
+        #: Finished rollouts (completed / rolled back), for status queries.
+        self._rollout_history: Dict[str, Rollout] = {}
+        #: Versions retired by a "pin"-policy canary rollback — never
+        #: picked for new cases, though pinned cases keep running on them.
+        self._retired_versions: Dict[str, Set[int]] = {}
+        #: Canary decisions taken on a touch path; executed later at a
+        #: point where the deciding thread holds no locks (a rollback
+        #: needs the type's *write* lock, which a toucher cannot take).
+        self._pending_rollout_actions: "deque" = deque()
+        #: Per-thread re-entrancy guard: an adoption that compensates
+        #: work drives the shared engine, whose touch listener must not
+        #: recurse into another adoption of the same case.
+        self._touch_guard = threading.local()
+
         # journaling + dirty tracking for every committed activity transition
         self.engine.step_listener = self._on_engine_step
+        # lazy on-touch migration: every engine transition checks the
+        # case against an in-flight rollout of its type first
+        self.engine.touch_listener = self._touch_for_rollout
         # claiming a work item of an evicted case re-hydrates it transparently
         self.worklists.instance_resolver = self.get_instance
         # worklist engine calls run under the same locks as direct calls
@@ -287,7 +322,14 @@ class AdeptSystem:
         try:
             with self._type_read(type_id):
                 with self._locks.holding(instance_id):
-                    yield self.get_instance(instance_id)
+                    instance = self.get_instance(instance_id)
+                    if self._rollouts:
+                        # lazy on-touch migration: the case adopts an
+                        # in-flight rollout's version before it is worked
+                        # on (claim, step, change, save — every path
+                        # through this scope)
+                        self._touch_for_rollout(instance)
+                    yield instance
         finally:
             self._unpin(instance_id)
 
@@ -591,7 +633,9 @@ class AdeptSystem:
         process_type = self.repository.process_type(type_id)
         with self._type_read(type_id):
             schema = (
-                process_type.latest_schema if version is None else process_type.schema_for(version)
+                self._startable_schema(process_type)
+                if version is None
+                else process_type.schema_for(version)
             )
             with self._registry:
                 if case_id is None:
@@ -637,6 +681,25 @@ class AdeptSystem:
                 and not self.store.contains(case_id)
             ):
                 return case_id
+
+    def _startable_schema(self, process_type: ProcessType) -> ProcessSchema:
+        """The version new cases start on when none is requested.
+
+        Normally the latest released version, with two exceptions: while
+        a canary rollout is still *observing*, new cases keep starting on
+        the stable (from) version — the canary version may yet be rolled
+        back, and a rolled-back version must never be a case's only home.
+        Versions retired by a "pin"-policy rollback are skipped likewise.
+        """
+        rollout = self._rollouts.get(process_type.name)
+        if rollout is not None and rollout.state == STATE_OBSERVING:
+            return process_type.schema_for(rollout.from_version)
+        retired = self._retired_versions.get(process_type.name)
+        if retired:
+            startable = [v for v in process_type.versions if v not in retired]
+            if startable:
+                return process_type.schema_for(max(startable))
+        return process_type.latest_schema
 
     def instance(self, instance_id: str) -> InstanceHandle:
         """Handle of a live or stored case (raises for unknown ids)."""
@@ -781,6 +844,7 @@ class AdeptSystem:
                 activated=instance.activated_activities(),
             )
         self.worklists.refresh()
+        self._drain_rollout_actions()
         return result
 
     def run(
@@ -791,6 +855,7 @@ class AdeptSystem:
             steps = self.engine.run_to_completion(instance, worker=worker, max_steps=max_steps)
             result = RunResult(instance_id=instance_id, steps=steps, status=instance.status)
         self.worklists.refresh()
+        self._drain_rollout_actions()
         return result
 
     def step_many(
@@ -840,6 +905,7 @@ class AdeptSystem:
             # instances advanced before a mid-batch failure (e.g. an unknown
             # id) must still be reflected in the worklists
             self.worklists.refresh()
+            self._drain_rollout_actions()
         return [result for result in results if result is not None]
 
     def abort(self, instance_id: str) -> None:
@@ -923,13 +989,17 @@ class AdeptSystem:
         The claim is atomic: under contention exactly one caller wins;
         the losers receive an :class:`EngineError`.
         """
-        return self.worklists.claim(item_id, user)
+        item = self.worklists.claim(item_id, user)
+        self._drain_rollout_actions()
+        return item
 
     def complete_item(
         self, item_id: str, outputs: Optional[Mapping[str, Any]] = None
     ) -> WorkItem:
         """Complete a claimed work item through the engine."""
-        return self.worklists.complete(item_id, outputs=outputs)
+        item = self.worklists.complete(item_id, outputs=outputs)
+        self._drain_rollout_actions()
+        return item
 
     # ------------------------------------------------------------------ #
     # ad-hoc change (transactional ChangeSets)
@@ -998,8 +1068,34 @@ class AdeptSystem:
         change: ChangeLike,
         migrate: str = MIGRATE_COMPLIANT,
         collect_results: bool = True,
-    ) -> MigrationReport:
+        rollout: str = ROLLOUT_EAGER,
+        fraction: float = 0.1,
+        conflict_threshold: float = 0.5,
+        min_observations: int = 20,
+        canary_policy: str = POLICY_REVERT,
+    ) -> Any:
         """Release a new schema version and migrate running instances.
+
+        ``rollout`` selects *when* cases migrate:
+
+        * ``"eager"`` (default) — the type quiesces and the whole
+          population migrates before :meth:`evolve` returns (the
+          behaviour documented below);
+        * ``"lazy"`` — the new version and its compiled migration plan
+          are published without quiescing; each case adopts the new
+          version the next time it is touched (claimed, stepped,
+          changed, saved).  Returns the live :class:`Rollout` instead of
+          a report;
+        * ``"canary"`` — like lazy, but only ``fraction`` of the case
+          population (a stable hash cohort) adopts while the rollout is
+          *observing*; once ``min_observations`` adoption attempts are
+          in, the rollout auto-promotes — or auto-rolls-back when the
+          observed conflict rate exceeds ``conflict_threshold``
+          (``canary_policy``: ``"revert"`` restores adopted cases and
+          withdraws the version, ``"pin"`` keeps them on it but retires
+          it for new cases).
+
+        Progressive rollouts support the ``"compliant"`` policy only.
 
         ``migrate`` selects the policy:
 
@@ -1037,6 +1133,25 @@ class AdeptSystem:
                 f"unknown migration policy {migrate!r}; "
                 f"expected one of 'compliant', 'none', 'strict'"
             )
+        if rollout != ROLLOUT_EAGER:
+            if rollout not in (ROLLOUT_LAZY, ROLLOUT_CANARY):
+                raise ValueError(
+                    f"unknown rollout mode {rollout!r}; "
+                    f"expected one of 'eager', 'lazy', 'canary'"
+                )
+            if migrate != MIGRATE_COMPLIANT:
+                raise ValueError(
+                    "progressive rollouts support the 'compliant' migration policy only"
+                )
+            return self._evolve_progressive(
+                type_id,
+                change,
+                rollout,
+                fraction=fraction,
+                conflict_threshold=conflict_threshold,
+                min_observations=min_observations,
+                policy=canary_policy,
+            )
         with self._type_lock(type_id).write():
             # while the type is quiesced, worklist refreshes triggered by
             # other types' completions must not read its mid-migration
@@ -1064,6 +1179,10 @@ class AdeptSystem:
         self, type_id: str, change: ChangeLike, migrate: str, collect_results: bool = True
     ) -> MigrationReport:
         """The evolution body; the caller holds the type's write lock."""
+        if type_id in self._rollouts:
+            raise MigrationError(
+                f"a progressive rollout of {type_id!r} is still in flight"
+            )
         process_type = self.repository.process_type(type_id)
         type_change = self._as_type_change(process_type, change)
 
@@ -1557,6 +1676,562 @@ class AdeptSystem:
     def _clone_instance(self, instance: ProcessInstance) -> ProcessInstance:
         """A deep copy of an instance via the canonical serialisation."""
         return instance_from_dict(instance_to_dict(instance), self.repository.resolve)
+
+    # ------------------------------------------------------------------ #
+    # progressive (zero-downtime) rollouts
+    # ------------------------------------------------------------------ #
+
+    def _evolve_progressive(
+        self,
+        type_id: str,
+        change: ChangeLike,
+        mode: str,
+        *,
+        fraction: float,
+        conflict_threshold: float,
+        min_observations: int,
+        policy: str,
+    ) -> Rollout:
+        """Publish a new version without quiescing the population.
+
+        The type's write lock is held only for the version publish and
+        plan compilation — O(schema), independent of population size.
+        From the moment the lock drops, running cases adopt the new
+        version lazily on their next touch (see :meth:`_touch_for_rollout`)
+        while a sweeper can drain untouched residue in the background
+        (:meth:`sweep_rollout`).
+        """
+        with self._type_lock(type_id).write():
+            if type_id in self._rollouts:
+                raise MigrationError(
+                    f"a progressive rollout of {type_id!r} is still in flight"
+                )
+            process_type = self.repository.process_type(type_id)
+            type_change = self._as_type_change(process_type, change)
+            # validate the rollout parameters *before* the version is
+            # released — a bad fraction must not leave a half evolution
+            rollout = Rollout(
+                type_id,
+                type_change,
+                mode,
+                fraction=fraction,
+                conflict_threshold=conflict_threshold,
+                min_observations=min_observations,
+                policy=policy,
+            )
+            new_schema = self.repository.release_version(type_id, type_change)
+            self._attach_plan(rollout)
+            self._journal(
+                KIND_ROLLOUT_STARTED,
+                type_id=type_id,
+                change=type_change.to_dict(),
+                to_version=new_schema.version,
+                mode=mode,
+                fraction=fraction,
+                conflict_threshold=conflict_threshold,
+                min_observations=min_observations,
+                policy=policy,
+            )
+            self._rollouts[type_id] = rollout
+        self.bus.publish(
+            CATEGORY_SCHEMA,
+            "schema_version_released",
+            type_id=type_id,
+            version=new_schema.version,
+        )
+        self.bus.publish(
+            CATEGORY_MIGRATION,
+            "rollout_started",
+            type_id=type_id,
+            to_version=new_schema.version,
+            mode=mode,
+        )
+        return rollout
+
+    def _attach_plan(self, rollout: Rollout) -> None:
+        """Compile the rollout's migration plan and fresh verdict cache."""
+        from repro.core.migration_plan import FingerprintCache
+        from repro.schema.index import indexing_enabled
+
+        process_type = self.repository.process_type(rollout.type_id)
+        old_schema = process_type.schema_for(rollout.from_version)
+        new_schema = process_type.schema_for(rollout.to_version)
+        if indexing_enabled():
+            old_schema.index
+            new_schema.index
+        rollout.plan = self._migrator.compile_plan(old_schema, new_schema, rollout.type_change)
+        rollout.cache = FingerprintCache()
+
+    def rollout_of(self, type_id: str) -> Optional[Rollout]:
+        """The in-flight rollout of ``type_id`` (None when there is none)."""
+        return self._rollouts.get(type_id)
+
+    def rollout_status(self, type_id: str) -> Optional[Dict[str, Any]]:
+        """Progress of the active (or, failing that, last) rollout."""
+        rollout = self._rollouts.get(type_id) or self._rollout_history.get(type_id)
+        return rollout.progress() if rollout is not None else None
+
+    # ---- the on-touch adoption path ----------------------------------- #
+
+    def _touch_for_rollout(self, instance: ProcessInstance) -> None:
+        """O(1) per-touch check: adopt an in-flight rollout's version.
+
+        Called with the type's *read* lock and the case's stripe held
+        (every touch path goes through :meth:`_case_execution` or an
+        engine call inside it), which is exactly what makes adoption
+        safe against a concurrent promote/rollback: those take the
+        type's write lock.  Decisions derived here (canary promote /
+        rollback) are queued, never executed inline — the executing
+        thread would have to climb the lock hierarchy.
+        """
+        rollout = self._rollouts.get(instance.process_type)
+        if rollout is None or not rollout.active:
+            return
+        if self._backend is not None and not self._backend.active:
+            # WAL replay / compound mutation: rollout records drive
+            # adoption, not the engine's replayed touches
+            return
+        if getattr(self._touch_guard, "busy", False):
+            # re-entrant engine call (compensation during an adoption)
+            return
+        if instance.schema_version != rollout.from_version:
+            return
+        if not instance.status.is_active:
+            return
+        instance_id = instance.instance_id
+        if instance_id in rollout.conflicted:
+            # conflicting cases stay on their old version (the paper's
+            # eager semantics); never re-attempted within one rollout
+            return
+        if rollout.state == STATE_OBSERVING and not rollout.in_cohort(instance_id):
+            return
+        self._touch_guard.busy = True
+        try:
+            with rollout.lock:
+                rollout.touches += 1
+            decision = self._adopt_on_touch(rollout, instance)
+        finally:
+            self._touch_guard.busy = False
+        if decision is not None:
+            self._pending_rollout_actions.append((rollout.type_id, decision))
+
+    def _adopt_on_touch(self, rollout: Rollout, instance: ProcessInstance) -> Optional[str]:
+        """Migrate one touched case onto the rollout's version.
+
+        Returns the canary decision the adoption triggered ("promote" /
+        "rollback"), if any — the *caller* queues it.  The memoized fast
+        path makes the common case O(marking): fingerprint lookup, shared
+        verdict, adapted-marking copy.
+        """
+        process_type = self.repository.process_type(rollout.type_id)
+        old_schema = process_type.schema_for(rollout.from_version)
+        new_schema = process_type.schema_for(rollout.to_version)
+        instance_id = instance.instance_id
+        pre_state = None
+        if rollout.state == STATE_OBSERVING and rollout.policy == POLICY_REVERT:
+            # captured *before* the migration so a rollback can restore
+            # the case byte-identically
+            pre_state = instance_to_dict(instance)
+        with self._journal_suspended():
+            result = self._migrator.migrate_on_touch(
+                instance,
+                old_schema,
+                new_schema,
+                rollout.type_change,
+                rollout.plan,
+                rollout.cache,
+                emit=False,
+            )
+        if result.outcome is MigrationOutcome.FINISHED:
+            return None
+        if result.migrated:
+            with self._registry:
+                self._dirty.add(instance_id)
+            self._journal(
+                KIND_ROLLOUT_MIGRATED,
+                type_id=rollout.type_id,
+                instance_id=instance_id,
+                to_version=rollout.to_version,
+            )
+            decision = rollout.note_adoption(instance_id, pre_state)
+            self.bus.publish(
+                CATEGORY_MIGRATION,
+                "rollout_case_adopted",
+                type_id=rollout.type_id,
+                instance_id=instance_id,
+                to_version=rollout.to_version,
+            )
+        else:
+            decision = rollout.note_conflict(instance_id)
+            self.bus.publish(
+                CATEGORY_MIGRATION,
+                "rollout_case_conflict",
+                type_id=rollout.type_id,
+                instance_id=instance_id,
+                outcome=result.outcome.value,
+            )
+        return decision
+
+    def _drain_rollout_actions(self) -> None:
+        """Execute queued canary decisions (caller must hold no locks).
+
+        Touch paths queue promote/rollback decisions because executing
+        them needs the type's *write* lock (above the locks a toucher
+        holds).  Pool workers, the sweeper and the façade's public entry
+        points drain the queue at lock-free points; execution is
+        idempotent, so concurrent drains are harmless.
+        """
+        while True:
+            try:
+                type_id, decision = self._pending_rollout_actions.popleft()
+            except IndexError:
+                return
+            if decision == "rollback":
+                self._rollback_rollout(type_id)
+            else:
+                self._promote_rollout(type_id)
+
+    def _promote_rollout(self, type_id: str) -> None:
+        """Canary observation passed: open the rollout to the whole population."""
+        rollout = self._rollouts.get(type_id)
+        if rollout is None or not rollout.promote():
+            return
+        self._journal(KIND_ROLLOUT_PROMOTED, type_id=type_id, to_version=rollout.to_version)
+        self.bus.publish(
+            CATEGORY_MIGRATION,
+            "rollout_promoted",
+            type_id=type_id,
+            to_version=rollout.to_version,
+            observed_conflict_rate=rollout.observed_conflict_rate,
+        )
+
+    def _rollback_rollout(self, type_id: str) -> None:
+        """Canary observation failed: abandon the new version.
+
+        Under the ``"revert"`` policy every adopted case is restored from
+        its pre-adoption snapshot and the version is withdrawn from the
+        repository; under ``"pin"`` adopted cases keep running on it but
+        the version is retired — no new case will ever start on it.
+        """
+        rollout = self._rollouts.get(type_id)
+        if rollout is None:
+            return
+        reverted: List[str] = []
+        with self._type_lock(type_id).write():
+            if not rollout.roll_back():
+                return
+            self.worklists.begin_quiesce(type_id)
+            try:
+                if rollout.policy == POLICY_REVERT:
+                    reverted = self._revert_canary_cohort(rollout)
+                self._journal(
+                    KIND_ROLLOUT_ROLLED_BACK,
+                    type_id=type_id,
+                    to_version=rollout.to_version,
+                    policy=rollout.policy,
+                    reverted=reverted,
+                )
+                if rollout.policy == POLICY_REVERT:
+                    self.repository.withdraw_version(type_id, rollout.to_version)
+                else:
+                    self._retired_versions.setdefault(type_id, set()).add(rollout.to_version)
+                self._rollouts.pop(type_id, None)
+                self._rollout_history[type_id] = rollout
+            finally:
+                self.worklists.end_quiesce(type_id)
+        self.worklists.refresh()
+        self._notify_pool()
+        self.bus.publish(
+            CATEGORY_MIGRATION,
+            "rollout_rolled_back",
+            type_id=type_id,
+            to_version=rollout.to_version,
+            policy=rollout.policy,
+            reverted=len(reverted),
+            observed_conflict_rate=rollout.observed_conflict_rate,
+        )
+
+    def _revert_canary_cohort(self, rollout: Rollout) -> List[str]:
+        """Restore every adopted canary case from its pre-adoption snapshot.
+
+        Steps a case took on the canary version are discarded with it —
+        the deterministic policy (replay restores the same snapshots).
+        Runs under the type's write lock; the population is quiesced.
+        """
+        reverted: List[str] = []
+        with self._journal_suspended():
+            for instance_id in sorted(rollout.adopted):
+                pre_state = rollout.pre_states.get(instance_id)
+                if pre_state is None:
+                    continue  # adopted without a snapshot (defensive)
+                restored = instance_from_dict(dict(pre_state), self.repository.resolve)
+                with self._locks.holding(instance_id):
+                    with self._registry:
+                        live = instance_id in self._instances
+                        if live:
+                            self._instances[instance_id] = restored
+                            self._dirty.add(instance_id)
+                    if live:
+                        self.worklists.swap_instance(restored)
+                    else:
+                        self.store.write_back(restored)
+                reverted.append(instance_id)
+        return reverted
+
+    # ---- the background sweeper --------------------------------------- #
+
+    def sweep_rollout(self, type_id: str, max_cases: int = 256) -> int:
+        """Drain up to ``max_cases`` of a migrating rollout's residue.
+
+        Cases the touch path has not reached adopt here instead: stored
+        unbiased records take the record-level fast path (shared verdict,
+        in-place rewrite, no hydration); live, biased or first-of-class
+        cases go through the same adoption as a touch.  When no residue
+        remains outside the conflicted set, the rollout completes.
+        Returns the number of cases processed this round.
+        """
+        self._drain_rollout_actions()
+        rollout = self._rollouts.get(type_id)
+        if rollout is None or rollout.state != STATE_MIGRATING:
+            return 0
+        from repro.runtime.states import InstanceStatus
+
+        active_statuses = frozenset(
+            status.value for status in InstanceStatus if status.is_active
+        )
+        record_rewrites = bool(
+            getattr(self.store.strategy, "instance_independent_payload", False)
+        )
+        residue = self._rollout_residue(rollout)
+        swept = 0
+        for instance_id in residue:
+            if swept >= max_cases:
+                break
+            with self._type_read(type_id):
+                if rollout.state != STATE_MIGRATING:
+                    break
+                with self._locks.holding(instance_id):
+                    if self._sweep_one(rollout, instance_id, active_statuses, record_rewrites):
+                        swept += 1
+        if swept:
+            with rollout.lock:
+                rollout.swept += swept
+            self.bus.publish(
+                CATEGORY_MIGRATION,
+                "rollout_swept",
+                type_id=type_id,
+                swept=swept,
+            )
+            self._enforce_cache_cap()
+        if rollout.state == STATE_MIGRATING and not self._rollout_residue(rollout):
+            self._complete_rollout(rollout)
+        return swept
+
+    def _rollout_residue(self, rollout: Rollout) -> List[str]:
+        """Active cases still on the rollout's from-version, less the decided ones."""
+        type_id = rollout.type_id
+        with self._registry:
+            live = {
+                instance.instance_id
+                for instance in self._instances.values()
+                if instance.process_type == type_id
+                and instance.schema_version == rollout.from_version
+                and instance.status.is_active
+            }
+            live_ids = set(self._instances)
+        stored = {
+            instance_id
+            for instance_id in self.store.running_instances_on_version(
+                type_id, rollout.from_version
+            )
+            # the live copy governs — a store record of a live case may
+            # be stale (dirty cases write back lazily)
+            if instance_id not in live_ids
+        }
+        return sorted((live | stored) - rollout.adopted - rollout.conflicted)
+
+    def _sweep_one(
+        self,
+        rollout: Rollout,
+        instance_id: str,
+        active_statuses: frozenset,
+        record_rewrites: bool,
+    ) -> bool:
+        """Adopt (or conflict) one residue case; True when it was decided.
+
+        Caller holds the type read lock and the case's stripe.
+        """
+        with self._registry:
+            live = instance_id in self._instances
+        if not live and record_rewrites:
+            try:
+                record = self.store.record(instance_id)
+            except StorageError:
+                return False  # deleted since the residue scan
+            if record.get("schema_version") != rollout.from_version:
+                return False  # adopted by a concurrent touch
+            if record.get("status", "running") not in active_statuses:
+                return False
+            if not record.get("biased"):
+                fingerprint = rollout.plan.fingerprint_of_record(record)
+                verdict = (
+                    rollout.cache.get(fingerprint) if fingerprint is not None else None
+                )
+                if verdict is not None:
+                    if verdict.compliant:
+                        self.store.migrate_record(
+                            instance_id, rollout.to_version, verdict.adapted_marking_dict()
+                        )
+                        self._journal(
+                            KIND_ROLLOUT_MIGRATED,
+                            type_id=rollout.type_id,
+                            instance_id=instance_id,
+                            to_version=rollout.to_version,
+                        )
+                        rollout.note_adoption(instance_id)
+                        return True
+                    outcome = verdict.outcome or self._migrator._outcome_for_conflicts(
+                        verdict.conflicts
+                    )
+                    if not (
+                        outcome is MigrationOutcome.STATE_CONFLICT
+                        and self.rollback_on_state_conflict
+                    ):
+                        rollout.note_conflict(instance_id)
+                        return True
+                    # compensation mutates the case: hydrate below
+        # live, biased, first-of-class or un-rewritable: hydrate and run
+        # the same adoption a touch would
+        try:
+            instance = self.get_instance(instance_id)
+        except EngineError:
+            return False
+        if instance.schema_version != rollout.from_version or not instance.status.is_active:
+            return False
+        decision = self._adopt_on_touch(rollout, instance)
+        if decision is not None:
+            self._pending_rollout_actions.append((rollout.type_id, decision))
+        return True
+
+    def _complete_rollout(self, rollout: Rollout) -> None:
+        """Every case adopted (or conflicted): retire the rollout."""
+        if not rollout.complete():
+            return
+        self._journal(
+            KIND_ROLLOUT_COMPLETED, type_id=rollout.type_id, to_version=rollout.to_version
+        )
+        self._rollouts.pop(rollout.type_id, None)
+        self._rollout_history[rollout.type_id] = rollout
+        self.bus.publish(
+            CATEGORY_MIGRATION,
+            "rollout_completed",
+            type_id=rollout.type_id,
+            to_version=rollout.to_version,
+            adopted=len(rollout.adopted),
+            conflicted=len(rollout.conflicted),
+        )
+
+    # ---- recovery (snapshot restore + WAL replay) --------------------- #
+
+    def _restore_rollout(self, payload: Mapping[str, Any]) -> None:
+        """Re-arm a rollout serialised into a snapshot."""
+        rollout = Rollout.from_dict(dict(payload))
+        self._attach_plan(rollout)
+        if rollout.active:
+            self._rollouts[rollout.type_id] = rollout
+        else:
+            self._rollout_history[rollout.type_id] = rollout
+
+    def _replay_rollout_started(
+        self, record: Mapping[str, Any], type_change: TypeChange
+    ) -> None:
+        rollout = Rollout(
+            record["type_id"],
+            type_change,
+            record["mode"],
+            fraction=record.get("fraction", 0.1),
+            conflict_threshold=record.get("conflict_threshold", 0.5),
+            min_observations=record.get("min_observations", 20),
+            policy=record.get("policy", POLICY_REVERT),
+        )
+        self._attach_plan(rollout)
+        self._rollouts[rollout.type_id] = rollout
+
+    def _replay_rollout_adoption(self, type_id: str, instance_id: str) -> None:
+        """Re-apply one journaled adoption during WAL replay."""
+        rollout = self._rollouts.get(type_id)
+        if rollout is None:
+            return
+        instance = self.get_instance(instance_id)
+        if instance.schema_version != rollout.from_version:
+            # a snapshot written after the adoption already carries the
+            # migrated state; only the bookkeeping needs replaying
+            rollout.adopted.add(instance_id)
+            return
+        process_type = self.repository.process_type(type_id)
+        old_schema = process_type.schema_for(rollout.from_version)
+        new_schema = process_type.schema_for(rollout.to_version)
+        pre_state = None
+        if rollout.state == STATE_OBSERVING and rollout.policy == POLICY_REVERT:
+            pre_state = instance_to_dict(instance)
+        result = self._migrator.migrate_on_touch(
+            instance,
+            old_schema,
+            new_schema,
+            rollout.type_change,
+            rollout.plan,
+            rollout.cache,
+            emit=False,
+        )
+        if result.migrated:
+            with self._registry:
+                self._dirty.add(instance_id)
+            rollout.note_adoption(instance_id, pre_state)
+        # conflicts are not journaled, so a decision re-derived during
+        # replay may differ from the one that was taken live — decisions
+        # replay from their own promoted / rolled-back records instead
+        rollout.pending_decision = None
+
+    def _replay_rollout_promoted(self, type_id: str) -> None:
+        rollout = self._rollouts.get(type_id)
+        if rollout is None:
+            return
+        rollout.promote()
+        rollout.pending_decision = "promote"
+
+    def _replay_rollout_rolled_back(self, record: Mapping[str, Any]) -> None:
+        type_id = record["type_id"]
+        rollout = self._rollouts.pop(type_id, None)
+        if rollout is None:
+            return
+        rollout.roll_back()
+        rollout.pending_decision = "rollback"
+        if record.get("policy", rollout.policy) == POLICY_REVERT:
+            for instance_id in record.get("reverted", []):
+                pre_state = rollout.pre_states.get(instance_id)
+                if pre_state is None:
+                    continue
+                restored = instance_from_dict(dict(pre_state), self.repository.resolve)
+                with self._registry:
+                    live = instance_id in self._instances
+                    if live:
+                        self._instances[instance_id] = restored
+                        self._dirty.add(instance_id)
+                if live:
+                    self.worklists.swap_instance(restored)
+                else:
+                    self.store.write_back(restored)
+            self.repository.withdraw_version(type_id, rollout.to_version)
+        else:
+            self._retired_versions.setdefault(type_id, set()).add(rollout.to_version)
+        self._rollout_history[type_id] = rollout
+
+    def _replay_rollout_completed(self, type_id: str) -> None:
+        rollout = self._rollouts.pop(type_id, None)
+        if rollout is None:
+            return
+        rollout.complete()
+        self._rollout_history[type_id] = rollout
 
     # ------------------------------------------------------------------ #
     # persistence

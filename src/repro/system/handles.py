@@ -14,7 +14,7 @@ and :attr:`TypeHandle.raw` for advanced/diagnostic use.
 
 from __future__ import annotations
 
-from typing import Any, List, Mapping, Optional, Sequence, Union, TYPE_CHECKING
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union, TYPE_CHECKING
 
 from repro.core.evolution import ProcessType, TypeChange
 from repro.core.migration import MigrationReport
@@ -72,9 +72,29 @@ class TypeHandle:
         self,
         change: Union[TypeChange, ChangeSet, Sequence[Any]],
         migrate: str = "compliant",
-    ) -> MigrationReport:
-        """Release a new schema version and migrate running instances."""
-        return self._system.evolve(self.type_id, change, migrate=migrate)
+        rollout: str = "eager",
+        **rollout_options: Any,
+    ) -> Any:
+        """Release a new schema version and migrate running instances.
+
+        ``rollout="lazy"`` / ``"canary"`` publish the version without
+        quiescing and return the live
+        :class:`~repro.system.rollout.Rollout` instead of a report; the
+        remaining keyword arguments (``fraction``,
+        ``conflict_threshold``, ``min_observations``, ``canary_policy``)
+        parameterise the canary — see :meth:`AdeptSystem.evolve`.
+        """
+        return self._system.evolve(
+            self.type_id, change, migrate=migrate, rollout=rollout, **rollout_options
+        )
+
+    def rollout(self) -> Optional[Any]:
+        """The in-flight progressive rollout of this type (None when idle)."""
+        return self._system.rollout_of(self.type_id)
+
+    def rollout_status(self) -> Optional[Dict[str, Any]]:
+        """Progress of the active (or last finished) rollout of this type."""
+        return self._system.rollout_status(self.type_id)
 
     def __repr__(self) -> str:
         return f"TypeHandle({self.type_id!r}, versions={self.versions})"

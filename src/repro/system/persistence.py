@@ -67,6 +67,12 @@ KIND_ADHOC_CHANGE = "adhoc_change"
 KIND_EVOLUTION = "evolution"
 KIND_INSTANCE_SAVED = "instance_saved"
 KIND_INSTANCE_DELETED = "instance_deleted"
+# progressive rollout (lazy / canary evolution) records
+KIND_ROLLOUT_STARTED = "rollout_started"
+KIND_ROLLOUT_MIGRATED = "rollout_migrated"
+KIND_ROLLOUT_PROMOTED = "rollout_promoted"
+KIND_ROLLOUT_ROLLED_BACK = "rollout_rolled_back"
+KIND_ROLLOUT_COMPLETED = "rollout_completed"
 
 ALL_KINDS = (
     KIND_TYPE_DEPLOYED,
@@ -79,6 +85,11 @@ ALL_KINDS = (
     KIND_EVOLUTION,
     KIND_INSTANCE_SAVED,
     KIND_INSTANCE_DELETED,
+    KIND_ROLLOUT_STARTED,
+    KIND_ROLLOUT_MIGRATED,
+    KIND_ROLLOUT_PROMOTED,
+    KIND_ROLLOUT_ROLLED_BACK,
+    KIND_ROLLOUT_COMPLETED,
 )
 
 
@@ -237,6 +248,9 @@ class PersistentBackend:
             "schemas": schemas,
             "instances": instances,
         }
+        rollouts = [rollout.to_dict() for rollout in system._rollouts.values()]
+        if rollouts:
+            payload["rollouts"] = rollouts
         temporary = self.snapshot_path.with_suffix(".json.tmp")
         temporary.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
         temporary.replace(self.snapshot_path)
@@ -327,6 +341,10 @@ class PersistentBackend:
             system.store.put_record(record)
             report.snapshot_instances += 1
         system._case_counters.update(snapshot.get("case_counters", {}))
+        # rollouts are restored after schemas: the compiled plan is rebuilt
+        # from the (already adopted) repository versions
+        for payload in snapshot.get("rollouts", []):
+            system._restore_rollout(payload)
         self._seq = int(snapshot.get("next_seq", self._seq))
         report.snapshot_loaded = True
 
@@ -451,6 +469,29 @@ def _replay_instance_deleted(system: "AdeptSystem", record: Mapping[str, Any]) -
     system.worklists.discard_instance(instance_id)
 
 
+def _replay_rollout_started(system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+    type_change = TypeChange.from_dict(record["change"])
+    new_schema = system.repository.release_version(record["type_id"], type_change)
+    _reconcile_version(record, new_schema.version)
+    system._replay_rollout_started(record, type_change)
+
+
+def _replay_rollout_migrated(system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+    system._replay_rollout_adoption(record["type_id"], record["instance_id"])
+
+
+def _replay_rollout_promoted(system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+    system._replay_rollout_promoted(record["type_id"])
+
+
+def _replay_rollout_rolled_back(system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+    system._replay_rollout_rolled_back(record)
+
+
+def _replay_rollout_completed(system: "AdeptSystem", record: Mapping[str, Any]) -> None:
+    system._replay_rollout_completed(record["type_id"])
+
+
 def _reconcile_version(record: Mapping[str, Any], actual_version: int) -> None:
     """Check a replayed release against the journaled change log."""
     expected = record.get("to_version")
@@ -473,4 +514,9 @@ _REPLAY_HANDLERS = {
     KIND_EVOLUTION: _replay_evolution,
     KIND_INSTANCE_SAVED: _replay_instance_saved,
     KIND_INSTANCE_DELETED: _replay_instance_deleted,
+    KIND_ROLLOUT_STARTED: _replay_rollout_started,
+    KIND_ROLLOUT_MIGRATED: _replay_rollout_migrated,
+    KIND_ROLLOUT_PROMOTED: _replay_rollout_promoted,
+    KIND_ROLLOUT_ROLLED_BACK: _replay_rollout_rolled_back,
+    KIND_ROLLOUT_COMPLETED: _replay_rollout_completed,
 }

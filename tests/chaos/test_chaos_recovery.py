@@ -1,0 +1,145 @@
+"""Chaos: WAL cuts at arbitrary byte offsets mid-rollout.
+
+Simulated crashes slice the write-ahead log anywhere — inside a record,
+between an adoption and its neighbour, before or after the decision
+records — and recovery must always land on a consistent prefix: no case
+half-migrated, re-recovery deterministic, and the resumed rollout
+converging to the same population as a run that never crashed.
+"""
+
+import random
+import shutil
+
+import pytest
+
+from repro.system import AdeptSystem
+
+from tests.chaos.harness import (
+    TYPE_ID,
+    build_population,
+    check_exactly_once,
+    converge_rollout,
+    population_digest,
+)
+from repro.workloads.order_process import order_type_change_v2
+
+
+def _mid_rollout_store(path, population=12, advanced=0, touched=6, canary=False):
+    """A durable store crashed mid-rollout: returns (ids, wal_path, reference)."""
+    system, ids = build_population(path, population=population, advanced=advanced, seed=9)
+    system.checkpoint()  # the WAL that follows is pure rollout suffix
+    kwargs = (
+        dict(rollout="canary", fraction=1.0, conflict_threshold=0.3, min_observations=5)
+        if canary
+        else dict(rollout="lazy")
+    )
+    system.evolve(TYPE_ID, order_type_change_v2(), **kwargs)
+    for case_id in ids[:touched]:
+        system.save(case_id)  # touch without stepping
+    system.sweep_rollout(TYPE_ID, max_cases=0)  # drain any queued decision
+
+    # the uncrashed reference end state, converged on a pristine copy
+    reference_path = path.parent / (path.name + "_ref")
+    shutil.copytree(path, reference_path)
+    reference = AdeptSystem.open(reference_path)
+    converge_rollout(reference)
+    reference_digest = population_digest(reference, ids)
+    return system, ids, system.backend.wal.path, reference_digest
+
+
+class TestWalCutsMidRollout:
+    @pytest.mark.parametrize("seed", [1, 17, 53])
+    def test_arbitrary_cuts_recover_consistently(self, tmp_path, seed):
+        system, ids, wal_path, reference_digest = _mid_rollout_store(tmp_path / "db")
+        payload = wal_path.read_bytes()
+        rng = random.Random(seed)
+        for _ in range(8):
+            offset = rng.randrange(0, len(payload) + 1)
+            wal_path.write_bytes(payload[:offset])
+            recovered = AdeptSystem.open(tmp_path / "db")
+            rollout = recovered.rollout_of(TYPE_ID)
+            if rollout is None:
+                versions = {
+                    recovered.get_instance(i).schema_version for i in ids
+                }
+                assert versions == {1}, "cut before rollout_started must leave V1 only"
+                continue
+            # prefix consistency: exactly the journaled adoptions are on V2
+            for instance_id in ids:
+                version = recovered.get_instance(instance_id).schema_version
+                expected = 2 if instance_id in rollout.adopted else 1
+                assert version == expected, (
+                    f"{instance_id} on v{version}, adoption journal says v{expected}"
+                )
+            converge_rollout(recovered)
+            assert population_digest(recovered, ids) == reference_digest
+            check_exactly_once(recovered, ids)
+
+    @pytest.mark.parametrize("seed", [5, 29])
+    def test_re_recovery_is_deterministic(self, tmp_path, seed):
+        """Recovering one cut twice (a crash during recovery) is idempotent."""
+        system, ids, wal_path, _ = _mid_rollout_store(tmp_path / "db")
+        payload = wal_path.read_bytes()
+        offset = random.Random(seed).randrange(1, len(payload))
+        wal_path.write_bytes(payload[:offset])
+        states = []
+        for _ in range(2):
+            recovered = AdeptSystem.open(tmp_path / "db")
+            rollout = recovered.rollout_of(TYPE_ID)
+            states.append(
+                (
+                    population_digest(recovered, ids),
+                    rollout.progress() if rollout else None,
+                    wal_path.read_bytes(),
+                )
+            )
+        assert states[0] == states[1]
+
+
+class TestWalCutsDuringCanaryRollback:
+    def test_cuts_around_the_rollback_record(self, tmp_path):
+        """Slicing before/inside/after a journaled rollback must yield
+        either the pre-rollback world (rollout still active) or the
+        post-rollback world (version withdrawn) — never a mix."""
+        system, ids = build_population(
+            tmp_path / "db", population=12, advanced=9, seed=4
+        )
+        system.checkpoint()
+        system.evolve(
+            TYPE_ID,
+            order_type_change_v2(),
+            rollout="canary",
+            fraction=1.0,
+            conflict_threshold=0.3,
+            min_observations=6,
+        )
+        for case_id in ids:
+            system.save(case_id)
+            if system.rollout_of(TYPE_ID) is None:
+                break
+        system.sweep_rollout(TYPE_ID, max_cases=0)
+        status = system.rollout_status(TYPE_ID)
+        assert status["state"] == "rolled_back"
+
+        wal_path = system.backend.wal.path
+        payload = wal_path.read_bytes()
+        for offset in range(0, len(payload) + 1, max(1, len(payload) // 40)):
+            wal_path.write_bytes(payload[:offset])
+            recovered = AdeptSystem.open(tmp_path / "db")
+            versions = sorted(
+                recovered.repository.process_type(TYPE_ID).versions
+            )
+            rollout = recovered.rollout_of(TYPE_ID)
+            if versions == [1]:
+                # rollback record survived the cut: fully rolled back
+                assert rollout is None
+                for instance_id in ids:
+                    assert recovered.get_instance(instance_id).schema_version == 1
+            else:
+                assert versions == [1, 2]
+                if rollout is not None:
+                    # still observing: adopted set matches case versions
+                    for instance_id in ids:
+                        version = recovered.get_instance(instance_id).schema_version
+                        expected = 2 if instance_id in rollout.adopted else 1
+                        assert version == expected
