@@ -12,7 +12,20 @@ from repro.runtime.markings import Marking
 from repro.runtime.history import ExecutionHistory, HistoryEntry, HistoryEventType
 from repro.runtime.data_context import DataContext
 from repro.runtime.instance import ProcessInstance
-from repro.runtime.engine import EngineError, ProcessEngine
+from repro.runtime.engine import (
+    EngineError,
+    JoinSignalConflictError,
+    ProcessEngine,
+    PropagationLimitError,
+)
+from repro.runtime.kernel import (
+    MarkingLayout,
+    StepKernel,
+    compiled_stepping_enabled,
+    set_compiled_stepping,
+    without_compiled_kernel,
+)
+from repro.runtime.markings import DenseMarking
 from repro.runtime.worklist import WorkItem, WorkItemState, WorklistManager
 from repro.runtime.events import EngineEvent, EventLog, EventType
 from repro.runtime.expressions import ExpressionError, evaluate_condition
@@ -22,6 +35,14 @@ __all__ = [
     "InstanceStatus",
     "NodeState",
     "Marking",
+    "DenseMarking",
+    "MarkingLayout",
+    "StepKernel",
+    "JoinSignalConflictError",
+    "PropagationLimitError",
+    "compiled_stepping_enabled",
+    "set_compiled_stepping",
+    "without_compiled_kernel",
     "ExecutionHistory",
     "HistoryEntry",
     "HistoryEventType",

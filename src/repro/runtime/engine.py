@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import threading
 
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import ReproError
 from repro.runtime.data_context import DataContext
@@ -35,6 +36,14 @@ from repro.runtime.events import EngineEvent, EventLog, EventType
 from repro.runtime.expressions import ExpressionError, evaluate_condition
 from repro.runtime.history import HistoryEventType
 from repro.runtime.instance import ProcessInstance
+from repro.runtime.kernel import (
+    ACTION_END,
+    ACTION_LOOP_END,
+    ACTION_XOR_SPLIT,
+    StepKernel,
+    compiled_stepping_enabled,
+    scan_round_bound,
+)
 from repro.runtime.markings import Marking
 from repro.runtime.states import EdgeState, InstanceStatus, NodeState
 from repro.schema.data import DataType
@@ -46,6 +55,39 @@ from repro.schema.nodes import Node, NodeType
 
 class EngineError(ReproError):
     """Raised when an instance is driven in an illegal way."""
+
+
+class JoinSignalConflictError(EngineError):
+    """An AND join received mixed TRUE/FALSE branch signals.
+
+    All incoming control edges of the join are signalled, but some carry
+    TRUE and some FALSE: the join can neither fire (a branch was
+    dead-path-eliminated) nor be skipped (a branch really ran).  A
+    correct block-structured schema never produces this marking —
+    ill-formed schemas and buggy migrations do, and the engine used to
+    wait on it forever.  The message names the join node and the state of
+    every incoming control edge.
+    """
+
+
+class PropagationLimitError(EngineError):
+    """Marking propagation exceeded its round bound without converging.
+
+    Carries the instance id, the number of rounds executed and the set of
+    nodes that were still changing when the bound hit — enough context to
+    tell a genuinely diverging schema (structural cycle of automatically
+    executing nodes) from an engine bug.
+    """
+
+    def __init__(self, instance_id: str, rounds: int, changing_nodes: Iterable[str]) -> None:
+        self.instance_id = instance_id
+        self.rounds = rounds
+        self.changing_nodes = sorted(set(changing_nodes))
+        super().__init__(
+            f"marking propagation for instance {instance_id!r} did not converge "
+            f"after {rounds} rounds; still-changing nodes: {self.changing_nodes!r} "
+            f"(structural cycle of automatically executing nodes, or engine bug)"
+        )
 
 
 # A worker turns an activated activity into its output data values.
@@ -96,8 +138,9 @@ def _decide_entry(spec, edge_states) -> Optional[str]:
             return "skip"
         if true_count == len(states):
             return "activate" if sync_ready else None
-        # Mixed signals cannot happen in a correct block-structured schema.
-        return None
+        # Mixed TRUE/FALSE signals: the join can never fire nor be skipped.
+        # The caller raises JoinSignalConflictError with full edge context.
+        return "conflict"
     # XOR join
     any_true = False
     for state in states:
@@ -127,16 +170,31 @@ def default_worker(node: Node, data: Mapping[str, Any]) -> Dict[str, Any]:
 class ProcessEngine:
     """Executes process instances on (verified) process schemas."""
 
-    def __init__(self, event_log: Optional[EventLog] = None, max_propagation_rounds: int = 10000) -> None:
+    def __init__(
+        self, event_log: Optional[EventLog] = None, max_propagation_rounds: Optional[int] = None
+    ) -> None:
         # an empty EventLog is falsy (it has __len__), so test for None explicitly
         self.event_log = event_log if event_log is not None else EventLog()
+        #: Explicit round bound override.  ``None`` (the default) derives
+        #: the bound from the schema: topological depth × loop-iteration
+        #: budget, floored at the legacy constant of 10000 — see
+        #: :func:`repro.runtime.kernel.derive_round_bound`.
         self.max_propagation_rounds = max_propagation_rounds
+        # per-thread sink capturing which nodes had in-edges touched or
+        # were reset during signalling; lets the propagation kernels seed
+        # their worklist with exactly the nodes whose entry decision can
+        # have changed.  Thread-local because one engine may drive
+        # disjoint instances from many threads.
+        self._touch_sink = threading.local()
         # loop-body cache for the scan path (indexing disabled); the
         # indexed path uses the SchemaIndex's own caches instead.  Guarded
         # by a lock: the cache is keyed by id(schema) and shared by every
         # thread driving instances through this engine.
         self._loop_body_cache: Dict[Tuple[int, str], Set[str]] = {}
         self._loop_body_cache_lock = threading.Lock()
+        # derived round bounds for the scan path (indexing disabled); the
+        # indexed paths use the SchemaIndex / StepKernel caches instead
+        self._scan_bound_cache: Dict[int, int] = {}
         #: Optional hook invoked after every committed activity transition
         #: with ``(action, instance, activity_id, outputs, user)`` where
         #: ``action`` is ``"start"`` or ``"complete"``.  The durability
@@ -177,6 +235,31 @@ class ProcessEngine:
     def activated_activities(self, instance: ProcessInstance) -> List[str]:
         """Activity ids the user could start right now (worklist content)."""
         return instance.activated_activities()
+
+    def _first_activated_compiled(
+        self, instance: ProcessInstance, kernel: StepKernel
+    ) -> Optional[str]:
+        """First activated activity id, via the dense view when possible.
+
+        Byte-for-byte the same answer as ``activated_activities()[0]``:
+        when the dense view is aligned (marking holds exactly the layout's
+        nodes in layout order) the positional scan visits nodes in
+        marking-dict order, and ``bytearray.find`` runs it at C speed in
+        O(first hit) instead of O(schema).  Unaligned markings (ad-hoc
+        changed instances) fall back to the dict scan.
+        """
+        view = instance.marking.dense_view(kernel.layout)
+        if not view.aligned:
+            activated = instance.activated_activities()
+            return activated[0] if activated else None
+        flags = view.activated
+        is_activity = kernel.is_activity
+        position = flags.find(1)
+        while position != -1:
+            if is_activity[position]:
+                return kernel.node_ids[position]
+            position = flags.find(1, position + 1)
+        return None
 
     def start_activity(
         self, instance: ProcessInstance, activity_id: str, user: Optional[str] = None
@@ -264,12 +347,49 @@ class ProcessEngine:
             user=user,
         )
         self._emit(EventType.ACTIVITY_COMPLETED, instance, node=activity_id, user=user)
-        self._signal_outgoing(instance, activity_id, chosen_target=None, skipped=False)
-        self.propagate(instance)
+        self._advance_after_completion(instance, activity_id)
         if self.step_listener is not None:
             # after propagation: the listener journals the step only once the
             # whole transition (outputs, marking advance) is committed
             self.step_listener("complete", instance, activity_id, outputs, user)
+
+    def _advance_after_completion(
+        self, instance: ProcessInstance, activity_id: str, kernel: Optional[StepKernel] = None
+    ) -> None:
+        """Signal the completed activity's out-edges and re-propagate.
+
+        On the compiled path, a marking whose dense view is still at
+        fixpoint needs only the nodes the signals just touched re-examined
+        — stepping cost becomes O(affected cascade) instead of O(schema).
+        ``kernel`` lets :meth:`step_many_compiled` resolve the kernel once
+        per batch instead of once per step.
+        """
+        if not (indexing_enabled() and compiled_stepping_enabled()):
+            self._signal_outgoing(instance, activity_id, chosen_target=None, skipped=False)
+            self._propagate_interpreted(instance)
+            return
+        schema = instance.execution_schema
+        index = schema.index
+        if kernel is None or kernel is not index._step_kernel:
+            # the batch-resolved kernel no longer matches this instance's
+            # schema (ad-hoc change, rollout adoption): re-resolve
+            kernel = index.step_kernel()
+        marking = instance.marking
+        view = marking.dense_view(kernel.layout)
+        was_fixpoint = view.at_fixpoint
+        sink: List[str] = []
+        position = kernel.layout.node_pos.get(activity_id)
+        if position is not None:
+            self._signal_kernel(marking, position, kernel, None, False, sink)
+        else:  # activity outside the layout (should not happen; be safe)
+            outer = self._touch_sink
+            previous_sink = getattr(outer, "nodes", None)
+            outer.nodes = sink
+            try:
+                self._signal_outgoing(instance, activity_id, chosen_target=None, skipped=False)
+            finally:
+                outer.nodes = previous_sink
+        self._propagate_kernel(instance, kernel, seeds=sink if was_fixpoint else None)
 
     def suspend_activity(self, instance: ProcessInstance, activity_id: str) -> None:
         """Suspend a running activity (work interrupted)."""
@@ -307,6 +427,9 @@ class ProcessEngine:
         omitted, plausible defaults are generated (booleans become True so
         loops terminate).
         """
+        if indexing_enabled() and compiled_stepping_enabled():
+            counts = self.step_many_compiled([instance], max_steps, worker)
+            return counts[0]
         steps = 0
         while instance.status.is_active and steps < max_steps:
             activated = self.activated_activities(instance)
@@ -325,6 +448,9 @@ class ProcessEngine:
         worker: Optional[Worker] = None,
     ) -> int:
         """Complete up to ``activity_count`` activities (population generator)."""
+        if indexing_enabled() and compiled_stepping_enabled():
+            counts = self.step_many_compiled([instance], activity_count, worker)
+            return counts[0]
         executed = 0
         while executed < activity_count and instance.status.is_active:
             activated = self.activated_activities(instance)
@@ -335,6 +461,98 @@ class ProcessEngine:
             self.complete_activity(instance, activity_id, outputs=outputs)
             executed += 1
         return executed
+
+    def step_many_compiled(
+        self,
+        instances: Sequence[ProcessInstance],
+        activity_count: int,
+        worker: Optional[Worker] = None,
+    ) -> List[int]:
+        """Advance a batch of instances with one kernel dispatch per schema.
+
+        Equivalent to calling :meth:`advance_instance` per instance, but
+        the compiled step kernel of each distinct execution schema is
+        resolved once for the whole batch — instances of one process type
+        share a schema object, so stepping a homogeneous batch touches the
+        index exactly once.  Returns the per-instance executed counts in
+        input order.  Falls back to :meth:`advance_instance` when the
+        compiled path is disabled.
+        """
+        if not (indexing_enabled() and compiled_stepping_enabled()):
+            return [
+                self.advance_instance(instance, activity_count, worker)
+                for instance in instances
+            ]
+        kernels: Dict[int, StepKernel] = {}
+        results: List[int] = []
+        for instance in instances:
+            schema = instance.execution_schema
+            index = schema.index
+            kernel = kernels.get(id(schema))
+            if kernel is None or kernel is not index._step_kernel:
+                kernel = index.step_kernel()
+                kernels[id(schema)] = kernel
+            executed = 0
+            while executed < activity_count and instance.status.is_active:
+                activity_id = self._first_activated_compiled(instance, kernel)
+                if activity_id is None:
+                    break
+                outputs = self.outputs_for(instance, activity_id, worker)
+                self._complete_with_kernel(instance, activity_id, outputs, kernel)
+                executed += 1
+            results.append(executed)
+        return results
+
+    def _complete_with_kernel(
+        self,
+        instance: ProcessInstance,
+        activity_id: str,
+        outputs: Mapping[str, Any],
+        kernel: StepKernel,
+    ) -> None:
+        """`complete_activity` with a batch-resolved kernel (hot loop body)."""
+        if self.touch_listener is not None:
+            self.touch_listener(instance)
+        self._require_active(instance)
+        schema = instance.execution_schema
+        node = schema.node(activity_id)
+        if not node.is_activity:
+            raise EngineError(f"{activity_id!r} is not an activity node")
+        outputs = dict(outputs or {})
+        writable = {data_edge.element for data_edge in schema.writes_of(activity_id)}
+        unknown = set(outputs) - writable
+        if unknown:
+            raise EngineError(
+                f"activity {activity_id!r} has no write access to {sorted(unknown)!r}"
+            )
+        if outputs and self.step_outputs_validator is not None:
+            try:
+                self.step_outputs_validator(outputs)
+            except (TypeError, ValueError) as exc:
+                raise EngineError(
+                    f"activity {activity_id!r} outputs cannot be journaled: {exc}"
+                ) from exc
+        state = instance.marking.node_state(activity_id)
+        if state is NodeState.ACTIVATED:
+            self.start_activity(instance, activity_id)
+        elif state not in (NodeState.RUNNING, NodeState.SUSPENDED):
+            raise EngineError(
+                f"activity {activity_id!r} cannot be completed from state {state.value!r}"
+            )
+        iteration = self._iteration_of(instance, activity_id)
+        for element, value in outputs.items():
+            instance.data.write(element, value, writer=activity_id, iteration=iteration)
+        instance.marking.set_node_state(activity_id, NodeState.COMPLETED)
+        instance.history.record(
+            HistoryEventType.ACTIVITY_COMPLETED,
+            activity_id,
+            iteration=iteration,
+            values=outputs,
+        )
+        self._emit(EventType.ACTIVITY_COMPLETED, instance, node=activity_id)
+        self._advance_after_completion(instance, activity_id, kernel=kernel)
+        if self.step_listener is not None:
+            self.step_listener("complete", instance, activity_id, outputs, None)
 
     def outputs_for(
         self, instance: ProcessInstance, activity_id: str, worker: Optional[Worker] = None
@@ -373,20 +591,53 @@ class ProcessEngine:
     # ------------------------------------------------------------------ #
 
     def propagate(self, instance: ProcessInstance) -> None:
-        """Advance the marking until no further automatic step is possible."""
+        """Advance the marking until no further automatic step is possible.
+
+        Three implementations share byte-identical semantics (markings,
+        events, event order):
+
+        * the **compiled kernel** (default): per-node closures over a
+          dense marking view, driven by a worklist — only nodes whose
+          in-edges changed are re-examined;
+        * the **interpreted** per-spec loop (compiled stepping disabled):
+          full node scan per round against the marking dicts — the PR-2
+          baseline the parity suite pins the kernel against;
+        * the **edge-scan** loop (indexing disabled): the original
+          pre-index implementation.
+        """
+        if indexing_enabled() and compiled_stepping_enabled():
+            kernel = instance.execution_schema.index.step_kernel()
+            self._propagate_kernel(instance, kernel, seeds=None)
+        else:
+            self._propagate_interpreted(instance)
+
+    def _propagate_interpreted(self, instance: ProcessInstance) -> None:
+        """Fixpoint propagation by full node scans (non-compiled modes)."""
         schema = instance.execution_schema
         # the index compiles once and is shared by every round below; with
         # indexing disabled the entry decisions run the pre-index edge
         # scans instead (benchmarks and parity tests)
         if indexing_enabled():
-            specs = schema.index.entry_specs()
-            node_list = schema.index.node_ids
+            index = schema.index
+            specs = index.entry_specs()
+            node_list = index.node_ids
+            bound = (
+                self.max_propagation_rounds
+                if self.max_propagation_rounds is not None
+                else index.propagation_round_bound()
+            )
         else:
             specs = None
             node_list = schema.node_ids()
+            bound = (
+                self.max_propagation_rounds
+                if self.max_propagation_rounds is not None
+                else self._scan_round_bound(schema)
+            )
         not_activated = NodeState.NOT_ACTIVATED
-        for _ in range(self.max_propagation_rounds):
-            changed = False
+        changed_nodes: List[str] = []
+        for _ in range(bound):
+            changed_nodes = []
             # re-read both dicts per round: loop resets and structural
             # execution mutate them through the marking in place
             node_states = instance.marking.node_states
@@ -407,13 +658,229 @@ class ProcessEngine:
                         self._emit(EventType.ACTIVITY_ACTIVATED, instance, node=node_id)
                     else:
                         self._execute_structural(instance, node)
-                    changed = True
+                    changed_nodes.append(node_id)
+                elif decision == "conflict":
+                    raise self._join_conflict(instance, node_id)
                 else:
                     self._skip_node(instance, node_id)
-                    changed = True
-            if not changed:
+                    changed_nodes.append(node_id)
+            if not changed_nodes:
                 return
-        raise EngineError("marking propagation did not converge (possible engine bug)")
+        raise PropagationLimitError(instance.instance_id, bound, changed_nodes)
+
+    def _propagate_kernel(
+        self,
+        instance: ProcessInstance,
+        kernel: StepKernel,
+        seeds: Optional[List[str]] = None,
+    ) -> None:
+        """Worklist propagation through the compiled stepping kernel.
+
+        ``seeds`` — node ids whose in-edges changed since the marking was
+        last at fixpoint; ``None`` re-examines every untouched node (full
+        propagation, e.g. after migration or ad-hoc change).
+
+        The worklist replays the interpreted scan order exactly: within a
+        round, candidate positions are processed in ascending index
+        order; a node touched at position ``p`` joins the current round
+        when its position is > ``p`` (the scan has not passed it yet),
+        otherwise the next round.  This keeps the emitted event stream
+        byte-identical to the per-round full scans.
+        """
+        schema = instance.execution_schema
+        # Debug-mode stale-kernel guard: a kernel compiled for a previous
+        # schema generation must never drive a marking of the current one
+        # (positions may have shifted; decisions would be garbage).
+        assert kernel.layout.generation == schema.generation, (
+            f"stale step kernel: compiled for generation {kernel.layout.generation} "
+            f"of schema {kernel.layout.schema_id!r}, but instance "
+            f"{instance.instance_id!r} executes generation {schema.generation}"
+        )
+        marking = instance.marking
+        view = marking.dense_view(kernel.layout)
+        if view.stale:  # structural marking mutation since the view was built
+            view = marking.dense_view(kernel.layout)
+        deciders = kernel.deciders
+        node_ids = kernel.node_ids
+        is_activity = kernel.is_activity
+        node_pos = kernel.layout.node_pos
+        edge_values = view.edge_values
+        untouched = view.untouched
+        node_count = len(node_ids)
+
+        if seeds is None:
+            current = [p for p in range(node_count) if untouched[p]]
+        else:
+            current = sorted({node_pos[n] for n in seeds if n in node_pos})
+        heapify(current)
+
+        bound = (
+            self.max_propagation_rounds
+            if self.max_propagation_rounds is not None
+            else kernel.round_bound
+        )
+        sink: List[str] = []
+        outer = self._touch_sink
+        previous_sink = getattr(outer, "nodes", None)
+        outer.nodes = sink
+        try:
+            rounds = 0
+            while current:
+                rounds += 1
+                if rounds > bound:
+                    raise PropagationLimitError(
+                        instance.instance_id, rounds - 1, [node_ids[p] for p in set(current)]
+                    )
+                next_round: Set[int] = set()
+                while current:
+                    p = heappop(current)
+                    if not untouched[p]:
+                        continue
+                    decision = deciders[p](edge_values)
+                    if decision == 0:
+                        continue
+                    del sink[:]
+                    if decision == 1:
+                        if is_activity[p]:
+                            node_id = node_ids[p]
+                            marking.set_node_state(node_id, NodeState.ACTIVATED)
+                            self._emit(EventType.ACTIVITY_ACTIVATED, instance, node=node_id)
+                        else:
+                            self._execute_structural_kernel(instance, p, kernel, marking, sink)
+                    elif decision == 2:
+                        self._skip_node_kernel(instance, p, kernel, marking, sink)
+                    else:
+                        raise self._join_conflict(instance, node_ids[p])
+                    if view is not marking.dense_view(kernel.layout):
+                        # structural marking mutation mid-propagation (should
+                        # not happen during normal stepping): restart dense
+                        view = marking.dense_view(kernel.layout)
+                        edge_values = view.edge_values
+                        untouched = view.untouched
+                    for touched_id in sink:
+                        tp = node_pos.get(touched_id)
+                        if tp is None:
+                            continue
+                        if tp > p:
+                            heappush(current, tp)
+                        else:
+                            next_round.add(tp)
+                # a sorted list is a valid heap
+                current = sorted(next_round)
+            view.at_fixpoint = True
+        finally:
+            outer.nodes = previous_sink
+
+    def _signal_kernel(
+        self,
+        marking: Marking,
+        p: int,
+        kernel: StepKernel,
+        chosen_target: Optional[str],
+        skipped: bool,
+        sink: List[str],
+    ) -> None:
+        """Signal a node's out-edges through the kernel's precompiled lists.
+
+        Same writes as :meth:`_signal_outgoing`, minus the per-call
+        schema/index/edge-object traffic: the edge keys and targets were
+        resolved at kernel compile time.
+        """
+        set_key = marking.set_edge_state_key
+        if skipped:
+            for key, target in kernel.out_control[p]:
+                set_key(key, EdgeState.FALSE_SIGNALED)
+                sink.append(target)
+            for key, target in kernel.out_sync[p]:
+                set_key(key, EdgeState.FALSE_SIGNALED)
+                sink.append(target)
+            return
+        for key, target in kernel.out_control[p]:
+            if chosen_target is not None and target != chosen_target:
+                set_key(key, EdgeState.FALSE_SIGNALED)
+            else:
+                set_key(key, EdgeState.TRUE_SIGNALED)
+            sink.append(target)
+        for key, target in kernel.out_sync[p]:
+            set_key(key, EdgeState.TRUE_SIGNALED)
+            sink.append(target)
+
+    def _execute_structural_kernel(
+        self,
+        instance: ProcessInstance,
+        p: int,
+        kernel: StepKernel,
+        marking: Marking,
+        sink: List[str],
+    ) -> None:
+        """Kernel-path twin of :meth:`_execute_structural` (same semantics)."""
+        kind = kernel.action_kind[p]
+        node_id = kernel.node_ids[p]
+        if kind == ACTION_XOR_SPLIT:
+            marking.set_node_state(node_id, NodeState.COMPLETED)
+            chosen = self._choose_branch(instance, instance.execution_schema, node_id)
+            self._signal_kernel(marking, p, kernel, chosen, False, sink)
+            return
+        if kind == ACTION_LOOP_END:
+            # loop machinery (condition evaluation, body reset) is shared
+            # with the interpreted path; its signals and resets reach the
+            # worklist through the installed thread-local sink
+            self._execute_loop_end(instance, kernel.nodes[p])
+            return
+        marking.set_node_state(node_id, NodeState.COMPLETED)
+        if kind == ACTION_END:
+            instance.status = InstanceStatus.COMPLETED
+            self._emit(EventType.INSTANCE_COMPLETED, instance, node=node_id)
+            return
+        self._signal_kernel(marking, p, kernel, None, False, sink)
+
+    def _skip_node_kernel(
+        self,
+        instance: ProcessInstance,
+        p: int,
+        kernel: StepKernel,
+        marking: Marking,
+        sink: List[str],
+    ) -> None:
+        """Kernel-path twin of :meth:`_skip_node` (same semantics)."""
+        node_id = kernel.node_ids[p]
+        marking.set_node_state(node_id, NodeState.SKIPPED)
+        self._emit(EventType.ACTIVITY_SKIPPED, instance, node=node_id)
+        if kernel.is_activity[p]:
+            instance.history.record(
+                HistoryEventType.ACTIVITY_SKIPPED,
+                node_id,
+                iteration=self._iteration_of(instance, node_id),
+            )
+        if kernel.action_kind[p] == ACTION_END:
+            return
+        self._signal_kernel(marking, p, kernel, None, True, sink)
+
+    def _scan_round_bound(self, schema: ProcessSchema) -> int:
+        """Derived round bound for the index-less scan path (cached)."""
+        bound = self._scan_bound_cache.get(id(schema))
+        if bound is None:
+            bound = scan_round_bound(schema)
+            self._scan_bound_cache[id(schema)] = bound
+        return bound
+
+    def _join_conflict(self, instance: ProcessInstance, node_id: str) -> JoinSignalConflictError:
+        """Build the mixed-signal AND-join error with full edge context."""
+        schema = instance.execution_schema
+        if indexing_enabled():
+            control_edges = schema.index.in_edges(node_id, EdgeType.CONTROL)
+        else:
+            control_edges = schema.edges_to(node_id, EdgeType.CONTROL)
+        marking = instance.marking
+        states = ", ".join(
+            f"{edge.source}->{edge.target}: {marking.edge_state_key(edge.key).value}"
+            for edge in control_edges
+        )
+        return JoinSignalConflictError(
+            f"AND-join {node_id!r} of instance {instance.instance_id!r} received "
+            f"mixed branch signals ({states}); the join can neither fire nor be "
+            f"skipped — the schema or a migration produced an inconsistent marking"
+        )
 
     def _entry_decision(
         self, instance: ProcessInstance, index: Optional[SchemaIndex], node_id: str
@@ -444,8 +911,9 @@ class ProcessEngine:
                 return "skip"
             if all(s is EdgeState.TRUE_SIGNALED for s in states):
                 return "activate" if sync_ready else None
-            # Mixed signals cannot happen in a correct block-structured schema.
-            return None
+            # Mixed TRUE/FALSE signals: the join can never fire nor be skipped.
+            # The caller raises JoinSignalConflictError with full edge context.
+            return "conflict"
         if node.node_type is NodeType.XOR_JOIN:
             if not all_signaled:
                 return None
@@ -545,6 +1013,11 @@ class ProcessEngine:
             )
         for edge in internal:
             instance.marking.set_edge_state_key(edge.key, EdgeState.NOT_SIGNALED)
+        sink = getattr(self._touch_sink, "nodes", None)
+        if sink is not None:
+            # every reset node is untouched again with changed in-edges (or,
+            # for the loop start, a still-TRUE in-edge): all need re-deciding
+            sink.extend(reset_nodes)
         self._emit(EventType.LOOP_ITERATION, instance, node=loop_start_id)
         instance.history.record(
             HistoryEventType.LOOP_ITERATION_STARTED,
@@ -586,6 +1059,7 @@ class ProcessEngine:
             control_out = schema.edges_from(node_id, EdgeType.CONTROL)
             sync_out = schema.edges_from(node_id, EdgeType.SYNC)
         marking = instance.marking
+        sink = getattr(self._touch_sink, "nodes", None)
         for edge in control_out:
             if skipped:
                 state = EdgeState.FALSE_SIGNALED
@@ -594,9 +1068,13 @@ class ProcessEngine:
             else:
                 state = EdgeState.TRUE_SIGNALED
             marking.set_edge_state_key(edge.key, state)
+            if sink is not None:
+                sink.append(edge.target)
         for edge in sync_out:
             state = EdgeState.FALSE_SIGNALED if skipped else EdgeState.TRUE_SIGNALED
             marking.set_edge_state_key(edge.key, state)
+            if sink is not None:
+                sink.append(edge.target)
 
     # ------------------------------------------------------------------ #
     # helpers

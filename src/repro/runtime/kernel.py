@@ -1,0 +1,454 @@
+"""The compiled per-schema stepping kernel.
+
+The engine's marking propagation asks one question per node and round:
+given the states of the node's incoming control and sync edges, does the
+node *activate*, *skip* (dead-path elimination) or *wait*?  The
+interpreted answer (:func:`repro.runtime.engine._decide_entry`) re-reads
+the marking dict per edge on every round.  This module compiles the
+question away: at :class:`~repro.schema.index.SchemaIndex` build time
+every node is specialised into a small closure over **dense positions**
+— integer offsets into an index-ordered marking array — so the hot-path
+entry decision becomes a handful of ``bytearray`` reads with no dict
+lookups, no enum traffic and no per-edge objects.
+
+Three pieces:
+
+* :class:`MarkingLayout` — the dense coordinate system of one schema
+  generation: node ids and non-loop edge keys in index order plus their
+  reverse position maps.  :meth:`repro.runtime.markings.Marking.dense_view`
+  materialises a marking against a layout and keeps it coherent with the
+  dict representation through every mutator.
+* :class:`StepKernel` — the compiled kernel: one decider closure per
+  node (by position), the structural metadata the engine needs to act on
+  a decision, and the schema-derived propagation round bound.
+* the ``compiled_stepping`` switch — parity tests and benchmarks disable
+  the kernel to fall back to the interpreted per-spec path
+  (:func:`without_compiled_kernel`), exactly like
+  :func:`repro.schema.index.without_index` falls back to edge scans.
+
+Decision codes (shared with the dense edge-state encoding):
+
+====  ==========================  =========================
+code  as an edge state            as an entry decision
+====  ==========================  =========================
+0     NOT_SIGNALED                wait
+1     TRUE_SIGNALED               activate
+2     FALSE_SIGNALED              skip
+3     —                           mixed AND-join signals
+====  ==========================  =========================
+
+The identity of edge-state codes and decision codes is what makes the
+single-incoming-edge case (the overwhelming majority of nodes) literally
+branch-free: the decider returns ``edge_values[position]``.
+
+Code 3 is the explicit surfacing of a real bug class: an AND join whose
+incoming control edges are all signalled but disagree (some TRUE, some
+FALSE) can never fire *and* can never be skipped — the interpreted
+engine used to wait forever on such markings with a comment claiming
+they "cannot happen".  Ill-formed schemas and buggy migrations do
+produce them; the engine now raises
+:class:`~repro.runtime.engine.JoinSignalConflictError` in every mode.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.runtime.states import EdgeState
+from repro.schema.nodes import Node, NodeType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.schema.graph import ProcessSchema
+    from repro.schema.index import SchemaIndex
+
+EdgeKey = Tuple[str, str, str]
+
+# dense edge-state encoding (see the module docstring table)
+EDGE_CODE: Dict[EdgeState, int] = {
+    EdgeState.NOT_SIGNALED: 0,
+    EdgeState.TRUE_SIGNALED: 1,
+    EdgeState.FALSE_SIGNALED: 2,
+}
+
+#: Decision codes returned by compiled deciders.
+DECIDE_WAIT = 0
+DECIDE_ACTIVATE = 1
+DECIDE_SKIP = 2
+DECIDE_CONFLICT = 3
+
+#: Action dispatch codes (``StepKernel.action_kind``): what the engine
+#: does with a node whose entry decision said "activate".
+ACTION_ACTIVITY = 0
+ACTION_XOR_SPLIT = 1
+ACTION_LOOP_END = 2
+ACTION_END = 3
+ACTION_STRUCTURAL = 4
+
+#: Legacy engine-wide round cap; the schema-derived bound never goes
+#: below it so existing deep-loop schemas keep converging.
+LEGACY_ROUND_BOUND = 10000
+
+
+# ---------------------------------------------------------------------- #
+# global switch (benchmarks / parity tests)
+# ---------------------------------------------------------------------- #
+
+_COMPILED_STEPPING = True
+
+
+def compiled_stepping_enabled() -> bool:
+    """True when the engine propagates markings through compiled kernels."""
+    return _COMPILED_STEPPING
+
+
+def set_compiled_stepping(enabled: bool) -> None:
+    """Globally enable or disable the compiled stepping kernel."""
+    global _COMPILED_STEPPING
+    _COMPILED_STEPPING = bool(enabled)
+
+
+@contextlib.contextmanager
+def without_compiled_kernel():
+    """Context manager: temporarily propagate via the interpreted path.
+
+    With indexing still enabled this selects the per-spec interpreted
+    loop (the PR-2 baseline); combined with
+    :func:`repro.schema.index.without_index` it selects the original
+    edge-scan path.  Parity tests run all three.
+    """
+    global _COMPILED_STEPPING
+    previous = _COMPILED_STEPPING
+    _COMPILED_STEPPING = False
+    try:
+        yield
+    finally:
+        _COMPILED_STEPPING = previous
+
+
+# ---------------------------------------------------------------------- #
+# the dense coordinate system
+# ---------------------------------------------------------------------- #
+
+
+class MarkingLayout:
+    """Dense, index-ordered coordinates of one schema generation.
+
+    Node positions follow ``SchemaIndex.node_ids`` and edge positions
+    follow ``SchemaIndex.non_loop_edge_keys()`` — the same positional
+    order ``Marking.initial`` inserts and the PR-5 migration fingerprint
+    projects, so every dense consumer shares one layout per schema
+    generation.
+    """
+
+    __slots__ = ("schema_id", "generation", "node_ids", "edge_keys", "node_pos", "edge_pos")
+
+    def __init__(
+        self,
+        schema_id: str,
+        generation: int,
+        node_ids: Tuple[str, ...],
+        edge_keys: Tuple[EdgeKey, ...],
+    ) -> None:
+        self.schema_id = schema_id
+        self.generation = generation
+        self.node_ids = node_ids
+        self.edge_keys = edge_keys
+        self.node_pos: Dict[str, int] = {node_id: i for i, node_id in enumerate(node_ids)}
+        self.edge_pos: Dict[EdgeKey, int] = {key: i for i, key in enumerate(edge_keys)}
+
+    def __repr__(self) -> str:
+        return (
+            f"MarkingLayout({self.schema_id!r}, generation={self.generation}, "
+            f"nodes={len(self.node_ids)}, edges={len(self.edge_keys)})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# decider compilation
+# ---------------------------------------------------------------------- #
+
+Decider = Callable[[bytearray], int]
+
+
+def _compile_decider(
+    kind: int,
+    control_positions: Tuple[int, ...],
+    sync_positions: Tuple[int, ...],
+) -> Decider:
+    """Specialise one node's entry decision against its dense positions.
+
+    The returned closure reads only the dense edge-state array; all
+    structural facts (node kind, edge positions, arity) are baked in at
+    compile time.  Semantics mirror the interpreted
+    ``ProcessEngine._entry_decision`` case by case.
+    """
+    # entry-spec kinds, mirroring SchemaIndex.ENTRY_*
+    if kind == 0:  # START — always ready
+        return lambda edge_values: 1
+    if not control_positions:  # unreachable node fragment: never fires
+        return lambda edge_values: 0
+
+    if kind == 3:  # single incoming control edge (the overwhelming majority)
+        position = control_positions[0]
+        if not sync_positions:
+            # branch-free: the edge-state code IS the decision code
+            return lambda edge_values, p=position: edge_values[p]
+
+        def decide_single_synced(
+            edge_values: bytearray, p: int = position, sync: Tuple[int, ...] = sync_positions
+        ) -> int:
+            value = edge_values[p]
+            if value == 1:
+                for s in sync:
+                    if not edge_values[s]:
+                        return 0
+                return 1
+            return value  # 2 skips regardless of sync, 0 waits
+
+        return decide_single_synced
+
+    if kind == 1:  # AND join
+
+        def decide_and(
+            edge_values: bytearray,
+            control: Tuple[int, ...] = control_positions,
+            sync: Tuple[int, ...] = sync_positions,
+        ) -> int:
+            low = 3
+            high = 0
+            for p in control:
+                value = edge_values[p]
+                if value == 0:
+                    return 0  # some branch still unsignalled: wait
+                if value < low:
+                    low = value
+                if value > high:
+                    high = value
+            if low != high:
+                return 3  # mixed TRUE/FALSE signals: structurally dead join
+            if high == 2:
+                return 2  # every branch dead-path-eliminated
+            for s in sync:
+                if not edge_values[s]:
+                    return 0
+            return 1
+
+        return decide_and
+
+    # XOR join
+    def decide_xor(
+        edge_values: bytearray,
+        control: Tuple[int, ...] = control_positions,
+        sync: Tuple[int, ...] = sync_positions,
+    ) -> int:
+        any_true = False
+        for p in control:
+            value = edge_values[p]
+            if value == 0:
+                return 0
+            if value == 1:
+                any_true = True
+        if not any_true:
+            return 2
+        for s in sync:
+            if not edge_values[s]:
+                return 0
+        return 1
+
+    return decide_xor
+
+
+class StepKernel:
+    """The compiled stepping kernel of one schema at one generation.
+
+    Everything the marking propagation touches per node is precompiled
+    into position-indexed, allocation-free structures:
+
+    * ``deciders[p]`` — the entry-decision closure of the node at
+      position ``p`` (reads the dense edge-state array, returns a
+      decision code);
+    * ``nodes[p]`` / ``node_ids[p]`` — the node object / id for acting
+      on a non-wait decision (structural execution, events, history);
+    * ``is_activity[p]`` — 1 for activity nodes (activate instead of
+      auto-executing);
+    * ``successor_positions[p]`` — positions of all control/sync
+      successors, the nodes whose entry decision can change when node
+      ``p`` signals its outgoing edges (worklist propagation);
+    * ``round_bound`` — the schema-derived propagation bound:
+      control-flow depth × total loop-iteration budget, floored at the
+      legacy engine-wide constant.
+
+    Kernels are cached on the :class:`~repro.schema.index.SchemaIndex`
+    and invalidated with it by the schema generation counter; the engine
+    additionally rejects a kernel whose generation no longer matches the
+    schema (the stale-kernel guard).
+    """
+
+    __slots__ = (
+        "layout",
+        "deciders",
+        "nodes",
+        "node_ids",
+        "is_activity",
+        "action_kind",
+        "control_in_keys",
+        "out_control",
+        "out_sync",
+        "successor_positions",
+        "round_bound",
+    )
+
+    def __init__(self, schema: "ProcessSchema", index: "SchemaIndex") -> None:
+        from repro.schema.edges import EdgeType
+
+        self.layout = MarkingLayout(
+            schema.schema_id,
+            index.generation,
+            tuple(index.node_ids),
+            tuple(index.non_loop_edge_keys()),
+        )
+        layout = self.layout
+        node_count = len(layout.node_ids)
+        specs = index.entry_specs()
+
+        deciders: List[Decider] = []
+        nodes: List[Node] = []
+        is_activity = bytearray(node_count)
+        action_kind = bytearray(node_count)
+        control_in_keys: List[Tuple[EdgeKey, ...]] = []
+        out_control: List[Tuple[Tuple[EdgeKey, str], ...]] = []
+        out_sync: List[Tuple[Tuple[EdgeKey, str], ...]] = []
+        successor_positions: List[Tuple[int, ...]] = []
+        edge_pos = layout.edge_pos
+        node_pos = layout.node_pos
+        for position, node_id in enumerate(layout.node_ids):
+            kind, control_keys, sync_keys = specs[node_id]
+            deciders.append(
+                _compile_decider(
+                    kind,
+                    tuple(edge_pos[key] for key in control_keys),
+                    tuple(edge_pos[key] for key in sync_keys),
+                )
+            )
+            node = index.node(node_id)
+            nodes.append(node)
+            is_activity[position] = 1 if node.is_activity else 0
+            if node.is_activity:
+                action_kind[position] = ACTION_ACTIVITY
+            elif node.node_type is NodeType.XOR_SPLIT:
+                action_kind[position] = ACTION_XOR_SPLIT
+            elif node.node_type is NodeType.LOOP_END:
+                action_kind[position] = ACTION_LOOP_END
+            elif node.node_type is NodeType.END:
+                action_kind[position] = ACTION_END
+            else:
+                action_kind[position] = ACTION_STRUCTURAL
+            control_in_keys.append(control_keys)
+            out_control.append(
+                tuple(
+                    (edge.key, edge.target)
+                    for edge in index.out_edges(node_id, EdgeType.CONTROL)
+                )
+            )
+            out_sync.append(
+                tuple(
+                    (edge.key, edge.target)
+                    for edge in index.out_edges(node_id, EdgeType.SYNC)
+                )
+            )
+            successors = {
+                node_pos[edge.target]
+                for edge in index.out_edges(node_id, EdgeType.CONTROL)
+            }
+            successors.update(
+                node_pos[edge.target] for edge in index.out_edges(node_id, EdgeType.SYNC)
+            )
+            successor_positions.append(tuple(sorted(successors)))
+
+        self.deciders: Tuple[Decider, ...] = tuple(deciders)
+        self.nodes: Tuple[Node, ...] = tuple(nodes)
+        self.node_ids: Tuple[str, ...] = layout.node_ids
+        self.is_activity = is_activity
+        self.action_kind = action_kind
+        self.control_in_keys: Tuple[Tuple[EdgeKey, ...], ...] = tuple(control_in_keys)
+        self.out_control: Tuple[Tuple[Tuple[EdgeKey, str], ...], ...] = tuple(out_control)
+        self.out_sync: Tuple[Tuple[Tuple[EdgeKey, str], ...], ...] = tuple(out_sync)
+        self.successor_positions: Tuple[Tuple[int, ...], ...] = tuple(successor_positions)
+        self.round_bound = index.propagation_round_bound()
+
+    def __repr__(self) -> str:
+        return f"StepKernel({self.layout!r}, round_bound={self.round_bound})"
+
+
+def _control_depth(index: "SchemaIndex") -> int:
+    """Longest control-flow chain of the schema (its topological depth)."""
+    from repro.schema.edges import EdgeType
+    from repro.schema.graph import SchemaError
+
+    try:
+        order = index.topological_order(include_sync=True)
+    except SchemaError:
+        # a cyclic (ill-formed) schema has no topo order; fall back to the
+        # node count so the bound stays defined and the engine can still
+        # report non-convergence with diagnostics instead of spinning
+        return len(index.node_ids)
+    depth: Dict[str, int] = {}
+    for node_id in order:
+        best = 0
+        for edge in index.in_edges(node_id, EdgeType.CONTROL):
+            d = depth.get(edge.source, 0)
+            if d > best:
+                best = d
+        for edge in index.in_edges(node_id, EdgeType.SYNC):
+            d = depth.get(edge.source, 0)
+            if d > best:
+                best = d
+        depth[node_id] = best + 1
+    return max(depth.values(), default=1)
+
+
+def _loop_budget(loop_edges, node_source) -> int:
+    """Total loop-iteration budget: sum of every loop's max_iterations."""
+    budget = 0
+    for edge in loop_edges:
+        loop_start = node_source.node(edge.target)
+        budget += int(loop_start.properties.get("max_iterations", 100))
+    return budget
+
+
+def derive_round_bound(node_count: int, depth: int, loop_budget: int) -> int:
+    """The schema-derived propagation round bound.
+
+    Each "era" between loop-backs needs at most ``depth + 1`` rounds (one
+    per level of the control DAG plus the final no-change round), and the
+    loop-iteration budget bounds how many eras a run can open.  The
+    legacy engine-wide constant stays as a floor so schemas that
+    converged before keep converging.
+    """
+    derived = (depth + 2) * (loop_budget + 1) + node_count
+    return max(LEGACY_ROUND_BOUND, derived)
+
+
+def scan_round_bound(schema: "ProcessSchema") -> int:
+    """Round bound for the index-less scan path, derived by edge scans."""
+    loop_budget = _loop_budget(schema.loop_edges(), schema)
+    return derive_round_bound(
+        node_count=len(schema), depth=len(schema), loop_budget=loop_budget
+    )
+
+
+__all__ = [
+    "DECIDE_ACTIVATE",
+    "DECIDE_CONFLICT",
+    "DECIDE_SKIP",
+    "DECIDE_WAIT",
+    "EDGE_CODE",
+    "MarkingLayout",
+    "StepKernel",
+    "compiled_stepping_enabled",
+    "derive_round_bound",
+    "scan_round_bound",
+    "set_compiled_stepping",
+    "without_compiled_kernel",
+]

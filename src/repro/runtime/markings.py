@@ -10,14 +10,114 @@ per-operation compliance conditions are evaluated (paper Fig. 1).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.runtime.states import EdgeState, NodeState
 from repro.schema.edges import EdgeType
 from repro.schema.graph import ProcessSchema
 from repro.schema.index import indexing_enabled
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.kernel import MarkingLayout
+
 EdgeKey = Tuple[str, str, str]
+
+# dense edge-state codes, mirrored from repro.runtime.kernel.EDGE_CODE
+# (inlined here to keep the mutator hot path free of imports)
+_EDGE_CODE = {
+    EdgeState.NOT_SIGNALED: 0,
+    EdgeState.TRUE_SIGNALED: 1,
+    EdgeState.FALSE_SIGNALED: 2,
+}
+
+
+class DenseMarking:
+    """Dense, positionally-indexed projection of a :class:`Marking`.
+
+    Built against a :class:`~repro.runtime.kernel.MarkingLayout` (one per
+    schema generation) and kept coherent by the marking's mutators:
+
+    * ``edge_values[p]`` — the dense state code (0 NOT / 1 TRUE / 2 FALSE)
+      of the edge at layout position ``p``;
+    * ``untouched[p]`` — 1 while the node at position ``p`` is
+      NOT_ACTIVATED, i.e. still eligible for an entry decision;
+    * ``at_fixpoint`` — True when a propagation pass has run to quiescence
+      since the last mutation; lets ``complete_activity`` seed the next
+      pass with only the nodes its signals touched;
+    * ``stale`` — set when the marking mutates structurally (node/edge
+      added or removed), which invalidates the positional mapping; the
+      next ``dense_view`` call rebuilds against the current layout.
+
+    The positional order is exactly ``SchemaIndex.node_ids`` /
+    ``non_loop_edge_keys()`` — the same layout the migration fingerprints
+    project, so a dense view and a fingerprint of the same generation
+    always agree on coordinates.
+    """
+
+    __slots__ = (
+        "layout",
+        "edge_values",
+        "untouched",
+        "activated",
+        "aligned",
+        "at_fixpoint",
+        "stale",
+    )
+
+    def __init__(self, layout: "MarkingLayout", marking: "Marking") -> None:
+        self.layout = layout
+        edge_values = bytearray(len(layout.edge_keys))
+        edge_states = marking.edge_states
+        for key, state in edge_states.items():
+            position = layout.edge_pos.get(key)
+            if position is not None:
+                edge_values[position] = _EDGE_CODE[state]
+        untouched = bytearray(len(layout.node_ids))
+        activated = bytearray(len(layout.node_ids))
+        node_states = marking.node_states
+        not_activated = NodeState.NOT_ACTIVATED
+        is_activated = NodeState.ACTIVATED
+        for position, node_id in enumerate(layout.node_ids):
+            state = node_states.get(node_id, not_activated)
+            if state is not_activated:
+                untouched[position] = 1
+            elif state is is_activated:
+                activated[position] = 1
+        self.edge_values = edge_values
+        self.untouched = untouched
+        self.activated = activated
+        # True when the marking holds exactly the layout's nodes in the
+        # layout's order — then a positional scan visits nodes in the same
+        # order as a marking-dict scan, and dense answers (e.g. "first
+        # activated activity") replicate the dict-based ones exactly
+        self.aligned = list(node_states) == list(layout.node_ids)
+        self.at_fixpoint = False
+        self.stale = False
+
+    # mutator mirror hooks (called from Marking's setters) ------------- #
+
+    def on_node(self, node_id: str, state: NodeState) -> None:
+        position = self.layout.node_pos.get(node_id)
+        if position is None:
+            self.stale = True
+            return
+        if state is NodeState.NOT_ACTIVATED:
+            # a reset re-arms the node for entry decisions (loop back,
+            # migration, ad-hoc change): the fixpoint no longer holds
+            self.untouched[position] = 1
+            self.activated[position] = 0
+            self.at_fixpoint = False
+        else:
+            self.untouched[position] = 0
+            self.activated[position] = 1 if state is NodeState.ACTIVATED else 0
+
+    def on_edge(self, key: EdgeKey, state: EdgeState) -> None:
+        position = self.layout.edge_pos.get(key)
+        if position is None:
+            self.stale = True
+            return
+        self.edge_values[position] = _EDGE_CODE[state]
+        self.at_fixpoint = False
 
 
 class Marking:
@@ -30,6 +130,9 @@ class Marking:
     ) -> None:
         self._node_states: Dict[str, NodeState] = dict(node_states or {})
         self._edge_states: Dict[EdgeKey, EdgeState] = dict(edge_states or {})
+        # dense projection, built on demand by dense_view() and kept
+        # coherent by the mutators below
+        self._dense: Optional[DenseMarking] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -72,6 +175,8 @@ class Marking:
 
     def set_node_state(self, node_id: str, state: NodeState) -> None:
         self._node_states[node_id] = state
+        if self._dense is not None:
+            self._dense.on_node(node_id, state)
 
     def remove_node(self, node_id: str) -> None:
         """Forget the state of a node (used when a change deletes it)."""
@@ -81,6 +186,7 @@ class Marking:
             for key, state in self._edge_states.items()
             if key[0] != node_id and key[1] != node_id
         }
+        self._dense = None  # positional mapping no longer valid
 
     def nodes_in_state(self, *states: NodeState) -> List[str]:
         """All node ids currently in one of ``states``."""
@@ -122,19 +228,48 @@ class Marking:
     def set_edge_state_key(self, key: EdgeKey, state: EdgeState) -> None:
         """Set the state of the edge by its precomputed key (engine hot path)."""
         self._edge_states[key] = state
+        if self._dense is not None:
+            self._dense.on_edge(key, state)
 
     def set_edge_state(
         self, source: str, target: str, state: EdgeState, edge_type: EdgeType = EdgeType.CONTROL
     ) -> None:
-        self._edge_states[(source, target, edge_type.value)] = state
+        key = (source, target, edge_type.value)
+        self._edge_states[key] = state
+        if self._dense is not None:
+            self._dense.on_edge(key, state)
 
     def ensure_edge(self, source: str, target: str, edge_type: EdgeType = EdgeType.CONTROL) -> None:
         """Register a (new) edge with the default NOT_SIGNALED state."""
-        self._edge_states.setdefault((source, target, edge_type.value), EdgeState.NOT_SIGNALED)
+        key = (source, target, edge_type.value)
+        if key not in self._edge_states:
+            self._edge_states[key] = EdgeState.NOT_SIGNALED
+            self._dense = None  # a structurally new edge invalidates positions
 
     def ensure_node(self, node_id: str) -> None:
         """Register a (new) node with the default NOT_ACTIVATED state."""
-        self._node_states.setdefault(node_id, NodeState.NOT_ACTIVATED)
+        if node_id not in self._node_states:
+            self._node_states[node_id] = NodeState.NOT_ACTIVATED
+            self._dense = None  # a structurally new node invalidates positions
+
+    # ------------------------------------------------------------------ #
+    # dense projection (compiled stepping kernel)
+    # ------------------------------------------------------------------ #
+
+    def dense_view(self, layout: "MarkingLayout") -> DenseMarking:
+        """The dense projection of this marking against ``layout``.
+
+        The view is cached and mirrored through every mutator; it is
+        rebuilt when the layout changes (schema evolved to a new
+        generation) or after a structural marking mutation
+        (``ensure_node`` / ``ensure_edge`` / ``remove_node``) made the
+        cached positions unreliable.
+        """
+        view = self._dense
+        if view is None or view.layout is not layout or view.stale:
+            view = DenseMarking(layout, self)
+            self._dense = view
+        return view
 
     # ------------------------------------------------------------------ #
     # comparison / serialization

@@ -128,6 +128,8 @@ class SchemaIndex:
         "_block_tree",
         "_written_before",
         "_entry_specs",
+        "_step_kernel",
+        "_round_bound",
     )
 
     def __init__(self, schema: "ProcessSchema") -> None:
@@ -230,6 +232,8 @@ class SchemaIndex:
         self._block_tree: Optional["BlockTree"] = None
         self._written_before: Optional[Dict[str, Set[str]]] = None
         self._entry_specs: Optional[Dict[str, Tuple[int, Tuple[EdgeKey, ...], Tuple[EdgeKey, ...]]]] = None
+        self._step_kernel = None  # lazily compiled StepKernel (runtime.kernel)
+        self._round_bound: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # acquisition
@@ -390,6 +394,42 @@ class SchemaIndex:
                 )
             self._entry_specs = specs
         return specs
+
+    def step_kernel(self):
+        """The compiled per-schema stepping kernel (cached per generation).
+
+        Compilation specialises every node's entry decision into a closure
+        over dense marking positions; see :mod:`repro.runtime.kernel`.
+        The kernel shares this index's lifetime: it is rebuilt together
+        with the index when the schema generation moves on, and the engine
+        refuses to run a stale kernel against a newer schema.
+        """
+        kernel = self._step_kernel
+        if kernel is None:
+            from repro.runtime.kernel import StepKernel
+
+            kernel = StepKernel(self._schema, self)
+            self._step_kernel = kernel
+        return kernel
+
+    def propagation_round_bound(self) -> int:
+        """Schema-derived bound on marking-propagation rounds (cached).
+
+        Topological depth times the schema's total loop-iteration budget,
+        floored at the legacy engine constant — see
+        :func:`repro.runtime.kernel.derive_round_bound`.
+        """
+        bound = self._round_bound
+        if bound is None:
+            from repro.runtime.kernel import derive_round_bound, _control_depth, _loop_budget
+
+            bound = derive_round_bound(
+                node_count=len(self._nodes),
+                depth=_control_depth(self),
+                loop_budget=_loop_budget(self._loop_edge_list, self),
+            )
+            self._round_bound = bound
+        return bound
 
     # ------------------------------------------------------------------ #
     # loop structure

@@ -116,6 +116,12 @@ MIGRATE_COMPLIANT = "compliant"
 MIGRATE_NONE = "none"
 MIGRATE_STRICT = "strict"
 
+#: Upper bound on cases executed under one :meth:`AdeptSystem.step_many`
+#: batch scope (pins + stripes held at once).  Small enough that a batch
+#: never monopolises the lock table, large enough to amortise the
+#: per-chunk locking and kernel dispatch.
+_BATCH_CHUNK = 16
+
 _CONFLICT_OUTCOMES = (
     MigrationOutcome.STATE_CONFLICT,
     MigrationOutcome.STRUCTURAL_CONFLICT,
@@ -332,6 +338,34 @@ class AdeptSystem:
                     yield instance
         finally:
             self._unpin(instance_id)
+
+    @contextmanager
+    def _batch_execution(
+        self, type_id: str, instance_ids: List[str]
+    ) -> Iterator[List[ProcessInstance]]:
+        """Execution scope for a same-type batch of cases.
+
+        The batch twin of :meth:`_case_execution`: pins every case, takes
+        the shared type read lock once, then acquires all case stripes in
+        one deadlock-free :meth:`~repro.system.concurrency.LockTable.holding`
+        call (deduplicated, canonical stripe order).  Yields the hydrated
+        live instances in batch order.
+        """
+        for instance_id in instance_ids:
+            self._pin(instance_id)
+        try:
+            with self._type_read(type_id):
+                with self._locks.holding(*instance_ids):
+                    instances = []
+                    for instance_id in instance_ids:
+                        instance = self.get_instance(instance_id)
+                        if self._rollouts:
+                            self._touch_for_rollout(instance)
+                        instances.append(instance)
+                    yield instances
+        finally:
+            for instance_id in instance_ids:
+                self._unpin(instance_id)
 
     def _pin(self, instance_id: str) -> None:
         with self._registry:
@@ -885,22 +919,47 @@ class AdeptSystem:
         (0 when the case had nothing activated).
         """
         ids = list(instance_ids)
-        order = range(len(ids))
+        order = list(range(len(ids)))
         if self.cache_instances is not None:
-            order = sorted(order, key=lambda position: self._type_of(ids[position]))
+            order.sort(key=lambda position: self._type_of(ids[position]))
         results: List[Optional[RunResult]] = [None] * len(ids)
+        # maximal runs of consecutive same-type positions execute as one
+        # batch: one type read lock, one multi-stripe acquisition, one
+        # compiled-kernel dispatch for the whole run.  Chunks stay small so
+        # a batch never pins more cases than a bounded live cache can hold.
+        chunk_cap = _BATCH_CHUNK
+        if self.cache_instances is not None:
+            chunk_cap = max(1, min(chunk_cap, self.cache_instances))
         try:
-            for position in order:
-                instance_id = ids[position]
-                with self._case_execution(instance_id) as instance:
-                    executed = (
-                        self.engine.advance_instance(instance, steps, worker=worker)
-                        if instance.status.is_active
-                        else 0
+            cursor = 0
+            while cursor < len(order):
+                type_id = self._type_of(ids[order[cursor]])
+                upper = cursor + 1
+                while (
+                    upper < len(order)
+                    and upper - cursor < chunk_cap
+                    and self._type_of(ids[order[upper]]) == type_id
+                ):
+                    upper += 1
+                chunk = order[cursor:upper]
+                cursor = upper
+                chunk_ids = [ids[position] for position in chunk]
+                with self._batch_execution(type_id, chunk_ids) as instances:
+                    active_flags = [instance.status.is_active for instance in instances]
+                    active = [
+                        instance
+                        for instance, flag in zip(instances, active_flags)
+                        if flag
+                    ]
+                    counts = iter(
+                        self.engine.step_many_compiled(active, steps, worker=worker)
                     )
-                    results[position] = RunResult(
-                        instance_id=instance_id, steps=executed, status=instance.status
-                    )
+                    for position, instance, flag in zip(chunk, instances, active_flags):
+                        results[position] = RunResult(
+                            instance_id=instance.instance_id,
+                            steps=next(counts) if flag else 0,
+                            status=instance.status,
+                        )
         finally:
             # instances advanced before a mid-batch failure (e.g. an unknown
             # id) must still be reflected in the worklists

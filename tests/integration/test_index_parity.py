@@ -5,16 +5,27 @@ compliance and verification produce exactly the same results whether the
 structural queries are answered by the compiled index or by the original
 edge-list scans.  Each test runs the same deterministic workload twice —
 once per mode — and compares the serialised results.
+
+The compiled stepping kernel adds a third mode: every stepping parity
+check now runs scan / interpreted-spec / compiled and asserts all three
+agree on markings, events and worklist offers.  The suite carries the
+``kernel`` marker so it can run standalone (``pytest -m kernel``).
 """
 
 import json
+import random
+
+import pytest
 
 from repro.core.compliance import ComplianceChecker
 from repro.core.migration import MigrationManager
+from repro.runtime.kernel import without_compiled_kernel
 from repro.schema.index import without_index
 from repro.verification.verifier import SchemaVerifier
 from repro.workloads.order_process import order_type_change_v2, paper_fig3_population
 from repro.workloads.schema_generator import RandomSchemaGenerator, SchemaGeneratorConfig
+
+pytestmark = pytest.mark.kernel
 
 
 def _generated_schemas():
@@ -133,3 +144,140 @@ class TestIndexParity:
         with without_index():
             scanned = run()
         assert indexed == scanned
+
+
+def _in_all_modes(run):
+    """Run ``run`` under compiled / interpreted-spec / scan stepping."""
+    compiled = run()
+    with without_compiled_kernel():
+        interpreted = run()
+    with without_index():
+        scanned = run()
+    return compiled, interpreted, scanned
+
+
+def _random_stepping_trace(seed: int):
+    """Drive a random population with a seeded scheduler, recording everything.
+
+    Every step the rng picks an active instance, one of its activated
+    activities, and (sometimes perturbed) outputs; the trace records the
+    full marking dict, the activated list, and afterwards the event log.
+    Any divergence between stepping modes — ordering included — shows up
+    as a trace mismatch.
+    """
+    from repro.runtime.engine import ProcessEngine
+
+    rng = random.Random(seed)
+    schema = RandomSchemaGenerator(
+        SchemaGeneratorConfig(target_activities=16, loop_probability=0.15), seed=seed
+    ).generate(f"parity_rand_{seed}")
+    engine = ProcessEngine()
+    instances = [engine.create_instance(schema, f"case-{seed}-{k}") for k in range(4)]
+    trace = []
+    for _ in range(400):
+        live = [inst for inst in instances if inst.status.is_active]
+        if not live:
+            break
+        instance = rng.choice(live)
+        activated = instance.activated_activities()
+        if not activated:
+            break
+        activity = rng.choice(activated)
+        outputs = engine.outputs_for(instance, activity)
+        for key in sorted(outputs):
+            if isinstance(outputs[key], bool):
+                outputs[key] = rng.random() < 0.8
+        engine.complete_activity(instance, activity, outputs)
+        trace.append(
+            (
+                instance.instance_id,
+                activity,
+                json.dumps(instance.marking.to_dict(), sort_keys=True),
+                tuple(instance.activated_activities()),
+            )
+        )
+    events = tuple(
+        (event.event_type.value, event.instance_id, event.node_id)
+        for event in engine.event_log.events
+    )
+    final = tuple(
+        (inst.instance_id, inst.status.value, tuple(inst.completed_activities()))
+        for inst in instances
+    )
+    return trace, events, final
+
+
+def _facade_offer_trace():
+    """Step a façade population and record the worklist offers at each step."""
+    from repro.schema import templates
+    from repro.system import AdeptSystem
+
+    system = AdeptSystem()
+    handle = system.deploy(templates.online_order_process())
+    cases = [handle.start() for _ in range(4)]
+    ids = [case.instance_id for case in cases]
+    offers = []
+    for _ in range(40):
+        results = system.step_many(ids, steps=1)
+        offers.append(
+            tuple(
+                (item.instance_id, item.activity_id, item.role, item.state.value)
+                for item in system.worklists.offered_items()
+            )
+        )
+        if not any(result.steps for result in results):
+            break
+    events = tuple(
+        (event.event_type.value, event.instance_id, event.node_id)
+        for event in system.engine.event_log.events
+    )
+    return offers, events
+
+
+class TestCompiledKernelParity:
+    """Scan / interpreted-spec / compiled stepping must be byte-identical."""
+
+    def test_stepping_histories_identical_across_all_three_modes(self):
+        def run():
+            from repro.runtime.engine import ProcessEngine
+
+            schema = RandomSchemaGenerator(
+                SchemaGeneratorConfig(target_activities=20, loop_probability=0.1), seed=11
+            ).generate("parity_step")
+            engine = ProcessEngine()
+            traces = []
+            for k in range(6):
+                instance = engine.create_instance(schema, f"case-{k}")
+                engine.run_to_completion(instance)
+                traces.append(
+                    (
+                        instance.status.value,
+                        tuple(instance.completed_activities()),
+                        tuple(
+                            (entry.event.value, entry.activity, entry.iteration)
+                            for entry in instance.history.entries
+                        ),
+                    )
+                )
+            events = tuple(
+                (event.event_type.value, event.instance_id, event.node_id)
+                for event in engine.event_log.events
+            )
+            return traces, events
+
+        compiled, interpreted, scanned = _in_all_modes(run)
+        assert compiled == interpreted
+        assert compiled == scanned
+
+    @pytest.mark.parametrize("seed", [7, 19, 31, 43])
+    def test_random_step_sequences_identical_across_all_three_modes(self, seed):
+        compiled, interpreted, scanned = _in_all_modes(
+            lambda: _random_stepping_trace(seed)
+        )
+        assert compiled == interpreted
+        assert compiled == scanned
+
+    def test_worklist_offers_identical_across_all_three_modes(self):
+        compiled, interpreted, scanned = _in_all_modes(_facade_offer_trace)
+        assert compiled == interpreted
+        assert compiled == scanned

@@ -1,0 +1,268 @@
+"""Regression tests for the compiled stepping kernel and its bug-fix pack.
+
+Covers the three propagation bugs fixed alongside the kernel:
+
+* mixed TRUE/FALSE signals on an AND join raise :class:`JoinSignalConflictError`
+  (naming the node and its edge states) instead of silently wedging,
+* non-converging propagation raises :class:`PropagationLimitError` with the
+  instance id, round count and the still-changing node set — with the round
+  bound derived from schema size rather than a blind constant,
+* a compiled kernel is never applied to a marking of a different schema
+  generation (debug assertion), and ad-hoc change rebuilds the kernel
+  before re-propagating.
+"""
+
+import pytest
+
+from repro.core.adhoc import AdHocChanger
+from repro.core.operations import SerialInsertActivity
+from repro.runtime.engine import (
+    JoinSignalConflictError,
+    ProcessEngine,
+    PropagationLimitError,
+)
+from repro.runtime.kernel import (
+    EDGE_CODE,
+    derive_round_bound,
+    without_compiled_kernel,
+)
+from repro.runtime.states import EdgeState, InstanceStatus, NodeState
+from repro.schema import templates
+from repro.schema.builder import SchemaBuilder
+from repro.schema.edges import Edge, EdgeType
+from repro.schema.graph import ProcessSchema
+from repro.schema.index import without_index
+from repro.schema.nodes import Node, NodeType
+
+pytestmark = pytest.mark.kernel
+
+
+def _parallel_schema():
+    builder = SchemaBuilder("mixed_join", name="mixed join regression")
+    builder.activity("prepare")
+    builder.parallel(
+        [
+            lambda seq: seq.activity("branch_a"),
+            lambda seq: seq.activity("branch_b"),
+        ]
+    )
+    builder.activity("wrap_up")
+    return builder.build()
+
+
+def _mixed_signal_instance(engine, schema):
+    """An instance whose AND join sees one TRUE and one FALSE in-signal."""
+    instance = engine.create_instance(schema, "mixed")
+    join_id = next(
+        node_id
+        for node_id in schema.node_ids()
+        if schema.node(node_id).node_type is NodeType.AND_JOIN
+    )
+    in_edges = schema.edges_to(join_id, EdgeType.CONTROL)
+    assert len(in_edges) == 2
+    instance.marking.set_edge_state_key(in_edges[0].key, EdgeState.TRUE_SIGNALED)
+    instance.marking.set_edge_state_key(in_edges[1].key, EdgeState.FALSE_SIGNALED)
+    return instance, join_id
+
+
+def _pathological_loop_schema(max_iterations=10**6):
+    """A loop of automatically executing nodes that repeats unconditionally.
+
+    No activity ever interrupts propagation, and the loop condition is the
+    constant ``True``: a single ``propagate`` call churns until the round
+    bound trips.  Hand-built because the verifier rightly refuses it.
+    """
+    schema = ProcessSchema(schema_id="pathological_loop")
+    nodes = [
+        ("start", NodeType.START),
+        ("loop_start", NodeType.LOOP_START),
+        ("split", NodeType.AND_SPLIT),
+        ("join", NodeType.AND_JOIN),
+        ("loop_end", NodeType.LOOP_END),
+        ("end", NodeType.END),
+    ]
+    for node_id, node_type in nodes:
+        properties = {"max_iterations": max_iterations} if node_type is NodeType.LOOP_START else {}
+        schema.add_node(
+            Node(node_id=node_id, node_type=node_type, name=node_id, properties=properties)
+        )
+    chain = ["start", "loop_start", "split", "join", "loop_end", "end"]
+    for source, target in zip(chain, chain[1:]):
+        schema.add_edge(Edge(source=source, target=target, edge_type=EdgeType.CONTROL))
+    schema.add_edge(
+        Edge(
+            source="loop_end",
+            target="loop_start",
+            edge_type=EdgeType.LOOP,
+            loop_condition="True",
+        )
+    )
+    return schema
+
+
+class TestJoinSignalConflict:
+    def test_compiled_kernel_reports_mixed_and_join(self, engine):
+        schema = _parallel_schema()
+        instance, join_id = _mixed_signal_instance(engine, schema)
+        with pytest.raises(JoinSignalConflictError) as err:
+            engine.propagate(instance)
+        message = str(err.value)
+        assert join_id in message
+        assert instance.instance_id in message
+        assert EdgeState.TRUE_SIGNALED.value in message
+        assert EdgeState.FALSE_SIGNALED.value in message
+
+    def test_interpreted_path_reports_mixed_and_join(self, engine):
+        schema = _parallel_schema()
+        with without_compiled_kernel():
+            instance, join_id = _mixed_signal_instance(engine, schema)
+            with pytest.raises(JoinSignalConflictError) as err:
+                engine.propagate(instance)
+        assert join_id in str(err.value)
+
+    def test_scan_path_reports_mixed_and_join(self, engine):
+        schema = _parallel_schema()
+        with without_index():
+            instance, join_id = _mixed_signal_instance(engine, schema)
+            with pytest.raises(JoinSignalConflictError) as err:
+                engine.propagate(instance)
+        assert join_id in str(err.value)
+
+    def test_consistent_signals_still_fire_the_join(self, engine):
+        instance = engine.create_instance(_parallel_schema(), "clean")
+        engine.run_to_completion(instance)
+        assert instance.status is InstanceStatus.COMPLETED
+
+
+class TestPropagationLimit:
+    def test_compiled_kernel_reports_non_convergence(self):
+        engine = ProcessEngine(max_propagation_rounds=50)
+        with pytest.raises(PropagationLimitError) as err:
+            engine.create_instance(_pathological_loop_schema(), "pathological")
+        error = err.value
+        assert error.instance_id == "pathological"
+        assert error.rounds == 50
+        assert error.changing_nodes
+        message = str(error)
+        assert "pathological" in message
+        assert "50" in message
+        assert any(node_id in message for node_id in ("loop_start", "split", "join", "loop_end"))
+
+    def test_interpreted_path_reports_non_convergence(self):
+        engine = ProcessEngine(max_propagation_rounds=50)
+        with without_compiled_kernel():
+            with pytest.raises(PropagationLimitError) as err:
+                engine.create_instance(_pathological_loop_schema(), "pathological")
+        assert err.value.instance_id == "pathological"
+        assert err.value.changing_nodes
+
+    def test_scan_path_reports_non_convergence(self):
+        engine = ProcessEngine(max_propagation_rounds=50)
+        with without_index():
+            with pytest.raises(PropagationLimitError) as err:
+                engine.create_instance(_pathological_loop_schema(), "pathological")
+        assert err.value.instance_id == "pathological"
+
+    def test_default_bound_is_derived_from_schema_size(self):
+        engine = ProcessEngine()
+        assert engine.max_propagation_rounds is None
+        schema = templates.loop_process()
+        bound = schema.index.propagation_round_bound()
+        # never below the legacy constant, so no previously-working schema
+        # can start failing; loop budgets push it above when needed
+        assert bound >= 10_000
+
+    def test_derived_bound_scales_with_loop_budget(self):
+        small = derive_round_bound(node_count=10, depth=8, loop_budget=3)
+        large = derive_round_bound(node_count=10, depth=8, loop_budget=20_000)
+        assert small == 10_000
+        assert large > 10_000
+        assert large >= (8 + 2) * (20_000 + 1)
+
+    def test_deep_loop_schema_still_converges_with_derived_bound(self):
+        engine = ProcessEngine()
+        schema = templates.loop_process(body_length=3, max_iterations=40)
+        instance = engine.create_instance(schema, "deep-loop")
+        engine.run_to_completion(instance)
+        assert instance.status is InstanceStatus.COMPLETED
+
+
+class TestKernelStaleness:
+    def test_stale_kernel_is_rejected_by_debug_assertion(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "case")
+        old_kernel = order_schema.index.step_kernel()
+        order_schema.add_node(Node(node_id="late_addition", node_type=NodeType.ACTIVITY))
+        assert old_kernel.layout.generation != order_schema.generation
+        with pytest.raises(AssertionError, match="stale step kernel"):
+            engine._propagate_kernel(instance, old_kernel)
+
+    def test_adhoc_change_rebuilds_kernel_before_repropagation(self, engine, order_schema):
+        changer = AdHocChanger(engine)
+        instance = engine.create_instance(order_schema, "case")
+        engine.complete_activity(instance, "get_order")
+        old_kernel = instance.execution_schema.index.step_kernel()
+        changer.apply(
+            instance,
+            [
+                SerialInsertActivity(
+                    activity=Node(node_id="verify_address"),
+                    pred="get_order",
+                    succ="collect_data",
+                )
+            ],
+        )
+        new_kernel = instance.execution_schema.index.step_kernel()
+        assert new_kernel is not old_kernel
+        assert new_kernel.layout.generation == instance.execution_schema.generation
+        engine.run_to_completion(instance)
+        assert instance.status is InstanceStatus.COMPLETED
+        assert "verify_address" in instance.completed_activities()
+
+
+def _assert_dense_coherent(marking, layout):
+    """The dense view must mirror the dict representation cell for cell."""
+    view = marking.dense_view(layout)
+    assert not view.stale
+    for position, node_id in enumerate(layout.node_ids):
+        state = marking.node_state(node_id)
+        assert view.untouched[position] == (1 if state is NodeState.NOT_ACTIVATED else 0)
+        assert view.activated[position] == (1 if state is NodeState.ACTIVATED else 0)
+    for position, key in enumerate(layout.edge_keys):
+        assert view.edge_values[position] == EDGE_CODE[marking.edge_state_key(key)]
+
+
+class TestDenseViewCoherence:
+    def test_dense_view_tracks_stepping_and_loop_resets(self, engine):
+        schema = templates.loop_process(body_length=2, max_iterations=5)
+        layout = schema.index.step_kernel().layout
+        instance = engine.create_instance(schema, "loop-case")
+        _assert_dense_coherent(instance.marking, layout)
+        while instance.status.is_active:
+            activity = instance.activated_activities()[0]
+            engine.complete_activity(
+                instance, activity, engine.outputs_for(instance, activity)
+            )
+            _assert_dense_coherent(instance.marking, layout)
+
+    def test_structural_mutation_invalidates_the_cached_view(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "case")
+        layout = order_schema.index.step_kernel().layout
+        view = instance.marking.dense_view(layout)
+        instance.marking.ensure_node("grafted")
+        rebuilt = instance.marking.dense_view(layout)
+        assert rebuilt is not view
+        _assert_dense_coherent(instance.marking, layout)
+
+    def test_view_goes_stale_when_marking_outgrows_the_layout(self, engine, order_schema):
+        instance = engine.create_instance(order_schema, "case")
+        layout = order_schema.index.step_kernel().layout
+        instance.marking.ensure_node("grafted")
+        rebuilt = instance.marking.dense_view(layout)
+        # the extra node breaks positional alignment, so dict-order answers
+        # (e.g. "first activated activity") fall back to the dict scan
+        assert not rebuilt.aligned
+        # writing a node the layout cannot place marks the view stale, and
+        # the next dense_view call rebuilds instead of mis-indexing
+        instance.marking.set_node_state("grafted", NodeState.ACTIVATED)
+        assert rebuilt.stale
+        assert instance.marking.dense_view(layout) is not rebuilt
