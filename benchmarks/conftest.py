@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional
 
@@ -26,6 +27,23 @@ RESULTS_DIR = Path(__file__).parent / "results"
 REPO_ROOT = Path(__file__).parent.parent
 
 SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def host_metadata() -> Dict[str, object]:
+    """What the numbers were measured on.
+
+    Stamped into every ``BENCH_*.json``: multi-process results (the
+    sharded service tier in particular) are only comparable across runs
+    when the CPU budget and interpreter are known — an 8-shard speedup
+    measured on 8 cores and one measured on 1 core are different claims.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
 
 
 def gate_result(name: str, threshold: float, measured: float, higher_is_better: bool = True) -> Dict[str, object]:
@@ -98,6 +116,8 @@ def _merge_bench_json(
             pass
     payload["experiment"] = experiment
     payload["smoke"] = SMOKE
+    payload["host"] = host_metadata()
+    payload["python_hash_seed"] = os.environ.get("PYTHONHASHSEED", "")
     sections = payload.setdefault("sections", {})
     section: Dict[str, object] = {"rows": rows}
     if gate is not None:

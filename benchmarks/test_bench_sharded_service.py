@@ -1,0 +1,261 @@
+"""Sharded service tier benchmark (``-m shards``): scaling + exactness.
+
+Two claims, both against real OS processes:
+
+* **process scaling** — aggregate ``step_many`` throughput over a
+  durable population whose activities carry a small simulated service
+  latency (the blocking portion of real activity implementations).  One
+  shard performs the blocked portions sequentially; eight shard
+  *processes* overlap them — and, unlike the PR-4 thread pool, also
+  overlap the engine's CPU work on multi-core hosts.  Acceptance gate:
+  **≥ 4x aggregate step throughput at 8 shards vs 1 shard**.
+
+* **evolve under load, exactly once** — a versioned two-phase broadcast
+  migrates a population spread over 3 shards while a second type keeps
+  stepping through the router.  The per-shard outcome counters must sum
+  to a single-process reference evolution of the identical population,
+  and each shard's WAL must hold **exactly one** evolution record whose
+  candidate lists partition the population — no case migrated twice, no
+  case missed.
+
+The telemetry table promotes the ``distributed/`` simulation counters
+(handover, change_propagation, data_transfer) to *measured* values:
+``BENCH_A5_distributed.json`` models these per scenario, this file
+reports what actually crossed the wire.
+
+Rows land in ``benchmarks/results/BENCH_sharded_service.txt``.
+Smoke mode (``BENCH_SMOKE=1``): tiny populations, no timing assertions.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from benchmarks.conftest import gate_result, write_rows
+from repro.schema import templates
+from repro.system import AdeptSystem
+from repro.service import ShardRouter, ShardSupervisor
+from repro.workloads.order_process import order_type_change_v2
+
+pytestmark = pytest.mark.shards
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+EXPERIMENT = "BENCH_sharded_service"
+
+SHARD_COUNTS = (1, 2) if SMOKE else (1, 2, 4, 8)
+#: Cases in the scaling population; every case executes STEPS activities.
+CASES = 16 if SMOKE else 320
+STEPS = 2 if SMOKE else 6
+#: Simulated blocking time per activity (service call / human latency).
+#: The scaling claim is about overlapping this blocked portion across
+#: shard processes — like PR-4's worker pool, but past the GIL.
+ACTIVITY_LATENCY_S = 0.002
+WORKER_SPEC = f"simulated_latency:{ACTIVITY_LATENCY_S}"
+#: Acceptance gate: throughput at 8 shard processes over 1 shard.
+MIN_SPEEDUP = 4.0
+
+EVOLVE_SHARDS = 3
+EVOLVE_CASES = 12 if SMOKE else 120
+
+
+def _scaling_run(tmp_path, shards: int) -> dict:
+    """Aggregate step throughput of one fleet size (durable stores)."""
+    schema = templates.sequential_process(length=STEPS, schema_id="bench_shard_seq")
+    supervisor = ShardSupervisor(str(tmp_path / f"fleet-{shards}"), shards=shards)
+    supervisor.start_all()
+    router = ShardRouter(supervisor.endpoints)
+    try:
+        router.deploy(schema.to_dict())
+        ids = router.start_many(schema.name, CASES)
+        started = time.perf_counter()
+        results = router.step_many(ids, steps=STEPS, worker=WORKER_SPEC)
+        elapsed = time.perf_counter() - started
+        stepped = sum(result["steps"] for result in results)
+        assert stepped == CASES * STEPS, (stepped, CASES * STEPS)
+        telemetry = router.telemetry()
+        return {
+            "shards": shards,
+            "throughput": stepped / elapsed,
+            "telemetry": telemetry,
+        }
+    finally:
+        router.close()
+        supervisor.stop()
+
+
+def test_process_scaling_throughput(tmp_path):
+    """8 shard processes must deliver >= 4x the steps/s of 1 shard."""
+    runs = {shards: _scaling_run(tmp_path, shards) for shards in SHARD_COUNTS}
+    top = max(SHARD_COUNTS)
+    speedup = runs[top]["throughput"] / runs[1]["throughput"]
+    write_rows(
+        EXPERIMENT,
+        f"process scaling ({CASES} durable cases x {STEPS} steps, "
+        f"{ACTIVITY_LATENCY_S * 1000:.0f}ms activity latency)",
+        [
+            {
+                "shards": shards,
+                "steps/s": f"{runs[shards]['throughput']:.0f}",
+                "speedup": f"{runs[shards]['throughput'] / runs[1]['throughput']:.2f}x",
+            }
+            for shards in SHARD_COUNTS
+        ],
+        gate=gate_result("sharded_step_speedup", MIN_SPEEDUP, speedup),
+        schema_sizes={"population": CASES, "steps_per_case": STEPS, "shards": top},
+    )
+    write_rows(
+        EXPERIMENT,
+        "measured communication telemetry (scaling runs)",
+        [
+            {
+                "shards": shards,
+                "requests": runs[shards]["telemetry"]["requests"],
+                "change_propagation": runs[shards]["telemetry"]["change_propagation"],
+                "handover": runs[shards]["telemetry"]["handover"],
+                "data_transfer_bytes": runs[shards]["telemetry"]["data_transfer"],
+            }
+            for shards in SHARD_COUNTS
+        ],
+    )
+    if not SMOKE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"{top} shard processes deliver only {speedup:.2f}x the throughput "
+            f"of 1 shard (gate: {MIN_SPEEDUP}x)"
+        )
+
+
+def _progress_plan(ids):
+    """Deterministic per-case progress: every third case advances past the
+    V2 insertion point (a migration conflict), the rest stay compliant."""
+    return {
+        case_id: (4 if index % 3 == 0 else 2) for index, case_id in enumerate(ids)
+    }
+
+
+def test_evolve_under_load_matches_single_process_reference(tmp_path):
+    """Two-phase broadcast == one-process evolve, exactly once per WAL."""
+    supervisor = ShardSupervisor(str(tmp_path / "evolve-fleet"), shards=EVOLVE_SHARDS)
+    supervisor.start_all()
+    router = ShardRouter(supervisor.endpoints)
+    try:
+        router.deploy(templates.online_order_process().to_dict())
+        router.deploy(
+            templates.sequential_process(length=3, schema_id="bench_side_seq").to_dict()
+        )
+        ids = router.start_many("online_order", EVOLVE_CASES)
+        plan = _progress_plan(ids)
+        for case_id, steps in plan.items():
+            result = router.step_many([case_id], steps=steps)[0]
+            assert result["steps"] == steps
+        side_ids = router.start_many("sequence", EVOLVE_CASES // 2)
+
+        # a second type keeps stepping through the router while the
+        # broadcast runs — the evolve quiesces only the affected type
+        side_steps = {"count": 0, "errors": []}
+        evolving = threading.Event()
+
+        def _side_load():
+            while not evolving.is_set():
+                try:
+                    for result in router.step_many(side_ids, steps=1):
+                        side_steps["count"] += result["steps"]
+                except Exception as exc:  # noqa: BLE001 - recorded, asserted below
+                    side_steps["errors"].append(repr(exc))
+                    return
+
+        load_thread = threading.Thread(target=_side_load)
+        load_thread.start()
+        evolve_started = time.perf_counter()
+        summary = router.evolve(
+            "online_order", order_type_change_v2(1).to_dict(), expect_version=1
+        )
+        evolve_seconds = time.perf_counter() - evolve_started
+        evolving.set()
+        load_thread.join(timeout=60.0)
+        assert not side_steps["errors"], side_steps["errors"]
+
+        # ---- single-process reference over the identical population ---- #
+        reference = AdeptSystem()
+        reference.deploy(templates.online_order_process())
+        for case_id in ids:
+            reference.start("online_order", case_id=case_id)
+        for case_id, steps in plan.items():
+            reference.step_many([case_id], steps=steps)
+        report = reference.evolve("online_order", order_type_change_v2(1))
+
+        assert summary["total"] == report.total == EVOLVE_CASES
+        assert summary["migrated"] == report.migrated_count
+        assert summary["outcomes"] == report.outcome_counts()
+        conflicted = summary["total"] - summary["migrated"]
+        assert conflicted == sum(1 for steps in plan.values() if steps == 4)
+
+        # ---- exactly once, verified against each shard's WAL ----------- #
+        wal_candidates = {}
+        for shard_id, wal in router.broadcast("wal_summary").items():
+            order_evolutions = [
+                record
+                for record in wal["evolutions"]
+                if record["type_id"] == "online_order"
+            ]
+            assert len(order_evolutions) == 1, (
+                f"{shard_id} journaled {len(order_evolutions)} evolution records"
+            )
+            wal_candidates[shard_id] = order_evolutions[0]["candidates"]
+            # each case's journaled steps match exactly what was acked
+            for case_id, steps in plan.items():
+                if router.ring.shard_for(case_id) == shard_id:
+                    assert wal["steps_by_instance"].get(case_id, 0) == steps
+        all_candidates = [c for group in wal_candidates.values() for c in group]
+        assert len(all_candidates) == len(set(all_candidates)), (
+            "a case appeared in two shards' evolution records"
+        )
+        assert sorted(all_candidates) == sorted(ids)
+
+        per_shard_rows = [
+            {
+                "shard": shard_id,
+                "candidates": len(wal_candidates[shard_id]),
+                "migrated": summary["shards"][shard_id]["migrated"],
+                "total": summary["shards"][shard_id]["total"],
+            }
+            for shard_id in sorted(wal_candidates)
+        ]
+        per_shard_rows.append(
+            {
+                "shard": "fleet",
+                "candidates": len(all_candidates),
+                "migrated": summary["migrated"],
+                "total": summary["total"],
+            }
+        )
+        per_shard_rows.append(
+            {
+                "shard": "reference",
+                "candidates": report.total,
+                "migrated": report.migrated_count,
+                "total": report.total,
+            }
+        )
+        write_rows(
+            EXPERIMENT,
+            f"evolve under load ({EVOLVE_CASES} cases over {EVOLVE_SHARDS} shards, "
+            f"{side_steps['count']} concurrent side-type steps, "
+            f"broadcast in {evolve_seconds * 1000:.0f}ms)",
+            per_shard_rows,
+            gate=gate_result(
+                "sharded_evolve_parity",
+                1.0,
+                1.0 if summary["outcomes"] == report.outcome_counts() else 0.0,
+            ),
+            schema_sizes={"population": EVOLVE_CASES, "shards": EVOLVE_SHARDS},
+        )
+        if not SMOKE:
+            assert side_steps["count"] > 0, (
+                "the side load never stepped — the drill did not run under load"
+            )
+    finally:
+        router.close()
+        supervisor.stop()

@@ -16,7 +16,11 @@ is the thinnest possible shell around the service façade:
   (optionally) compact it into a fresh checkpoint;
 * ``demo-fig1`` — rerun the paper's Fig. 1 migration example;
 * ``demo-fig3`` — evolve the online-order type against a population of
-  running instances and print the migration report.
+  running instances and print the migration report;
+* ``serve`` — spawn N shard processes over one base store and route
+  until interrupted (Ctrl-C drains and checkpoints every shard);
+* ``shard-status`` — query a running shard fleet and print per-shard
+  state plus aggregated telemetry.
 
 Commands accepting ``--store PATH`` run against a *durable* system
 (``AdeptSystem.open``): state survives across invocations, every committed
@@ -173,6 +177,83 @@ def _cmd_recover(args: argparse.Namespace) -> int:
             system.checkpoint()
             print("checkpoint written; write-ahead log truncated")
     system.close(checkpoint=False)
+    return 0
+
+
+def _discover_fleet(base_store: str) -> Dict[str, Any]:
+    """Read every shard's ``endpoint.json`` under a ``serve`` base store."""
+    from pathlib import Path
+
+    from repro.service.shard_server import ENDPOINT_FILE
+
+    endpoints: Dict[str, Any] = {}
+    for endpoint_file in sorted(Path(base_store).glob(f"*/{ENDPOINT_FILE}")):
+        payload = json.loads(endpoint_file.read_text())
+        endpoints[payload["shard_id"]] = (payload["host"], payload["port"])
+    return endpoints
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Spawn shards + router; drain gracefully on Ctrl-C/SIGTERM."""
+    import signal as _signal
+    import threading
+
+    from repro.service import ShardRouter, ShardSupervisor
+
+    supervisor = ShardSupervisor(
+        args.store, shards=args.shards, workers=args.workers, worker=args.worker
+    )
+    endpoints = supervisor.start_all()
+    router = ShardRouter(endpoints)
+    for shard_id in sorted(endpoints):
+        host, port = endpoints[shard_id]
+        print(f"{shard_id}: {host}:{port} (store {supervisor.store_of(shard_id)})")
+    for source in args.deploy:
+        result = router.deploy(_resolve_schema(source).to_dict())
+        print(f"deployed {result['type_id']!r} on {args.shards} shard(s)")
+    stop = threading.Event()
+    _signal.signal(_signal.SIGINT, lambda *_: stop.set())
+    _signal.signal(_signal.SIGTERM, lambda *_: stop.set())
+    print(f"serving {args.shards} shard(s); Ctrl-C drains and checkpoints")
+    stop.wait()
+    print("draining...")
+    router.close()
+    supervisor.stop()
+    print("all shards checkpointed and stopped")
+    return 0
+
+
+def _cmd_shard_status(args: argparse.Namespace) -> int:
+    """Print the per-shard status + aggregated telemetry of a fleet."""
+    from repro.service import ShardRouter
+
+    endpoints = _discover_fleet(args.store)
+    if not endpoints:
+        print(f"no shard endpoints found under {args.store!r}", file=sys.stderr)
+        return 1
+    router = ShardRouter(endpoints)
+    try:
+        status = router.status()
+    finally:
+        router.close()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    for shard_id in sorted(status["shards"]):
+        shard = status["shards"][shard_id]
+        print(
+            f"{shard_id}: pid={shard['pid']} {shard['host']}:{shard['port']} "
+            f"live={shard['live_instances']} stored={shard['stored_instances']} "
+            f"types={','.join(shard['types']) or '-'}"
+        )
+    telemetry = status["telemetry"]
+    print(
+        f"fleet: handovers={telemetry.get('handover', 0)} "
+        f"change_propagation={telemetry.get('change_propagation', 0)} "
+        f"migrations={telemetry.get('migration', 0)} "
+        f"data_transfer={telemetry.get('data_transfer', 0)}B "
+        f"requests={telemetry.get('requests', 0)} steps={telemetry.get('steps', 0)}"
+    )
     return 0
 
 
@@ -385,6 +466,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a fresh snapshot and truncate the write-ahead log")
     sub.add_argument("--json", action="store_true", help="machine-readable output")
     sub.set_defaults(handler=_cmd_recover)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help="run a sharded multi-process service tier over one base store",
+    )
+    sub.add_argument("--shards", type=int, default=2, help="number of shard processes")
+    sub.add_argument("--store", metavar="DIR", required=True,
+                     help="base store directory (one subdirectory per shard)")
+    sub.add_argument("--workers", type=int, default=0,
+                     help="worker pool threads per shard (0 = none)")
+    sub.add_argument("--worker", default="",
+                     help="worker spec for the pools (e.g. simulated_latency:0.002)")
+    sub.add_argument("--deploy", metavar="SCHEMA", action="append", default=[],
+                     help="template name or schema JSON to broadcast-deploy on startup "
+                          "(repeatable)")
+    sub.set_defaults(handler=_cmd_serve)
+
+    sub = subparsers.add_parser(
+        "shard-status", help="query a running shard fleet spawned by 'serve'"
+    )
+    sub.add_argument("--store", metavar="DIR", required=True,
+                     help="the base store directory given to 'serve'")
+    sub.add_argument("--json", action="store_true", help="machine-readable output")
+    sub.set_defaults(handler=_cmd_shard_status)
 
     sub = subparsers.add_parser("demo-fig1", help="rerun the paper's Fig. 1 migration example")
     sub.set_defaults(handler=_cmd_demo_fig1)

@@ -8,6 +8,13 @@ process: a partitioning assigns activities to servers, a coordinator
 executes instances while accounting for control hand-overs and the
 messages required to propagate ad-hoc changes and migrations to all
 affected servers.
+
+The counters this package *models* (handover, change_propagation,
+migration, data_transfer) are *measured* by the real multi-process
+service tier in :mod:`repro.service`: shard servers count actual
+hand-overs, broadcast messages and bytes on the wire, reported under
+the same names (``repro.service.ShardTelemetry``, and the telemetry
+table in ``BENCH_sharded_service.json``).
 """
 
 from repro.distributed.partitioning import SchemaPartitioning

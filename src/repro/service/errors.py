@@ -1,0 +1,41 @@
+"""Errors of the sharded service tier."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """Base class for every service-tier failure."""
+
+
+class ShardProtocolError(ServiceError):
+    """A frame on the wire was malformed or truncated."""
+
+
+class ShardUnavailableError(ServiceError):
+    """A shard could not be reached (crashed, restarting, or gone).
+
+    The router raises this for exactly the shard(s) that failed; calls
+    routed to the surviving shards keep succeeding — partition ownership
+    makes failures independent.
+    """
+
+    def __init__(self, shard_id: str, message: str) -> None:
+        super().__init__(f"shard {shard_id!r} unavailable: {message}")
+        self.shard_id = shard_id
+
+
+class RemoteError(ServiceError):
+    """A shard executed the request and reported a failure.
+
+    Carries the remote exception's class name so callers can
+    distinguish, e.g., a lost claim race (``EngineError``) from a
+    migration refusal (``MigrationError``).
+    """
+
+    def __init__(self, shard_id: str, remote_type: str, message: str) -> None:
+        super().__init__(f"[{shard_id}] {remote_type}: {message}")
+        self.shard_id = shard_id
+        self.remote_type = remote_type
+        self.remote_message = message

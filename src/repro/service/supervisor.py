@@ -1,0 +1,192 @@
+"""Spawning and babysitting shard processes.
+
+The :class:`ShardSupervisor` is the deployment glue between the CLI and
+the shard runtime: it derives each shard's store directory from one base
+path (:func:`repro.system.persistence.shard_store_path`), spawns
+``python -m repro.service.shard_server`` per shard, discovers the
+OS-assigned ports through the ``endpoint.json`` handshake and builds the
+endpoint map a :class:`~repro.service.router.ShardRouter` consumes.
+
+It also powers the failure drills: :meth:`kill` SIGKILLs one shard
+(crash simulation — no flush, no checkpoint), :meth:`restart` brings it
+back on the *same store* so ``AdeptSystem.open`` replays its WAL, and
+:meth:`stop` SIGTERMs the fleet for the graceful flush-and-checkpoint
+path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import repro
+from repro.service.errors import ServiceError
+from repro.service.shard_server import ENDPOINT_FILE
+from repro.system.persistence import shard_store_path
+
+__all__ = ["ShardSupervisor"]
+
+
+def shard_ids(count: int) -> List[str]:
+    """The canonical shard naming: ``shard-00`` … ``shard-NN``."""
+    return [f"shard-{index:02d}" for index in range(count)]
+
+
+class ShardSupervisor:
+    """Own the lifecycle of N shard processes over one base store."""
+
+    def __init__(
+        self,
+        base_store: str,
+        shards: int = 2,
+        workers: int = 0,
+        worker: str = "",
+        cache_instances: Optional[int] = None,
+        startup_timeout: float = 30.0,
+    ) -> None:
+        if shards < 1:
+            raise ServiceError("a supervisor needs at least one shard")
+        self.base_store = base_store
+        self.shard_ids = shard_ids(shards)
+        self.workers = workers
+        self.worker_spec = worker
+        self.cache_instances = cache_instances
+        self.startup_timeout = startup_timeout
+        self.processes: Dict[str, subprocess.Popen] = {}
+        self.endpoints: Dict[str, Tuple[str, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # spawning
+    # ------------------------------------------------------------------ #
+
+    def store_of(self, shard_id: str) -> str:
+        return shard_store_path(self.base_store, shard_id)
+
+    def _spawn_command(self, shard_id: str) -> List[str]:
+        command = [
+            sys.executable,
+            "-m",
+            "repro.service.shard_server",
+            "--shard-id",
+            shard_id,
+            "--store",
+            self.store_of(shard_id),
+            "--port",
+            "0",
+        ]
+        if self.workers:
+            command += ["--workers", str(self.workers)]
+        if self.worker_spec:
+            command += ["--worker", self.worker_spec]
+        if self.cache_instances is not None:
+            command += ["--cache-instances", str(self.cache_instances)]
+        return command
+
+    def _environment(self) -> Dict[str, str]:
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            package_root if not existing else package_root + os.pathsep + existing
+        )
+        return env
+
+    def spawn(self, shard_id: str) -> Tuple[str, int]:
+        """Start one shard process and wait for its endpoint handshake."""
+        if shard_id in self.processes and self.processes[shard_id].poll() is None:
+            raise ServiceError(f"shard {shard_id!r} is already running")
+        store = Path(self.store_of(shard_id))
+        store.mkdir(parents=True, exist_ok=True)
+        endpoint_file = store / ENDPOINT_FILE
+        if endpoint_file.exists():
+            endpoint_file.unlink()  # a stale endpoint must not win the race
+        log_handle = open(store / "server.log", "ab")
+        try:
+            process = subprocess.Popen(
+                self._spawn_command(shard_id),
+                stdout=log_handle,
+                stderr=subprocess.STDOUT,
+                env=self._environment(),
+            )
+        finally:
+            log_handle.close()  # the child inherited the descriptor
+        self.processes[shard_id] = process
+        endpoint = self._await_endpoint(shard_id, process, endpoint_file)
+        self.endpoints[shard_id] = endpoint
+        return endpoint
+
+    def _await_endpoint(
+        self, shard_id: str, process: subprocess.Popen, endpoint_file: Path
+    ) -> Tuple[str, int]:
+        deadline = time.monotonic() + self.startup_timeout
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                log = (endpoint_file.parent / "server.log").read_text(errors="replace")
+                raise ServiceError(
+                    f"shard {shard_id!r} exited with {process.returncode} during "
+                    f"startup; log tail:\n{log[-2000:]}"
+                )
+            if endpoint_file.exists():
+                try:
+                    payload = json.loads(endpoint_file.read_text())
+                except json.JSONDecodeError:
+                    continue  # mid-rename; the write is atomic, retry
+                return payload["host"], payload["port"]
+            time.sleep(0.02)
+        raise ServiceError(f"shard {shard_id!r} did not publish an endpoint in time")
+
+    def start_all(self) -> Dict[str, Tuple[str, int]]:
+        for shard_id in self.shard_ids:
+            self.spawn(shard_id)
+        return dict(self.endpoints)
+
+    # ------------------------------------------------------------------ #
+    # failure drills and shutdown
+    # ------------------------------------------------------------------ #
+
+    def kill(self, shard_id: str) -> None:
+        """SIGKILL one shard — the crash path, nothing flushes."""
+        process = self.processes.get(shard_id)
+        if process is None or process.poll() is not None:
+            raise ServiceError(f"shard {shard_id!r} is not running")
+        process.kill()
+        process.wait(timeout=10.0)
+
+    def restart(self, shard_id: str) -> Tuple[str, int]:
+        """Bring a dead shard back on its own store (WAL replay recovery)."""
+        process = self.processes.get(shard_id)
+        if process is not None and process.poll() is None:
+            raise ServiceError(f"shard {shard_id!r} is still running")
+        return self.spawn(shard_id)
+
+    def alive(self, shard_id: str) -> bool:
+        process = self.processes.get(shard_id)
+        return process is not None and process.poll() is None
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """SIGTERM every shard and wait — the graceful flush path."""
+        for process in self.processes.values():
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + timeout
+        for shard_id, process in self.processes.items():
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10.0)
+        self.processes.clear()
+
+    def __enter__(self) -> "ShardSupervisor":
+        self.start_all()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.stop()

@@ -241,6 +241,7 @@ class AdeptSystem:
         self.migration_workers = migration_workers
         self._pin_count = 0
         self._backend: Optional[PersistentBackend] = None
+        self._closed = False
         #: Report of the recovery performed by :meth:`open` (``None`` otherwise).
         self.last_recovery: Optional[RecoveryReport] = None
 
@@ -455,17 +456,24 @@ class AdeptSystem:
         remains usable afterwards, but further mutations are journaled to
         a WAL whose handle reopens transparently — call :meth:`close`
         again before discarding it.
+
+        Idempotent: a second :meth:`close` with no mutation in between
+        returns immediately.  Signal handlers (the shard server flushes
+        and checkpoints on SIGTERM) and ``finally`` blocks can therefore
+        both call it without double-checkpointing or reopening the WAL
+        handle just to close it again.
         """
         with self._pool_guard:
             pool = self._pool
             self._pool = None
         if pool is not None and pool.active:
             pool.stop()
-        if self._backend is None:
+        if self._backend is None or self._closed:
             return
         if checkpoint:
             self.checkpoint()
         self._backend.close()
+        self._closed = True
 
     def __enter__(self) -> "AdeptSystem":
         return self
@@ -475,6 +483,9 @@ class AdeptSystem:
 
     def _journal(self, kind: str, **fields: Any) -> None:
         if self._backend is not None:
+            # a mutation after close() reopens the WAL transparently —
+            # the system is live again and must be closed again
+            self._closed = False
             self._backend.journal(kind, **fields)
 
     @contextmanager
@@ -1132,6 +1143,7 @@ class AdeptSystem:
         conflict_threshold: float = 0.5,
         min_observations: int = 20,
         canary_policy: str = POLICY_REVERT,
+        canary_decide: str = "auto",
     ) -> Any:
         """Release a new schema version and migrate running instances.
 
@@ -1202,6 +1214,11 @@ class AdeptSystem:
                 raise ValueError(
                     "progressive rollouts support the 'compliant' migration policy only"
                 )
+            if canary_decide not in ("auto", "external"):
+                raise ValueError(
+                    f"unknown canary_decide {canary_decide!r}; "
+                    f"expected 'auto' or 'external'"
+                )
             return self._evolve_progressive(
                 type_id,
                 change,
@@ -1210,6 +1227,7 @@ class AdeptSystem:
                 conflict_threshold=conflict_threshold,
                 min_observations=min_observations,
                 policy=canary_policy,
+                decide_externally=canary_decide == "external",
             )
         with self._type_lock(type_id).write():
             # while the type is quiesced, worklist refreshes triggered by
@@ -1750,6 +1768,7 @@ class AdeptSystem:
         conflict_threshold: float,
         min_observations: int,
         policy: str,
+        decide_externally: bool = False,
     ) -> Rollout:
         """Publish a new version without quiescing the population.
 
@@ -1777,6 +1796,7 @@ class AdeptSystem:
                 conflict_threshold=conflict_threshold,
                 min_observations=min_observations,
                 policy=policy,
+                decide_externally=decide_externally,
             )
             new_schema = self.repository.release_version(type_id, type_change)
             self._attach_plan(rollout)
@@ -1790,6 +1810,7 @@ class AdeptSystem:
                 conflict_threshold=conflict_threshold,
                 min_observations=min_observations,
                 policy=policy,
+                decide_externally=decide_externally,
             )
             self._rollouts[type_id] = rollout
         self.bus.publish(
@@ -2212,6 +2233,7 @@ class AdeptSystem:
             conflict_threshold=record.get("conflict_threshold", 0.5),
             min_observations=record.get("min_observations", 20),
             policy=record.get("policy", POLICY_REVERT),
+            decide_externally=record.get("decide_externally", False),
         )
         self._attach_plan(rollout)
         self._rollouts[rollout.type_id] = rollout

@@ -56,6 +56,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Snapshot/WAL format version (bumped on incompatible layout changes).
 FORMAT_VERSION = 1
 
+
+def shard_store_path(base: str, shard_id: str) -> str:
+    """The canonical store directory of one shard under a base directory.
+
+    The service tier runs one :class:`PersistentBackend` per shard
+    process; every component (supervisor, CLI, a restarted shard) must
+    derive the same path from ``(base, shard_id)`` so a shard always
+    reopens *its own* WAL and snapshot.  Layout: ``<base>/<shard_id>/``.
+    """
+    if not shard_id or "/" in shard_id or shard_id in (".", ".."):
+        raise ReproError(f"invalid shard id {shard_id!r} for a store path")
+    return str(Path(base) / shard_id)
+
 #: All typed WAL record kinds, in the order they were introduced.
 KIND_TYPE_DEPLOYED = "type_deployed"
 KIND_TYPE_ADOPTED = "type_adopted"

@@ -89,6 +89,7 @@ class Rollout:
         conflict_threshold: float = 0.5,
         min_observations: int = 20,
         policy: str = POLICY_REVERT,
+        decide_externally: bool = False,
     ) -> None:
         if mode not in (ROLLOUT_LAZY, ROLLOUT_CANARY):
             raise ValueError(f"unknown rollout mode {mode!r}")
@@ -105,6 +106,12 @@ class Rollout:
         self.conflict_threshold = float(conflict_threshold)
         self.min_observations = int(min_observations)
         self.policy = policy
+        #: when True this rollout never takes the canary verdict itself —
+        #: an external control plane (the shard router, which sees the
+        #: attempts of *every* shard) observes the aggregated counters and
+        #: calls promote/roll_back explicitly.  A single shard's local
+        #: sample would otherwise decide on a fraction of the evidence.
+        self.decide_externally = bool(decide_externally)
         self.state = STATE_OBSERVING if mode == ROLLOUT_CANARY else STATE_MIGRATING
         self.lock = threading.RLock()
         #: ids migrated by this rollout (exactly-once bookkeeping).
@@ -167,6 +174,8 @@ class Rollout:
     def _maybe_decide(self) -> Optional[str]:
         """Take the canary verdict exactly once (lock held)."""
         if self.state != STATE_OBSERVING or self.pending_decision is not None:
+            return None
+        if self.decide_externally:
             return None
         if self.attempts < self.min_observations:
             return None
@@ -243,6 +252,7 @@ class Rollout:
                 "conflict_threshold": self.conflict_threshold,
                 "min_observations": self.min_observations,
                 "policy": self.policy,
+                "decide_externally": self.decide_externally,
                 "adopted": sorted(self.adopted),
                 "conflicted": sorted(self.conflicted),
                 "pre_states": dict(self.pre_states),
@@ -260,6 +270,7 @@ class Rollout:
             conflict_threshold=payload.get("conflict_threshold", 0.5),
             min_observations=payload.get("min_observations", 20),
             policy=payload.get("policy", POLICY_REVERT),
+            decide_externally=payload.get("decide_externally", False),
         )
         rollout.state = payload.get("state", rollout.state)
         rollout.adopted = set(payload.get("adopted", ()))

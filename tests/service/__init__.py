@@ -1,0 +1,1 @@
+"""Tests of the sharded multi-process service tier."""

@@ -1,0 +1,101 @@
+"""The wire protocol: framing, partial reads, malformed input."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.service import ShardProtocolError
+from repro.service.protocol import MAX_FRAME_BYTES, recv_message, send_message
+
+
+def _pair():
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    client = socket.create_connection(server.getsockname())
+    accepted, _ = server.accept()
+    server.close()
+    return client, accepted
+
+
+class TestFraming:
+    def test_round_trip(self):
+        client, server = _pair()
+        try:
+            payload = {"op": "step_many", "instance_ids": ["a", "b"], "n": 3}
+            sent = send_message(client, payload)
+            received_payload, received = recv_message(server)
+            assert received_payload == payload
+            assert sent == received > 8
+        finally:
+            client.close()
+            server.close()
+
+    def test_many_messages_on_one_connection(self):
+        client, server = _pair()
+        try:
+            for index in range(50):
+                send_message(client, {"i": index})
+            for index in range(50):
+                payload, _ = recv_message(server)
+                assert payload == {"i": index}
+        finally:
+            client.close()
+            server.close()
+
+    def test_large_frame_survives_chunked_reads(self):
+        client, server = _pair()
+        try:
+            payload = {"blob": "x" * 2_000_000}
+            done = []
+            thread = threading.Thread(
+                target=lambda: done.append(send_message(client, payload))
+            )
+            thread.start()
+            received_payload, _ = recv_message(server)
+            thread.join()
+            assert received_payload == payload
+        finally:
+            client.close()
+            server.close()
+
+    def test_clean_close_raises_connection_error(self):
+        client, server = _pair()
+        client.close()
+        try:
+            with pytest.raises(ConnectionError):
+                recv_message(server)
+        finally:
+            server.close()
+
+    def test_mid_frame_close_raises_connection_error(self):
+        client, server = _pair()
+        try:
+            client.sendall(b"\x00\x00\x00\x00\x00\x00\x00\x10partial")
+            client.close()
+            with pytest.raises(ConnectionError):
+                recv_message(server)
+        finally:
+            server.close()
+
+    def test_oversized_header_rejected(self):
+        client, server = _pair()
+        try:
+            client.sendall((MAX_FRAME_BYTES + 1).to_bytes(8, "big"))
+            with pytest.raises(ShardProtocolError):
+                recv_message(server)
+        finally:
+            client.close()
+            server.close()
+
+    def test_undecodable_body_rejected(self):
+        client, server = _pair()
+        try:
+            body = b"\xff\xfe not json"
+            client.sendall(len(body).to_bytes(8, "big") + body)
+            with pytest.raises(ShardProtocolError):
+                recv_message(server)
+        finally:
+            client.close()
+            server.close()

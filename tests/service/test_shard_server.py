@@ -1,0 +1,307 @@
+"""The shard server, driven in-thread through a real socket.
+
+These tests exercise the full request path (framing, dispatch, error
+marshalling, telemetry) without subprocess overhead; the multi-process
+behaviour (signals, kill -9 recovery, routing) lives in
+``test_router_multiprocess.py`` under the ``shards`` marker.
+"""
+
+import pytest
+
+from repro import AdeptSystem
+from repro.schema.templates import online_order_process, sequential_process
+from repro.service import (
+    RemoteError,
+    ServiceError,
+    ShardClient,
+    ShardServer,
+)
+from repro.service.shard_server import resolve_worker
+from repro.system.persistence import shard_store_path
+from repro.workloads.order_process import ORDER_EXECUTION_SEQUENCE, order_type_change_v2
+
+
+@pytest.fixture()
+def shard(tmp_path):
+    server = ShardServer("s0", store=str(tmp_path / "s0"))
+    host, port = server.start_in_thread()
+    client = ShardClient("s0", host, port)
+    try:
+        yield server, client
+    finally:
+        client.close()
+        server.stop()
+
+
+def _deploy_orders(client):
+    return client.call("deploy", schema=online_order_process().to_dict())
+
+
+class TestLifecycle:
+    def test_ping_and_status(self, shard):
+        server, client = shard
+        assert client.call("ping")["shard_id"] == "s0"
+        status = client.call("status")
+        assert status["shard_id"] == "s0"
+        assert status["live_instances"] == 0
+
+    def test_endpoint_file_published(self, shard, tmp_path):
+        import json
+
+        payload = json.loads((tmp_path / "s0" / "endpoint.json").read_text())
+        server, _client = shard
+        assert (payload["host"], payload["port"]) == server.endpoint
+
+    def test_unknown_op_is_a_remote_error(self, shard):
+        _server, client = shard
+        with pytest.raises(RemoteError, match="unknown op"):
+            client.call("frobnicate")
+
+    def test_remote_exceptions_carry_their_type(self, shard):
+        _server, client = shard
+        _deploy_orders(client)
+        with pytest.raises(RemoteError) as excinfo:
+            client.call("instance_info", instance_id="missing-1")
+        assert excinfo.value.shard_id == "s0"
+        assert "missing-1" in str(excinfo.value)
+
+    def test_stop_is_idempotent(self, tmp_path):
+        server = ShardServer("s1", store=str(tmp_path / "s1"))
+        server.start_in_thread()
+        server.stop()
+        server.stop()  # second stop must be a no-op, like AdeptSystem.close
+
+
+class TestCaseOps:
+    def test_start_step_and_info(self, shard):
+        _server, client = shard
+        _deploy_orders(client)
+        case = client.call("start", type_id="online_order", case_id="ord-1")
+        assert case["instance_id"] == "ord-1"
+        results = client.call("step_many", instance_ids=["ord-1"], steps=2)
+        assert results[0]["steps"] == 2
+        info = client.call("instance_info", instance_id="ord-1")
+        assert info["version"] == 1
+        assert info["completed"][:2] == list(ORDER_EXECUTION_SEQUENCE[:2])
+        assert info["state_fingerprint"]
+
+    def test_step_many_preserves_input_order(self, shard):
+        _server, client = shard
+        _deploy_orders(client)
+        ids = [f"ord-{index}" for index in range(10)]
+        for case_id in ids:
+            client.call("start", type_id="online_order", case_id=case_id)
+        results = client.call("step_many", instance_ids=list(reversed(ids)), steps=1)
+        assert [result["instance_id"] for result in results] == list(reversed(ids))
+
+    def test_worklist_claim_complete(self, shard):
+        _server, client = shard
+        _deploy_orders(client)
+        client.call("start", type_id="online_order", case_id="ord-1")
+        items = client.call("worklist", user="clerk")
+        assert items, "a started case offers its first activity"
+        claimed = client.call("claim", item_id=items[0]["item_id"], user="clerk")
+        assert claimed["state"] == "claimed"
+        done = client.call("complete_item", item_id=items[0]["item_id"])
+        assert done["state"] == "completed"
+
+    def test_claim_is_a_single_shard_cas(self, shard):
+        _server, client = shard
+        _deploy_orders(client)
+        client.call("start", type_id="online_order", case_id="ord-1")
+        item = client.call("worklist", user="clerk")[0]
+        client.call("claim", item_id=item["item_id"], user="clerk")
+        with pytest.raises(RemoteError):
+            client.call("claim", item_id=item["item_id"], user="rival")
+
+    def test_export_import_handover(self, shard, tmp_path):
+        server_a, client_a = shard
+        _deploy_orders(client_a)
+        client_a.call("start", type_id="online_order", case_id="ord-1")
+        client_a.call("step_many", instance_ids=["ord-1"], steps=2)
+        fingerprint = client_a.call("instance_info", instance_id="ord-1")[
+            "state_fingerprint"
+        ]
+
+        server_b = ShardServer("s1", store=str(tmp_path / "s1"))
+        host, port = server_b.start_in_thread()
+        client_b = ShardClient("s1", host, port)
+        try:
+            _deploy_orders(client_b)
+            exported = client_a.call("export_case", instance_id="ord-1")
+            client_b.call("import_case", record=exported["record"])
+            # the case left shard A entirely and kept its exact state on B
+            with pytest.raises(RemoteError):
+                client_a.call("instance_info", instance_id="ord-1")
+            info = client_b.call("instance_info", instance_id="ord-1")
+            assert info["state_fingerprint"] == fingerprint
+            assert client_a.call("telemetry")["handover"] == 1
+            assert client_b.call("telemetry")["handover"] == 1
+        finally:
+            client_b.close()
+            server_b.stop()
+
+
+class TestTwoPhaseEvolve:
+    def test_publish_activate_eager(self, shard):
+        _server, client = shard
+        _deploy_orders(client)
+        for index in range(4):
+            client.call("start", type_id="online_order", case_id=f"ord-{index}")
+        staged = client.call(
+            "evolve_publish",
+            type_id="online_order",
+            change=order_type_change_v2(1).to_dict(),
+            expect_version=1,
+        )
+        assert staged["from_version"] == 1 and staged["to_version"] == 2
+        outcome = client.call("evolve_activate", token=staged["token"], rollout="eager")
+        assert outcome["migrated"] == 4
+        info = client.call("instance_info", instance_id="ord-0")
+        assert info["version"] == 2
+
+    def test_publish_refuses_version_skew(self, shard):
+        _server, client = shard
+        _deploy_orders(client)
+        with pytest.raises(RemoteError, match="version"):
+            client.call(
+                "evolve_publish",
+                type_id="online_order",
+                change=order_type_change_v2(1).to_dict(),
+                expect_version=7,
+            )
+
+    def test_abort_discards_the_stage(self, shard):
+        _server, client = shard
+        _deploy_orders(client)
+        staged = client.call(
+            "evolve_publish",
+            type_id="online_order",
+            change=order_type_change_v2(1).to_dict(),
+            expect_version=1,
+        )
+        assert client.call("evolve_abort", token=staged["token"])["aborted"]
+        with pytest.raises(RemoteError, match="no staged evolution"):
+            client.call("evolve_activate", token=staged["token"], rollout="eager")
+
+    def test_abort_by_type_without_token(self, shard):
+        _server, client = shard
+        _deploy_orders(client)
+        client.call(
+            "evolve_publish",
+            type_id="online_order",
+            change=order_type_change_v2(1).to_dict(),
+            expect_version=1,
+        )
+        assert client.call("evolve_abort_type", type_id="online_order")["aborted"] == 1
+
+    def test_canary_activation_never_self_decides(self, shard):
+        _server, client = shard
+        _deploy_orders(client)
+        for index in range(30):
+            client.call("start", type_id="online_order", case_id=f"ord-{index:03d}")
+        staged = client.call(
+            "evolve_publish",
+            type_id="online_order",
+            change=order_type_change_v2(1).to_dict(),
+            expect_version=1,
+        )
+        client.call(
+            "evolve_activate",
+            token=staged["token"],
+            rollout="canary",
+            fraction=1.0,
+            min_observations=5,
+        )
+        # touch far more cases than min_observations: a self-deciding
+        # canary would have promoted; an external one stays observing
+        client.call(
+            "step_many",
+            instance_ids=[f"ord-{index:03d}" for index in range(30)],
+            steps=1,
+        )
+        status = client.call("rollout_status", type_id="online_order")
+        assert status["state"] == "observing"
+        assert status["attempts"] >= 5
+        client.call("rollout_decide", type_id="online_order", decision="promote")
+        status = client.call("rollout_status", type_id="online_order")
+        assert status["state"] in ("migrating", "completed")
+
+
+class TestDurability:
+    def test_wal_summary_counts(self, shard):
+        _server, client = shard
+        _deploy_orders(client)
+        client.call("start", type_id="online_order", case_id="ord-1")
+        client.call("step_many", instance_ids=["ord-1"], steps=3)
+        summary = client.call("wal_summary")
+        assert summary["counts"]["instance_started"] == 1
+        assert summary["steps_by_instance"]["ord-1"] == 3
+
+    def test_checkpoint_truncates_wal(self, shard):
+        _server, client = shard
+        _deploy_orders(client)
+        client.call("start", type_id="online_order", case_id="ord-1")
+        client.call("checkpoint")
+        assert client.call("wal_summary")["counts"] == {}
+
+    def test_graceful_stop_then_reopen_without_replay(self, tmp_path):
+        store = str(tmp_path / "shard")
+        server = ShardServer("s0", store=store)
+        host, port = server.start_in_thread()
+        client = ShardClient("s0", host, port)
+        _deploy_orders(client)
+        client.call("start", type_id="online_order", case_id="ord-1")
+        client.call("step_many", instance_ids=["ord-1"], steps=2)
+        client.close()
+        server.stop()  # graceful: flush + checkpoint
+        reopened = AdeptSystem.open(store)
+        try:
+            assert reopened.last_recovery.replayed_records == 0
+            assert reopened.last_recovery.snapshot_loaded
+            instance = reopened.get_instance("ord-1")
+            assert list(instance.completed_activities()[:2]) == list(
+                ORDER_EXECUTION_SEQUENCE[:2]
+            )
+        finally:
+            reopened.close(checkpoint=False)
+
+
+class TestSatellites:
+    def test_adept_system_close_is_idempotent(self, tmp_path):
+        system = AdeptSystem.open(str(tmp_path / "store"))
+        system.deploy(sequential_process())
+        system.close()
+        wal = tmp_path / "store" / "wal.jsonl"
+        stamp = wal.stat().st_mtime_ns if wal.exists() else None
+        system.close()  # second close: no new checkpoint, no reopened WAL
+        assert (wal.stat().st_mtime_ns if wal.exists() else None) == stamp
+
+    def test_close_after_new_mutation_closes_again(self, tmp_path):
+        system = AdeptSystem.open(str(tmp_path / "store"))
+        system.deploy(sequential_process())
+        system.close()
+        system.start("sequence", case_id="seq-1")  # reopens the WAL
+        system.close()
+        reopened = AdeptSystem.open(str(tmp_path / "store"))
+        try:
+            assert reopened.get_instance("seq-1").instance_id == "seq-1"
+        finally:
+            reopened.close(checkpoint=False)
+
+    def test_shard_store_path_layout(self):
+        assert shard_store_path("/data/fleet", "shard-03") == "/data/fleet/shard-03"
+
+    def test_shard_store_path_rejects_traversal(self):
+        from repro.errors import ReproError
+
+        for bad in ("", "..", "a/b"):
+            with pytest.raises(ReproError):
+                shard_store_path("/data", bad)
+
+    def test_resolve_worker_specs(self):
+        assert resolve_worker("") is None
+        worker = resolve_worker("simulated_latency:0.001")
+        assert callable(worker)
+        with pytest.raises(ServiceError):
+            resolve_worker("quantum:1")
